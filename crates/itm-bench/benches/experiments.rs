@@ -1,0 +1,52 @@
+//! Criterion benchmarks, one group per experiment family: how long does
+//! regenerating each paper artifact take on the small substrate?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itm_bench::experiments;
+use itm_core::{MapConfig, TrafficMap};
+use itm_measure::{Substrate, SubstrateConfig};
+
+fn substrate() -> Substrate {
+    Substrate::build(SubstrateConfig::small(), 42).unwrap()
+}
+
+fn bench_map_pipeline(c: &mut Criterion) {
+    let s = substrate();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("traffic_map_build", |b| {
+        b.iter(|| TrafficMap::build(&s, &MapConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_table_figures(c: &mut Criterion) {
+    let s = substrate();
+    let map = TrafficMap::build(&s, &MapConfig::default());
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| experiments::table1(&s, &map)));
+    g.bench_function("fig1a", |b| b.iter(|| experiments::fig1a(&s, &map)));
+    g.bench_function("fig1b", |b| b.iter(|| experiments::fig1b(&s, &map)));
+    g.bench_function("fig2", |b| b.iter(|| experiments::fig2(&s, &map)));
+    g.bench_function("coverage", |b| b.iter(|| experiments::coverage_claims(&s, &map)));
+    g.bench_function("ecs", |b| b.iter(|| experiments::ecs(&s, &map)));
+    g.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let s = substrate();
+    let mut g = c.benchmark_group("analyses");
+    g.sample_size(10);
+    g.bench_function("pathlen", |b| b.iter(|| experiments::pathlen(&s)));
+    g.bench_function("anycast", |b| b.iter(|| experiments::anycast(&s)));
+    g.bench_function("pathpred", |b| b.iter(|| experiments::pathpred(&s)));
+    g.bench_function("recommend", |b| b.iter(|| experiments::recommend(&s)));
+    g.bench_function("ipid", |b| b.iter(|| experiments::ipid(&s)));
+    g.bench_function("visibility", |b| b.iter(|| experiments::visibility(&s)));
+    g.bench_function("consolidation", |b| b.iter(|| experiments::consolidation(&s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_map_pipeline, bench_table_figures, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion benchmarks for the computational kernels every experiment
+//! leans on: topology generation, BGP route computation, cache probing,
+//! redirection selection, and traffic-matrix queries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use itm_measure::{Substrate, SubstrateConfig};
+use itm_routing::{GraphView, RoutingTree};
+use itm_topology::{generate, TopologyConfig};
+use itm_types::{Asn, SimTime};
+
+fn bench_topology_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology");
+    g.sample_size(10);
+    g.bench_function("generate_small", |b| {
+        b.iter(|| generate(&TopologyConfig::small(), 42).unwrap())
+    });
+    g.bench_function("generate_default", |b| {
+        b.iter(|| generate(&TopologyConfig::default(), 42).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig::default(), 42).unwrap();
+    let view = GraphView::full(&topo);
+    let hg = topo.hypergiants()[0];
+    let mut g = c.benchmark_group("routing");
+    g.bench_function("tree_default_topology", |b| {
+        b.iter(|| RoutingTree::compute(&view, hg))
+    });
+    let tree = RoutingTree::compute(&view, hg);
+    g.bench_function("path_extraction_1k", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..1000u32 {
+                if let Some(p) = tree.path(Asn(i % topo.n_ases() as u32)) {
+                    total += p.len();
+                }
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.sample_size(10);
+    g.bench_function("build_small", |b| {
+        b.iter(|| Substrate::build(SubstrateConfig::small(), 42).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_dns_probing(c: &mut Criterion) {
+    let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
+    let resolver = s.open_resolver();
+    let nets: Vec<_> = s.topo.prefixes.iter().map(|r| r.net).collect();
+    let mut g = c.benchmark_group("dns");
+    g.bench_function("cache_probe_1k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut hits = 0;
+            for _ in 0..1000 {
+                let net = nets[i % nets.len()];
+                i += 1;
+                if matches!(
+                    resolver.probe(net, "svc0.example", SimTime(3600)),
+                    itm_dns::ProbeResult::Hit(_)
+                ) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("frontend_select_1k", |b| {
+        let svc = s.catalog.services[0].id;
+        b.iter_batched(
+            || (),
+            |_| {
+                let mut acc = 0u32;
+                for i in 0..1000usize {
+                    let a = &s.topo.ases[i % s.topo.n_ases()];
+                    let e = s.frontends.select(&s.topo, svc, a.asn, a.cities[0]);
+                    acc = acc.wrapping_add(e.addr.0);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
+    let prefixes: Vec<_> = s.users.user_prefixes(&s.topo).collect();
+    let mut g = c.benchmark_group("traffic");
+    g.bench_function("demand_cells_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000usize {
+                let p = prefixes[i % prefixes.len()];
+                let svc = s.catalog.services[i % s.catalog.len()].id;
+                acc += s.traffic.demand(&s.topo, &s.users, &s.catalog, p, svc).raw();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topology_generation,
+    bench_routing,
+    bench_substrate,
+    bench_dns_probing,
+    bench_traffic
+);
+criterion_main!(benches);

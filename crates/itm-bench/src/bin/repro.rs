@@ -1,0 +1,192 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p itm-bench --bin repro                 # everything
+//! cargo run --release -p itm-bench --bin repro -- --exp fig2   # one artifact
+//! cargo run --release -p itm-bench --bin repro -- --size small --seed 7
+//! cargo run --release -p itm-bench --bin repro -- --ablations  # D1–D5 too
+//! ```
+//!
+//! Results land in `results/<id>.csv` plus a combined
+//! `results/summary.txt`.
+
+use itm_bench::{ablations, experiments, ExperimentResult};
+use itm_core::{MapConfig, TrafficMap};
+use itm_measure::{Substrate, SubstrateConfig};
+use itm_topology::TopologyConfig;
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    exp: Option<String>,
+    seed: u64,
+    size: String,
+    ablations: bool,
+    out_dir: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        exp: None,
+        seed: 42,
+        size: "default".into(),
+        ablations: false,
+        out_dir: "results".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--exp" => args.exp = it.next(),
+            "--seed" => {
+                let raw = it.next().unwrap_or_default();
+                args.seed = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed expects an integer, got {raw:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--size" => args.size = it.next().unwrap_or_else(|| "default".into()),
+            "--ablations" => args.ablations = true,
+            "--out" => args.out_dir = it.next().unwrap_or_else(|| "results".into()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--exp <id>] [--seed N] [--size small|default|large] \
+                     [--ablations] [--out DIR]\n\
+                     experiment ids: table1 fig1a fig1b fig2 pathlen anycast coverage \
+                     ecs pathpred recommend ipid visibility consolidation cachehost assoc staleness\n\
+                     ablation ids (with --exp): ab_ecs_scope ab_resolver_assumption \
+                     ab_collectors ab_recommend_features ab_probe_budget"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn config_for(size: &str) -> SubstrateConfig {
+    match size {
+        "small" => SubstrateConfig::small(),
+        "large" => SubstrateConfig {
+            topology: TopologyConfig::large(),
+            ..Default::default()
+        },
+        _ => SubstrateConfig::default(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out_dir).expect("create output dir");
+
+    let cfg = config_for(&args.size);
+    let t0 = Instant::now();
+    eprintln!("building substrate (size={}, seed={})…", args.size, args.seed);
+    let s = Substrate::build(cfg.clone(), args.seed).expect("valid config");
+    eprintln!(
+        "  {} ASes, {} links, {} /24s, {} services [{:.1?}]",
+        s.topo.n_ases(),
+        s.topo.links.len(),
+        s.topo.prefixes.len(),
+        s.catalog.len(),
+        t0.elapsed()
+    );
+
+    // Experiments that need the full map share one build.
+    let needs_map = |id: &str| matches!(id, "table1" | "fig1a" | "fig1b" | "fig2" | "coverage" | "ecs");
+    let want = |id: &str| args.exp.as_deref().map(|e| e == id).unwrap_or(true);
+
+    let map = if ["table1", "fig1a", "fig1b", "fig2", "coverage", "ecs"]
+        .iter()
+        .any(|id| want(id) && needs_map(id))
+    {
+        let t1 = Instant::now();
+        eprintln!("running measurement pipeline…");
+        let m = TrafficMap::build(&s, &MapConfig::default());
+        eprintln!("  map built [{:.1?}]", t1.elapsed());
+        Some(m)
+    } else {
+        None
+    };
+
+    let mut results: Vec<ExperimentResult> = Vec::new();
+    let mut run = |id: &str, f: &mut dyn FnMut() -> ExperimentResult| {
+        if want(id) {
+            let t = Instant::now();
+            eprintln!("running {id}…");
+            let r = f();
+            eprintln!("  done [{:.1?}]", t.elapsed());
+            results.push(r);
+        }
+    };
+
+    if let Some(map) = &map {
+        run("table1", &mut || experiments::table1(&s, map));
+        run("fig1a", &mut || experiments::fig1a(&s, map));
+        run("fig1b", &mut || experiments::fig1b(&s, map));
+        run("fig2", &mut || experiments::fig2(&s, map));
+        run("coverage", &mut || experiments::coverage_claims(&s, map));
+        run("ecs", &mut || experiments::ecs(&s, map));
+    }
+    run("pathlen", &mut || experiments::pathlen(&s));
+    run("anycast", &mut || experiments::anycast(&s));
+    run("pathpred", &mut || experiments::pathpred(&s));
+    run("recommend", &mut || experiments::recommend(&s));
+    run("ipid", &mut || experiments::ipid(&s));
+    run("visibility", &mut || experiments::visibility(&s));
+    run("consolidation", &mut || experiments::consolidation(&s));
+    run("cachehost", &mut || experiments::cachehost(&s));
+    run("assoc", &mut || experiments::assoc(&s));
+    run("staleness", &mut || experiments::staleness(&s));
+
+    if args.ablations || args.exp.as_deref().map(|e| e.starts_with("ab_")).unwrap_or(false) {
+        run("ab_ecs_scope", &mut || ablations::ab_ecs_scope(&s));
+        run("ab_resolver_assumption", &mut || {
+            ablations::ab_resolver_assumption(&cfg, args.seed)
+        });
+        run("ab_collectors", &mut || ablations::ab_collectors(&s));
+        run("ab_recommend_features", &mut || {
+            ablations::ab_recommend_features(&s)
+        });
+        run("ab_probe_budget", &mut || ablations::ab_probe_budget(&s));
+    }
+
+    if results.is_empty() {
+        eprintln!(
+            "no experiment matched {:?}; try --help for the list of ids",
+            args.exp.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
+
+    // Emit.
+    let mut summary = String::new();
+    for r in &results {
+        let path = format!("{}/{}.csv", args.out_dir, r.id);
+        std::fs::write(&path, r.csv()).expect("write csv");
+        let text = r.text();
+        print!("\n{text}");
+        summary.push('\n');
+        summary.push_str(&text);
+    }
+    let mut f = std::fs::File::create(format!("{}/summary.txt", args.out_dir))
+        .expect("create summary");
+    writeln!(
+        f,
+        "itm repro — size={}, seed={}, total {:.1?}",
+        args.size,
+        args.seed,
+        t0.elapsed()
+    )
+    .unwrap();
+    f.write_all(summary.as_bytes()).unwrap();
+    eprintln!(
+        "\nwrote {} experiment CSVs + summary.txt to {}/ [total {:.1?}]",
+        results.len(),
+        args.out_dir,
+        t0.elapsed()
+    );
+}

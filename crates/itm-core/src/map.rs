@@ -1,0 +1,258 @@
+//! The Internet Traffic Map: assembly and queries.
+//!
+//! [`TrafficMap::build`] runs the full §3 pipeline over a substrate:
+//!
+//! 1. **Users & activity** (§3.1): cache probing + root-log crawling,
+//!    fused with the APNIC estimates.
+//! 2. **Services & mapping** (§3.2): TLS scans for infrastructure, SNI
+//!    scans for footprints, ECS mapping for user→host, anycast catchments
+//!    for anycast services.
+//! 3. **Routes** (§3.3): the public collector view augmented with
+//!    cloud-VM-discovered links; paths predicted on demand.
+//!
+//! The result is self-contained and serializable (minus the prediction
+//! view, which is recomputed from stored links).
+
+use itm_measure::{
+    ActivityEstimator, CacheProbeCampaign, CacheProbeResult, CloudProbeResult, RootCrawlResult,
+    RootCrawler, Substrate, UserMapping,
+};
+use itm_routing::{AnycastDeployment, Catchments, CollectorSet, GraphView, RoutingTree, VisibilityReport};
+use itm_tls::{detect_offnets, OffnetFinding, ScanConfig, SniScan, TlsScan};
+use itm_traffic::DeliveryMode;
+use itm_types::{Asn, Ipv4Addr, PrefixId, ServiceId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Map-construction configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MapConfig {
+    /// Cache-probing campaign parameters.
+    pub cache_probe: CacheProbeCampaign,
+    /// Root-crawl parameters.
+    pub root_crawl: RootCrawler,
+    /// TLS/SNI scan parameters.
+    pub scan: ScanConfig,
+    /// Anycast intra-AS site-selection noise (hot-potato artifacts).
+    pub anycast_noise: f64,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        MapConfig {
+            cache_probe: CacheProbeCampaign::default(),
+            root_crawl: RootCrawler::default(),
+            scan: ScanConfig::default(),
+            anycast_noise: 0.15,
+        }
+    }
+}
+
+/// The assembled Internet Traffic Map.
+pub struct TrafficMap {
+    /// Component 1: prefixes identified as hosting users.
+    pub user_prefixes: HashSet<PrefixId>,
+    /// Component 1: relative activity per AS (fused estimate).
+    pub activity: ActivityEstimator,
+    /// Component 2: serving infrastructure per hypergiant (on-net).
+    pub onnet_servers: Vec<OffnetFinding>,
+    /// Component 2: off-net deployments detected.
+    pub offnet_servers: Vec<OffnetFinding>,
+    /// Component 2: per-service footprints from SNI scanning.
+    pub sni_footprints: HashMap<ServiceId, Vec<Ipv4Addr>>,
+    /// Component 2: measured user→host mapping (ECS services).
+    pub user_mapping: UserMapping,
+    /// Component 2: anycast catchments per anycast service.
+    pub catchments: HashMap<ServiceId, Catchments>,
+    /// Component 3: the topology view available for path prediction
+    /// (public + cloud-augmented links).
+    pub route_view: GraphView,
+    /// Collector visibility statistics (E12 input).
+    pub visibility: VisibilityReport,
+    /// Raw campaign outputs kept for scoring.
+    pub cache_result: CacheProbeResult,
+    /// Root-crawl output kept for scoring.
+    pub root_result: RootCrawlResult,
+    /// Cloud-probing output kept for scoring.
+    pub cloud_result: CloudProbeResult,
+}
+
+impl TrafficMap {
+    /// Run the full pipeline.
+    pub fn build(s: &Substrate, cfg: &MapConfig) -> TrafficMap {
+        // ---- Component 1: users + activity ----
+        let resolver = s.open_resolver();
+        let cache_result = cfg.cache_probe.run(s, &resolver);
+        let root_result = cfg.root_crawl.run(s, &resolver);
+        let activity = ActivityEstimator::fuse(s, &cache_result, &root_result);
+        let user_prefixes = cache_result.discovered.clone();
+
+        // ---- Component 2: services ----
+        let scan = TlsScan::run(&s.topo, &s.tls, &cfg.scan, &s.seeds);
+        let (onnet_servers, offnet_servers) = detect_offnets(&s.topo, &s.tls, &scan);
+        let candidates: Vec<Ipv4Addr> = scan.observations.iter().map(|o| o.addr).collect();
+        let domains: Vec<String> = s
+            .catalog
+            .services
+            .iter()
+            .map(|x| x.domain.clone())
+            .collect();
+        let sni = SniScan::run(&s.tls, &candidates, &domains, &cfg.scan, &s.seeds);
+        let sni_footprints: HashMap<ServiceId, Vec<Ipv4Addr>> = s
+            .catalog
+            .services
+            .iter()
+            .map(|svc| (svc.id, sni.addresses_of(&svc.domain).to_vec()))
+            .collect();
+        let user_mapping = UserMapping::measure(s, &resolver);
+
+        // Anycast catchments for anycast services.
+        let full = s.full_view();
+        let mut catchments = HashMap::new();
+        for svc in &s.catalog.services {
+            if svc.mode != DeliveryMode::Anycast {
+                continue;
+            }
+            let sites: Vec<(Asn, u32)> = s
+                .frontends
+                .endpoints(svc.id)
+                .iter()
+                .map(|e| {
+                    let host = e.offnet_host.unwrap_or(e.asn);
+                    (host, e.city)
+                })
+                .collect();
+            let dep = AnycastDeployment::new(&s.topo, &sites, cfg.anycast_noise);
+            catchments.insert(
+                svc.id,
+                Catchments::compute(&s.topo, &full, &dep, &s.seeds.child("map-anycast")),
+            );
+        }
+
+        // ---- Component 3: routes ----
+        let collectors = CollectorSet::typical(&s.topo, &s.seeds);
+        let (public_view, visibility) = collectors.public_view(&s.topo);
+        let cloud_result = CloudProbeResult::run(s, &full, &s.seeds);
+        let extra = cloud_result.as_links(s);
+        let route_view = public_view.with_extra_links(extra.iter());
+
+        TrafficMap {
+            user_prefixes,
+            activity,
+            onnet_servers,
+            offnet_servers,
+            sni_footprints,
+            user_mapping,
+            catchments,
+            route_view,
+            visibility,
+            cache_result,
+            root_result,
+            cloud_result,
+        }
+    }
+
+    /// Predict the AS path from a client AS toward the AS serving
+    /// `service` for `client_prefix` (using the map's own mapping and
+    /// route view — no ground truth).
+    pub fn predicted_path(
+        &self,
+        s: &Substrate,
+        client_prefix: PrefixId,
+        service: ServiceId,
+    ) -> Option<Vec<Asn>> {
+        let serving_as = self.serving_as_for(s, client_prefix, service)?;
+        let client_as = s.topo.prefixes.get(client_prefix).owner;
+        let tree = RoutingTree::compute(&self.route_view, serving_as);
+        tree.path(client_as)
+    }
+
+    /// The AS the map believes serves `(client_prefix, service)`.
+    pub fn serving_as_for(
+        &self,
+        s: &Substrate,
+        client_prefix: PrefixId,
+        service: ServiceId,
+    ) -> Option<Asn> {
+        // ECS-measured mapping first.
+        if let Some(&addr) = self.user_mapping.mapping.get(&(service, client_prefix)) {
+            return s.topo.prefixes.lookup(addr).map(|r| r.owner);
+        }
+        // Anycast: the catchment's site AS.
+        if let Some(c) = self.catchments.get(&service) {
+            let client_as = s.topo.prefixes.get(client_prefix).owner;
+            if let Some(site) = c.site_of(client_as) {
+                let e = s.frontends.endpoints(service).get(site.index())?;
+                return Some(e.offnet_host.unwrap_or(e.asn));
+            }
+        }
+        // Fallback: the service owner's AS.
+        Some(s.catalog.get(service).owner.serving_as())
+    }
+
+    /// Total number of distinct serving addresses the map knows about.
+    pub fn known_server_count(&self) -> usize {
+        let mut addrs: HashSet<u32> = HashSet::new();
+        for f in self.onnet_servers.iter().chain(&self.offnet_servers) {
+            addrs.insert(f.addr.0);
+        }
+        for v in self.sni_footprints.values() {
+            addrs.extend(v.iter().map(|a| a.0));
+        }
+        addrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itm_measure::SubstrateConfig;
+
+    fn build() -> (Substrate, TrafficMap) {
+        let s = Substrate::build(SubstrateConfig::small(), 139).unwrap();
+        let m = TrafficMap::build(&s, &MapConfig::default());
+        (s, m)
+    }
+
+    #[test]
+    fn map_has_all_components() {
+        let (s, m) = build();
+        assert!(!m.user_prefixes.is_empty());
+        assert!(!m.activity.is_empty());
+        assert!(!m.onnet_servers.is_empty());
+        assert!(m.known_server_count() > 0);
+        assert!(!m.user_mapping.mapping.is_empty());
+        // Every anycast service has catchments.
+        let anycast = s
+            .catalog
+            .services
+            .iter()
+            .filter(|x| x.mode == DeliveryMode::Anycast)
+            .count();
+        assert_eq!(m.catchments.len(), anycast);
+    }
+
+    #[test]
+    fn predicted_paths_exist_for_measured_cells() {
+        let (s, m) = build();
+        let mut tested = 0;
+        for (&(svc, p), _) in m.user_mapping.mapping.iter().take(20) {
+            if let Some(path) = m.predicted_path(&s, p, svc) {
+                assert_eq!(path.first().copied(), Some(s.topo.prefixes.get(p).owner));
+                tested += 1;
+            }
+        }
+        assert!(tested > 0, "no predictable paths at all");
+    }
+
+    #[test]
+    fn route_view_is_public_plus_cloud() {
+        let (s, m) = build();
+        // The augmented view has at least as many edges as any cloud
+        // discovered link set alone and is a subset of ground truth.
+        assert!(m.route_view.n_edges_directed() <= s.full_view().n_edges_directed());
+        for &(a, b) in &m.cloud_result.links {
+            assert!(m.route_view.has_edge(a, b));
+        }
+    }
+}

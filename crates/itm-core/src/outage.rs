@@ -1,0 +1,247 @@
+//! Outage impact analysis — the §2.1 flagship use case.
+//!
+//! "To assess the impact of an outage in a ⟨region, AS⟩, the map can tell
+//! us which popular services are affected, which prefixes are affected for
+//! those services, what fraction of traffic or users are affected, and
+//! where the prefixes may be routed instead."
+//!
+//! A scenario removes an AS (optionally only within one country). Impact
+//! is computed from the *map's own components* — the user→host mapping,
+//! activity estimates, and route view — which is the paper's point: the
+//! map answers operational questions without privileged data.
+
+use crate::map::TrafficMap;
+use itm_measure::Substrate;
+use itm_types::{Asn, Country, Ipv4Addr, PrefixId, ServiceId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// What fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutageScenario {
+    /// An entire AS goes dark.
+    WholeAs(Asn),
+    /// An AS fails within one country only (a ⟨region, AS⟩ outage).
+    RegionAs(Asn, Country),
+}
+
+impl OutageScenario {
+    /// The failing AS.
+    pub fn asn(&self) -> Asn {
+        match *self {
+            OutageScenario::WholeAs(a) => a,
+            OutageScenario::RegionAs(a, _) => a,
+        }
+    }
+
+    /// Whether a serving address inside the outage footprint fails.
+    fn address_fails(&self, s: &Substrate, addr: Ipv4Addr) -> bool {
+        let Some(rec) = s.topo.prefixes.lookup(addr) else {
+            return false;
+        };
+        match *self {
+            OutageScenario::WholeAs(a) => rec.owner == a,
+            OutageScenario::RegionAs(a, c) => {
+                rec.owner == a && s.topo.world.cities[rec.city as usize].country == c
+            }
+        }
+    }
+}
+
+/// Computed impact of a scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutageImpact {
+    /// The scenario assessed.
+    pub scenario: OutageScenario,
+    /// Services with at least one affected (service, prefix) mapping cell.
+    pub affected_services: Vec<ServiceId>,
+    /// Affected (service, prefix) cells: clients mapped to a failed
+    /// front-end.
+    pub affected_cells: Vec<(ServiceId, PrefixId)>,
+    /// Estimated users behind affected prefixes (APNIC-based, as the map
+    /// would estimate; deduplicated across services).
+    pub estimated_users_affected: f64,
+    /// Ground-truth users behind affected prefixes (for scoring).
+    pub true_users_affected: f64,
+    /// Ground-truth traffic (bps) on affected cells.
+    pub true_traffic_affected: f64,
+    /// For each affected cell, the fallback front-end the redirection
+    /// policy would pick with the outage in place (`None` if the service
+    /// has no surviving endpoint).
+    pub reroutes: HashMap<(ServiceId, PrefixId), Option<Ipv4Addr>>,
+}
+
+impl OutageImpact {
+    /// Assess a scenario against a built map.
+    pub fn assess(s: &Substrate, map: &TrafficMap, scenario: OutageScenario) -> OutageImpact {
+        let mut affected_cells = Vec::new();
+        let mut affected_services: HashSet<ServiceId> = HashSet::new();
+        let mut affected_prefixes: HashSet<PrefixId> = HashSet::new();
+        let mut reroutes = HashMap::new();
+        let mut true_traffic = 0.0;
+
+        for (&(svc, p), &addr) in &map.user_mapping.mapping {
+            if !scenario.address_fails(s, addr) {
+                continue;
+            }
+            affected_cells.push((svc, p));
+            affected_services.insert(svc);
+            affected_prefixes.insert(p);
+            true_traffic += s.traffic.demand(&s.topo, &s.users, &s.catalog, p, svc).raw();
+
+            // Where would the client go instead? Surviving endpoints of
+            // the service, same redirection policy.
+            let rec = s.topo.prefixes.get(p);
+            let survivors: Vec<_> = s
+                .frontends
+                .endpoints(svc)
+                .iter()
+                .filter(|e| !scenario.address_fails(s, e.addr))
+                .collect();
+            let fallback = if survivors.is_empty() {
+                None
+            } else {
+                // In-AS off-net first, else nearest surviving endpoint.
+                let own = survivors
+                    .iter()
+                    .find(|e| e.offnet_host == Some(rec.owner));
+                let chosen = own.copied().unwrap_or_else(|| {
+                    let loc = s.topo.city_location(rec.city);
+                    survivors
+                        .iter()
+                        .min_by(|a, b| {
+                            s.topo
+                                .city_location(a.city)
+                                .distance_km(loc)
+                                .partial_cmp(
+                                    &s.topo.city_location(b.city).distance_km(loc),
+                                )
+                                .unwrap()
+                                .then(a.addr.cmp(&b.addr))
+                        })
+                        .copied()
+                        .unwrap()
+                });
+                Some(chosen.addr)
+            };
+            reroutes.insert((svc, p), fallback);
+        }
+
+        // User impact: estimated (what the map knows — APNIC at AS level,
+        // apportioned per prefix by the AS's prefix count) vs truth.
+        let mut estimated = 0.0;
+        let mut truth = 0.0;
+        for &p in &affected_prefixes {
+            let rec = s.topo.prefixes.get(p);
+            if let Some(est) = s.apnic.estimate(rec.owner) {
+                let n = s.topo.prefixes.owned_by(rec.owner).len().max(1) as f64;
+                estimated += est / n;
+            }
+            truth += s.users.users_of(p);
+        }
+
+        let mut affected_services: Vec<ServiceId> = affected_services.into_iter().collect();
+        affected_services.sort_unstable();
+        affected_cells.sort_unstable();
+
+        OutageImpact {
+            scenario,
+            affected_services,
+            affected_cells,
+            estimated_users_affected: estimated,
+            true_users_affected: truth,
+            true_traffic_affected: true_traffic,
+            reroutes,
+        }
+    }
+
+    /// Share of total popular-service traffic the outage touches.
+    pub fn traffic_share(&self, s: &Substrate) -> f64 {
+        self.true_traffic_affected / s.traffic.grand_total().raw().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::MapConfig;
+    use itm_measure::SubstrateConfig;
+
+    fn build() -> (Substrate, TrafficMap) {
+        let s = Substrate::build(SubstrateConfig::small(), 167).unwrap();
+        let m = TrafficMap::build(&s, &MapConfig::default());
+        (s, m)
+    }
+
+    #[test]
+    fn hypergiant_outage_is_catastrophic() {
+        let (s, m) = build();
+        let hg = s.topo.hypergiants()[0];
+        let impact = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(hg));
+        assert!(!impact.affected_services.is_empty());
+        assert!(!impact.affected_cells.is_empty());
+        assert!(impact.true_users_affected > 0.0);
+        assert!(impact.traffic_share(&s) > 0.01);
+        // Off-net-served cells survive a hypergiant AS outage (caches live
+        // in host-AS space), so not everything fails.
+        let total_cells = m.user_mapping.mapping.len();
+        assert!(impact.affected_cells.len() < total_cells);
+    }
+
+    #[test]
+    fn stub_outage_is_negligible() {
+        let (s, m) = build();
+        let stub = s
+            .topo
+            .ases
+            .iter()
+            .find(|a| a.class == itm_topology::AsClass::Stub)
+            .unwrap()
+            .asn;
+        let impact = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(stub));
+        // Stubs host no front-ends: no service cells affected.
+        assert!(impact.affected_cells.is_empty());
+        assert_eq!(impact.traffic_share(&s), 0.0);
+    }
+
+    #[test]
+    fn reroutes_point_at_surviving_endpoints() {
+        let (s, m) = build();
+        let hg = s.topo.hypergiants()[0];
+        let scenario = OutageScenario::WholeAs(hg);
+        let impact = OutageImpact::assess(&s, &m, scenario);
+        for (&(svc, _), fallback) in &impact.reroutes {
+            if let Some(addr) = fallback {
+                assert!(!scenario.address_fails(&s, *addr), "reroute into the outage");
+                assert!(
+                    s.frontends.endpoints(svc).iter().any(|e| e.addr == *addr),
+                    "reroute to a non-endpoint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_scoped_outage_is_smaller() {
+        let (s, m) = build();
+        let hg = s.topo.hypergiants()[0];
+        let whole = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(hg));
+        let country = s.topo.world.countries[0].country;
+        let region = OutageImpact::assess(&s, &m, OutageScenario::RegionAs(hg, country));
+        assert!(region.affected_cells.len() <= whole.affected_cells.len());
+    }
+
+    #[test]
+    fn estimated_users_track_truth() {
+        let (s, m) = build();
+        let hg = s.topo.hypergiants()[0];
+        let impact = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(hg));
+        if impact.true_users_affected > 0.0 {
+            let ratio = impact.estimated_users_affected / impact.true_users_affected;
+            assert!(
+                ratio > 0.1 && ratio < 10.0,
+                "estimate off by more than 10x: {ratio}"
+            );
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! The §3.3.3 peering recommender (E10).
+//!
+//! "With the assumption that networks with similar peering profiles are
+//! likely to peer with the same networks, one could formulate the problem
+//! as a recommendation system — we rate the likelihood that networks (the
+//! shoppers) would want to peer with other networks (the items being
+//! recommended) and infer the existence of links if the recommendation is
+//! strong. Such predictions could rely on publicly available information
+//! about networks, such as their peering policy, traffic profile,
+//! customer cone size, user activity (§3.1), and network type."
+//!
+//! Candidates are co-located (shared facility or IXP, from the
+//! PeeringDB-like registry) AS pairs without a link in the *visible*
+//! topology. Each candidate gets a score combining:
+//!
+//! * **Collaborative signal**: Jaccard overlap of visible peer sets
+//!   ("similar profiles peer with the same networks").
+//! * **Policy**: product of openness propensities.
+//! * **Type prior**: content↔access pairs are likelier (the flattening
+//!   prior).
+//! * **Scale**: cone size and user-activity (§3.1 output) boosts.
+//! * **Co-location intensity**: number of shared facilities/IXPs.
+//!
+//! Evaluation holds out ground truth: candidates are ranked and scored
+//! with precision@k and recall-at-k curves against the invisible links
+//! that really exist.
+
+use itm_measure::Substrate;
+use itm_routing::GraphView;
+use itm_topology::AsClass;
+use itm_types::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Feature weights for the recommender (the D4 ablation toggles these).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecommenderWeights {
+    /// Weight of the peer-set Jaccard similarity term.
+    pub collaborative: f64,
+    /// Weight of the policy-propensity term.
+    pub policy: f64,
+    /// Weight of the class-pair prior.
+    pub type_prior: f64,
+    /// Weight of the log-cone-size term.
+    pub cone: f64,
+    /// Weight of the user-activity term.
+    pub activity: f64,
+    /// Weight of the shared-colocation-count term.
+    pub colocation: f64,
+}
+
+impl Default for RecommenderWeights {
+    fn default() -> Self {
+        RecommenderWeights {
+            collaborative: 1.0,
+            policy: 1.0,
+            type_prior: 1.0,
+            cone: 0.5,
+            activity: 0.5,
+            colocation: 0.5,
+        }
+    }
+}
+
+/// A scored candidate link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Candidate endpoints (canonical order).
+    pub pair: (Asn, Asn),
+    /// Recommendation strength (higher = likelier to peer).
+    pub score: f64,
+}
+
+/// The recommender bound to a visible topology view.
+pub struct PeeringRecommender<'a> {
+    s: &'a Substrate,
+    visible: &'a GraphView,
+    weights: RecommenderWeights,
+    /// Per-AS visible peer sets.
+    peer_sets: Vec<HashSet<Asn>>,
+    /// Per-AS user-activity proxy (normalized subscribers from the map's
+    /// activity component; here the APNIC public estimate, which is what a
+    /// real recommender would have).
+    activity: Vec<f64>,
+}
+
+impl<'a> PeeringRecommender<'a> {
+    /// Build the recommender from public inputs: the visible view, the
+    /// colocation registry, and public activity estimates.
+    pub fn new(
+        s: &'a Substrate,
+        visible: &'a GraphView,
+        weights: RecommenderWeights,
+    ) -> PeeringRecommender<'a> {
+        let n = s.topo.n_ases();
+        let mut peer_sets: Vec<HashSet<Asn>> = vec![HashSet::new(); n];
+        for i in 0..n {
+            for &(nb, _) in visible.neighbors(Asn(i as u32)) {
+                peer_sets[i].insert(nb);
+            }
+        }
+        let max_apnic = s
+            .topo
+            .ases
+            .iter()
+            .filter_map(|a| s.apnic.estimate(a.asn))
+            .fold(1.0f64, f64::max);
+        let activity = s
+            .topo
+            .ases
+            .iter()
+            .map(|a| s.apnic.estimate(a.asn).unwrap_or(0.0) / max_apnic)
+            .collect();
+        PeeringRecommender {
+            s,
+            visible,
+            weights,
+            peer_sets,
+            activity,
+        }
+    }
+
+    /// Enumerate candidates: co-located pairs with no visible link.
+    pub fn candidates(&self) -> Vec<(Asn, Asn, u32)> {
+        let mut shared: HashMap<(Asn, Asn), u32> = HashMap::new();
+        let bump = |members: &[Asn], shared: &mut HashMap<(Asn, Asn), u32>| {
+            for (i, &x) in members.iter().enumerate() {
+                for &y in members.iter().skip(i + 1) {
+                    *shared.entry((x, y)).or_insert(0) += 1;
+                }
+            }
+        };
+        for f in &self.s.topo.facilities {
+            bump(&f.tenants, &mut shared);
+        }
+        for x in &self.s.topo.ixps {
+            bump(&x.members, &mut shared);
+        }
+        shared
+            .into_iter()
+            .filter(|&((a, b), _)| !self.visible.has_edge(a, b))
+            .map(|((a, b), n)| (a, b, n))
+            .collect()
+    }
+
+    /// Class-pair prior: how plausible peering is for this pair of roles.
+    fn type_prior(a: AsClass, b: AsClass) -> f64 {
+        use AsClass::*;
+        match (a, b) {
+            (Hypergiant, Eyeball) | (Eyeball, Hypergiant) => 1.0,
+            (Cloud, Eyeball) | (Eyeball, Cloud) => 0.9,
+            (Hypergiant, Transit) | (Transit, Hypergiant) => 0.6,
+            (Cloud, Transit) | (Transit, Cloud) => 0.55,
+            (Eyeball, Eyeball) => 0.5,
+            (Eyeball, Stub) | (Stub, Eyeball) => 0.35,
+            (Stub, Stub) => 0.2,
+            (Hypergiant, Stub) | (Stub, Hypergiant) => 0.35,
+            (Cloud, Stub) | (Stub, Cloud) => 0.3,
+            (Transit, Transit) => 0.25,
+            (Transit, Eyeball) | (Eyeball, Transit) => 0.3,
+            (Transit, Stub) | (Stub, Transit) => 0.15,
+            (Tier1, _) | (_, Tier1) => 0.05,
+            _ => 0.5,
+        }
+    }
+
+    /// Score one candidate pair.
+    pub fn score(&self, a: Asn, b: Asn, shared_locations: u32) -> f64 {
+        let w = &self.weights;
+        let (ia, ib) = (a.index(), b.index());
+        let inter = self.peer_sets[ia].intersection(&self.peer_sets[ib]).count() as f64;
+        let union = (self.peer_sets[ia].len() + self.peer_sets[ib].len()) as f64 - inter;
+        // Shrunk Jaccard: two single-homed stubs sharing their only
+        // provider would otherwise score a perfect 1.0 and swamp the
+        // ranking; the +5 prior demands real evidence volume before the
+        // collaborative signal dominates.
+        let jaccard = inter / (union + 5.0);
+
+        let info_a = self.s.topo.as_info(a);
+        let info_b = self.s.topo.as_info(b);
+        let policy =
+            (info_a.policy.base_propensity() * info_b.policy.base_propensity()).sqrt();
+        let type_prior = Self::type_prior(info_a.class, info_b.class);
+        let cone = ((self.s.topo.cones.cone_size(a) as f64).ln()
+            + (self.s.topo.cones.cone_size(b) as f64).ln())
+            / 20.0;
+        let activity = (self.activity[ia] + self.activity[ib]) / 2.0;
+        let colo = (shared_locations as f64).ln_1p() / 3.0;
+
+        w.collaborative * jaccard
+            + w.policy * policy
+            + w.type_prior * type_prior
+            + w.cone * cone.min(1.0)
+            + w.activity * activity
+            + w.colocation * colo.min(1.0)
+    }
+
+    /// Rank all candidates, strongest first.
+    pub fn recommend(&self) -> Vec<Recommendation> {
+        let mut recs: Vec<Recommendation> = self
+            .candidates()
+            .into_iter()
+            .map(|(a, b, n)| Recommendation {
+                pair: (a, b),
+                score: self.score(a, b, n),
+            })
+            .collect();
+        recs.sort_by(|x, y| {
+            y.score
+                .partial_cmp(&x.score)
+                .unwrap()
+                .then(x.pair.cmp(&y.pair))
+        });
+        recs
+    }
+}
+
+/// Evaluation of a ranked recommendation list against ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecommendationEval {
+    /// Total candidates scored.
+    pub candidates: usize,
+    /// Ground-truth positives among candidates (invisible real links).
+    pub positives: usize,
+    /// Precision at several cutoffs: (k, precision@k, recall@k).
+    pub at_k: Vec<(usize, f64, f64)>,
+    /// Precision of a random ranking (the positives base rate).
+    pub base_rate: f64,
+}
+
+impl RecommendationEval {
+    /// Score a ranked list against the real link set.
+    pub fn evaluate(s: &Substrate, recs: &[Recommendation]) -> RecommendationEval {
+        let truth: HashSet<(Asn, Asn)> = s.topo.links.iter().map(|l| l.key()).collect();
+        let positives = recs.iter().filter(|r| truth.contains(&r.pair)).count();
+        let base_rate = if recs.is_empty() {
+            0.0
+        } else {
+            positives as f64 / recs.len() as f64
+        };
+        let cutoffs = [10, 50, 100, 500, 1000];
+        let mut at_k = Vec::new();
+        for &k in &cutoffs {
+            let k = k.min(recs.len());
+            if k == 0 {
+                continue;
+            }
+            let hits = recs[..k].iter().filter(|r| truth.contains(&r.pair)).count();
+            let recall = if positives > 0 {
+                hits as f64 / positives as f64
+            } else {
+                0.0
+            };
+            at_k.push((k, hits as f64 / k as f64, recall));
+        }
+        RecommendationEval {
+            candidates: recs.len(),
+            positives,
+            at_k,
+            base_rate,
+        }
+    }
+
+    /// Precision at the smallest cutoff (the headline number).
+    pub fn top_precision(&self) -> f64 {
+        self.at_k.first().map(|&(_, p, _)| p).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itm_measure::SubstrateConfig;
+    use itm_routing::CollectorSet;
+
+    fn setup() -> (Substrate, GraphView) {
+        let s = Substrate::build(SubstrateConfig::small(), 163).unwrap();
+        let collectors = CollectorSet::typical(&s.topo, &s.seeds);
+        let (public, _) = collectors.public_view(&s.topo);
+        (s, public)
+    }
+
+    #[test]
+    fn candidates_are_colocated_and_invisible() {
+        let (s, public) = setup();
+        let rec = PeeringRecommender::new(&s, &public, RecommenderWeights::default());
+        let cands = rec.candidates();
+        assert!(!cands.is_empty());
+        for (a, b, n) in &cands {
+            assert!(*n > 0);
+            assert!(!public.has_edge(*a, *b));
+            // Co-located somewhere.
+            let co = s
+                .topo
+                .facilities
+                .iter()
+                .any(|f| f.has_tenant(*a) && f.has_tenant(*b))
+                || s.topo.ixps.iter().any(|x| x.has_member(*a) && x.has_member(*b));
+            assert!(co, "{a}–{b} not co-located");
+        }
+    }
+
+    #[test]
+    fn recommender_beats_random() {
+        let (s, public) = setup();
+        let rec = PeeringRecommender::new(&s, &public, RecommenderWeights::default());
+        let recs = rec.recommend();
+        let eval = RecommendationEval::evaluate(&s, &recs);
+        assert!(eval.positives > 0, "no invisible links to find");
+        // Top-of-list precision must beat the base rate by a solid margin.
+        assert!(
+            eval.top_precision() > eval.base_rate * 1.5,
+            "precision {:.3} vs base {:.3}",
+            eval.top_precision(),
+            eval.base_rate
+        );
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_deterministic() {
+        let (s, public) = setup();
+        let rec = PeeringRecommender::new(&s, &public, RecommenderWeights::default());
+        let a = rec.recommend();
+        let b = rec.recommend();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pair, y.pair);
+        }
+        for w in a.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn collaborative_feature_contributes() {
+        // Ablation sanity: dropping all features except the type prior
+        // should not beat the full model at the top of the ranking.
+        let (s, public) = setup();
+        let full = PeeringRecommender::new(&s, &public, RecommenderWeights::default());
+        let lesioned = PeeringRecommender::new(
+            &s,
+            &public,
+            RecommenderWeights {
+                collaborative: 0.0,
+                policy: 0.0,
+                cone: 0.0,
+                activity: 0.0,
+                colocation: 0.0,
+                type_prior: 1.0,
+            },
+        );
+        let e_full = RecommendationEval::evaluate(&s, &full.recommend());
+        let e_lesioned = RecommendationEval::evaluate(&s, &lesioned.recommend());
+        // Compare recall at the largest shared cutoff.
+        let r_full = e_full.at_k.last().unwrap().2;
+        let r_les = e_lesioned.at_k.last().unwrap().2;
+        assert!(
+            r_full >= r_les * 0.9,
+            "full model collapsed: {r_full:.3} vs {r_les:.3}"
+        );
+    }
+}

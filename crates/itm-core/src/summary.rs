@@ -1,0 +1,151 @@
+//! Serializable map exports.
+//!
+//! A downstream user of the traffic map — the researcher who wants to
+//! weight a CDF, the operator assessing an outage — needs the map as
+//! *data*, not as a live borrow of the substrate. [`MapSummary`] is the
+//! portable form: every component in plain serde types, with enough
+//! provenance (seed, config scale) to regenerate the full map.
+
+use crate::map::TrafficMap;
+use itm_measure::Substrate;
+use itm_types::{Asn, Ipv4Net, ServiceId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The portable form of a built traffic map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MapSummary {
+    /// Provenance: master seed of the substrate.
+    pub seed: u64,
+    /// Provenance: AS count of the substrate.
+    pub n_ases: usize,
+    /// Component 1: /24s identified as hosting users.
+    pub user_prefixes: Vec<Ipv4Net>,
+    /// Component 1: fused relative activity per AS (max-normalized).
+    pub activity: HashMap<u32, f64>,
+    /// Component 2: per-service serving-address counts.
+    pub service_footprint_sizes: HashMap<u32, usize>,
+    /// Component 2: off-net deployments found (hypergiant ASN, host ASN).
+    pub offnets: Vec<(u32, u32)>,
+    /// Component 2: number of measurable user→host mapping cells.
+    pub mapping_cells: usize,
+    /// Component 3: directed edge count of the route view.
+    pub route_edges: usize,
+    /// Visibility: fraction of peering invisible to collectors.
+    pub invisible_peering: f64,
+}
+
+impl MapSummary {
+    /// Extract the portable summary from a built map.
+    pub fn extract(s: &Substrate, map: &TrafficMap) -> MapSummary {
+        let mut user_prefixes: Vec<Ipv4Net> = map
+            .user_prefixes
+            .iter()
+            .map(|&p| s.topo.prefixes.get(p).net)
+            .collect();
+        user_prefixes.sort();
+        let activity = map
+            .activity
+            .iter()
+            .map(|(a, e)| (a.raw(), e.fused))
+            .collect();
+        let service_footprint_sizes = map
+            .sni_footprints
+            .iter()
+            .map(|(svc, addrs)| (svc.raw(), addrs.len()))
+            .collect();
+        let mut offnets: Vec<(u32, u32)> = map
+            .offnet_servers
+            .iter()
+            .map(|f| (f.hypergiant.raw(), f.host.raw()))
+            .collect();
+        offnets.sort_unstable();
+        offnets.dedup();
+        MapSummary {
+            seed: s.seed,
+            n_ases: s.topo.n_ases(),
+            user_prefixes,
+            activity,
+            service_footprint_sizes,
+            offnets,
+            mapping_cells: map.user_mapping.mapping.len(),
+            route_edges: map.route_view.n_edges_directed(),
+            invisible_peering: map
+                .visibility
+                .invisible_fraction("all-peering")
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("summary is serializable")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<MapSummary, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The activity weight for an AS (the "weight your CDF" entry point
+    /// of the paper's call to action) — 0 for unknown ASes.
+    pub fn weight_of(&self, asn: Asn) -> f64 {
+        self.activity.get(&asn.raw()).copied().unwrap_or(0.0)
+    }
+
+    /// Footprint size for a service.
+    pub fn footprint_of(&self, svc: ServiceId) -> usize {
+        self.service_footprint_sizes
+            .get(&svc.raw())
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::MapConfig;
+    use itm_measure::SubstrateConfig;
+
+    fn build() -> (Substrate, TrafficMap) {
+        let s = Substrate::build(SubstrateConfig::small(), 197).unwrap();
+        let m = TrafficMap::build(&s, &MapConfig::default());
+        (s, m)
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let (s, m) = build();
+        let summary = MapSummary::extract(&s, &m);
+        let json = summary.to_json();
+        let back = MapSummary::from_json(&json).unwrap();
+        assert_eq!(back.seed, summary.seed);
+        assert_eq!(back.user_prefixes, summary.user_prefixes);
+        assert_eq!(back.mapping_cells, summary.mapping_cells);
+        assert_eq!(back.offnets, summary.offnets);
+        assert_eq!(back.route_edges, summary.route_edges);
+        assert_eq!(back.activity.len(), summary.activity.len());
+    }
+
+    #[test]
+    fn summary_is_consistent_with_map() {
+        let (s, m) = build();
+        let summary = MapSummary::extract(&s, &m);
+        assert_eq!(summary.user_prefixes.len(), m.user_prefixes.len());
+        assert_eq!(summary.n_ases, s.topo.n_ases());
+        assert!(summary.invisible_peering > 0.5);
+        // Weights exist for active eyeballs.
+        let some_active = m.activity.iter().next().unwrap();
+        assert!(summary.weight_of(*some_active.0) >= 0.0);
+    }
+
+    #[test]
+    fn prefixes_are_sorted_and_unique() {
+        let (s, m) = build();
+        let summary = MapSummary::extract(&s, &m);
+        for w in summary.user_prefixes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

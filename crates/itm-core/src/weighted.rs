@@ -1,0 +1,273 @@
+//! Weighted-vs-unweighted analyses: the paper's methodological core.
+//!
+//! §1 opens by indicting "graphing a CDF across Internet paths …, giving
+//! each path … equal weight", and §2.1 quantifies the stakes with two
+//! examples reproduced here:
+//!
+//! * **Path lengths** (E5): in an unweighted academic topology "only 2% of
+//!   Internet paths were two ASes long", yet "73% of Google queries come
+//!   from ASes that either host a Google server or connect directly with
+//!   Google or another AS hosting a Google server".
+//! * **Anycast optimality** (E6): "While only 31% of routes go to the
+//!   closest site, 60% of users are mapped to the optimal site"; and \[38\]:
+//!   "80% of clients directed within 500 km of their closest serving
+//!   site".
+
+use itm_measure::Substrate;
+use itm_routing::{AnycastDeployment, Catchments, GraphView, RoutingTree};
+use itm_topology::PrefixKind;
+use itm_types::stats::Ecdf;
+use itm_types::{Asn, SeedDomain};
+use serde::{Deserialize, Serialize};
+
+/// The E5 path-length experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathLengthAnalysis {
+    /// Unweighted CDF of AS-path lengths from a vantage AS to all ASes
+    /// (the iPlane-style view).
+    pub unweighted: Ecdf,
+    /// Traffic-weighted CDF of path lengths from user ASes to the target
+    /// hypergiant, weighting each AS by its demand for that provider.
+    pub weighted: Ecdf,
+    /// Fraction of paths ≤ 1 hop, unweighted (paper analogue: 2%).
+    pub short_paths_unweighted: f64,
+    /// Fraction of *traffic* ≤ 1 hop — i.e. the client AS hosts a server
+    /// (off-net, length 0) or directly connects to the provider (length
+    /// 1). Paper analogue: 73%.
+    pub short_traffic_weighted: f64,
+}
+
+impl PathLengthAnalysis {
+    /// Run E5 against the largest hypergiant.
+    ///
+    /// "Short" means the client AS hosts a server of the provider
+    /// (distance 0 — an off-net) or is adjacent to an AS hosting one
+    /// (distance 1), matching the §2.1 wording.
+    pub fn run(s: &Substrate, view: &GraphView) -> PathLengthAnalysis {
+        let hg = s.topo.hypergiants()[0];
+        let tree = RoutingTree::compute(view, hg);
+
+        // Unweighted: path lengths from one academic vantage point's AS to
+        // every AS (the "paths to all prefixes" view), measuring hop count
+        // of the BGP path between them. iPlane measured from PlanetLab
+        // (stub/university networks): use the first stub AS as vantage.
+        let vantage = s
+            .topo
+            .ases
+            .iter()
+            .find(|a| a.class == itm_topology::AsClass::Stub)
+            .map(|a| a.asn)
+            .unwrap_or(Asn(0));
+        let mut unweighted_lens = Vec::new();
+        for dst in 0..s.topo.n_ases() {
+            let t = RoutingTree::compute(view, Asn(dst as u32));
+            if let Some(l) = t.path_len(vantage) {
+                if dst as u32 != vantage.raw() {
+                    unweighted_lens.push(l as f64);
+                }
+            }
+        }
+
+        // Weighted: for each user AS, its effective distance to the
+        // provider: 0 if it hosts an off-net of hg, else its BGP path
+        // length to hg; weight = its demand for hg's services.
+        let mut weighted_samples = Vec::new();
+        for a in &s.topo.ases {
+            let demand: f64 = s
+                .catalog
+                .served_by(hg)
+                .map(|svc| {
+                    s.topo
+                        .prefixes
+                        .owned_by(a.asn)
+                        .iter()
+                        .filter(|&&p| s.topo.prefixes.get(p).kind == PrefixKind::UserAccess)
+                        .map(|&p| s.traffic.demand(&s.topo, &s.users, &s.catalog, p, svc.id).raw())
+                        .sum::<f64>()
+                })
+                .sum();
+            if demand <= 0.0 {
+                continue;
+            }
+            let dist = if s.topo.offnets.find(hg, a.asn).is_some() {
+                0.0
+            } else {
+                match tree.path_len(a.asn) {
+                    Some(l) => l as f64,
+                    None => continue,
+                }
+            };
+            weighted_samples.push((dist, demand));
+        }
+
+        let unweighted = Ecdf::unweighted(unweighted_lens);
+        let weighted = Ecdf::weighted(weighted_samples);
+        PathLengthAnalysis {
+            short_paths_unweighted: unweighted.fraction_at(1.0),
+            short_traffic_weighted: weighted.fraction_at(1.0),
+            unweighted,
+            weighted,
+        }
+    }
+}
+
+/// The E6 anycast-optimality experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnycastAnalysis {
+    /// Fraction of client *ASes* (routes) landing on their geographically
+    /// closest site (paper analogue: 31%).
+    pub routes_to_closest: f64,
+    /// Fraction of *users* landing on their closest site (paper: 60%).
+    pub users_to_optimal: f64,
+    /// Fraction of users within 500 km of their closest site's distance
+    /// (paper \[38\]: 80% within 500 km of the closest site).
+    pub users_within_500km: f64,
+    /// User-weighted ECDF of excess distance (km) vs the optimal site.
+    pub excess_distance: Ecdf,
+}
+
+impl AnycastAnalysis {
+    /// Run E6 on an anycast deployment across the largest hypergiant's
+    /// on-net cities.
+    pub fn run(s: &Substrate, view: &GraphView, noise: f64, seeds: &SeedDomain) -> AnycastAnalysis {
+        let hg = s.topo.hypergiants()[0];
+        // Sites: the hypergiant's on-net cities plus its off-net host
+        // cities (off-nets announce the anycast prefix locally too).
+        let mut sites: Vec<(Asn, u32)> = s
+            .topo
+            .as_info(hg)
+            .cities
+            .iter()
+            .map(|&c| (hg, c))
+            .collect();
+        for d in s.topo.offnets.of_hypergiant(hg) {
+            sites.push((d.host, d.city));
+        }
+        let dep = AnycastDeployment::new(&s.topo, &sites, noise);
+        let catchments = Catchments::compute(&s.topo, view, &dep, seeds);
+        Self::score(s, &dep, &catchments)
+    }
+
+    /// Score arbitrary catchments against geographic optimality.
+    pub fn score(s: &Substrate, dep: &AnycastDeployment, catchments: &Catchments) -> AnycastAnalysis {
+        let mut routes_closest = 0usize;
+        let mut routes_total = 0usize;
+        let mut users_optimal = 0.0;
+        let mut users_within = 0.0;
+        let mut users_total = 0.0;
+        let mut excess = Vec::new();
+
+        for (client, site) in catchments.iter() {
+            let users = s.users.subscribers(client);
+            let loc = s.topo.as_location(client);
+            let chosen = &dep.sites[site.index()];
+            let best = dep.closest_site(loc).expect("non-empty deployment");
+            // Being served from a site inside the client's own AS (an
+            // off-net cache) is optimal by definition: the bytes never
+            // leave the access network, whatever the geodesic distance to
+            // the cache city.
+            let in_as = chosen.asn == client;
+            let d_chosen = if in_as {
+                0.0
+            } else {
+                chosen.location.distance_km(loc)
+            };
+            let d_best = if best.asn == client {
+                0.0
+            } else {
+                best.location.distance_km(loc)
+            };
+            let is_optimal = in_as || (d_chosen - d_best).abs() < 1.0;
+
+            routes_total += 1;
+            if is_optimal {
+                routes_closest += 1;
+            }
+            if users > 0.0 {
+                users_total += users;
+                if is_optimal {
+                    users_optimal += users;
+                }
+                let excess_km = (d_chosen - d_best).max(0.0);
+                if excess_km <= 500.0 {
+                    users_within += users;
+                }
+                excess.push((excess_km, users));
+            }
+        }
+
+        AnycastAnalysis {
+            routes_to_closest: if routes_total > 0 {
+                routes_closest as f64 / routes_total as f64
+            } else {
+                0.0
+            },
+            users_to_optimal: if users_total > 0.0 {
+                users_optimal / users_total
+            } else {
+                0.0
+            },
+            users_within_500km: if users_total > 0.0 {
+                users_within / users_total
+            } else {
+                0.0
+            },
+            excess_distance: Ecdf::weighted(excess),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itm_measure::SubstrateConfig;
+
+    fn setup() -> Substrate {
+        Substrate::build(SubstrateConfig::small(), 151).unwrap()
+    }
+
+    #[test]
+    fn weighting_flips_the_path_length_story() {
+        let s = setup();
+        let view = s.full_view();
+        let a = PathLengthAnalysis::run(&s, &view);
+        // The paper's swing: short paths are rare unweighted, dominant
+        // weighted.
+        assert!(
+            a.short_traffic_weighted > a.short_paths_unweighted + 0.2,
+            "weighted {:.3} vs unweighted {:.3}",
+            a.short_traffic_weighted,
+            a.short_paths_unweighted
+        );
+        assert!(a.short_traffic_weighted > 0.5);
+        assert!(!a.unweighted.is_empty() && !a.weighted.is_empty());
+    }
+
+    #[test]
+    fn anycast_users_beat_routes() {
+        let s = setup();
+        let view = s.full_view();
+        let a = AnycastAnalysis::run(&s, &view, 0.15, &SeedDomain::new(151));
+        // The paper's asymmetry: user-weighted optimality exceeds
+        // route-weighted optimality (big networks get better routing).
+        assert!(
+            a.users_to_optimal >= a.routes_to_closest,
+            "users {:.3} vs routes {:.3}",
+            a.users_to_optimal,
+            a.routes_to_closest
+        );
+        // Most users end up near-optimal.
+        assert!(a.users_within_500km > 0.6, "{:.3}", a.users_within_500km);
+        // Neither metric is degenerate.
+        assert!(a.routes_to_closest > 0.05 && a.routes_to_closest < 1.0);
+    }
+
+    #[test]
+    fn zero_noise_improves_optimality() {
+        let s = setup();
+        let view = s.full_view();
+        let clean = AnycastAnalysis::run(&s, &view, 0.0, &SeedDomain::new(1));
+        let noisy = AnycastAnalysis::run(&s, &view, 0.6, &SeedDomain::new(1));
+        assert!(clean.users_to_optimal >= noisy.users_to_optimal);
+    }
+}

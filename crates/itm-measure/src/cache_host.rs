@@ -1,0 +1,270 @@
+//! Hosting an instrumented edge cache (§3.2.3's proposed community
+//! project, E14).
+//!
+//! "To refine this intuition, it is critical to understand the efficacy of
+//! these caches. A community-driven project could host caches inside
+//! research networks/universities, to measure the cache hit rate under
+//! normal operation and during flash events."
+//!
+//! The experiment: an LRU cache of configurable capacity is "hosted" in a
+//! research network; a request stream for one service's objects is drawn
+//! from the traffic model's arrival rates and the object-popularity law;
+//! hit rates are measured under normal operation and during a flash event,
+//! and the normal-operation result is validated against the Che
+//! approximation.
+
+use crate::substrate::Substrate;
+use itm_traffic::ObjectModel;
+use itm_types::{SeedDomain, ServiceId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A plain LRU cache over object ids, instrumented with hit/miss counters.
+///
+/// Recency is tracked with a tick-indexed `BTreeMap` alongside the main
+/// map, giving O(log n) request cost (ticks are unique, so the index never
+/// collides).
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    /// object id -> last-use tick
+    entries: HashMap<u32, u64>,
+    /// last-use tick -> object id (recency index; oldest first)
+    by_tick: std::collections::BTreeMap<u64, u32>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// An empty cache with the given object capacity.
+    pub fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+            by_tick: std::collections::BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Serve one request; returns whether it hit.
+    pub fn request(&mut self, object: u32) -> bool {
+        self.tick += 1;
+        if self.capacity == 0 {
+            self.misses += 1;
+            return false;
+        }
+        let prev = self.entries.insert(object, self.tick);
+        if let Some(old_tick) = prev {
+            self.by_tick.remove(&old_tick);
+        }
+        self.by_tick.insert(self.tick, object);
+        let hit = prev.is_some();
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if self.entries.len() > self.capacity {
+                let (&lru_tick, &lru_obj) =
+                    self.by_tick.iter().next().expect("non-empty");
+                self.by_tick.remove(&lru_tick);
+                self.entries.remove(&lru_obj);
+            }
+        }
+        hit
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Measured hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Reset the counters (keep the cache warm).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Parameters of the hosted-cache experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheHostExperiment {
+    /// The service whose cache is hosted (object model derives from it).
+    pub service: ServiceId,
+    /// Cache capacity in objects.
+    pub capacity: usize,
+    /// Warm-up requests before measurement starts.
+    pub warmup_requests: usize,
+    /// Measured requests per phase.
+    pub phase_requests: usize,
+    /// Share of requests on the hot set during the flash phase.
+    pub flash_share: f64,
+    /// Number of distinct hot objects in the flash.
+    pub flash_objects: u32,
+}
+
+impl CacheHostExperiment {
+    /// A typical configuration for a given service.
+    pub fn typical(service: ServiceId) -> CacheHostExperiment {
+        CacheHostExperiment {
+            service,
+            capacity: 5_000,
+            warmup_requests: 60_000,
+            phase_requests: 60_000,
+            flash_share: 0.5,
+            flash_objects: 8,
+        }
+    }
+}
+
+/// Results of the experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheHostResult {
+    /// Hit rate under normal operation (after warm-up).
+    pub normal_hit_rate: f64,
+    /// Che-approximation prediction for the normal phase.
+    pub che_prediction: f64,
+    /// Hit rate during the flash event (cache adapts online).
+    pub flash_hit_rate: f64,
+    /// Hit rate on only the flash-set requests during the event.
+    pub flash_set_hit_rate: f64,
+    /// The object model used.
+    pub n_objects: usize,
+}
+
+impl CacheHostExperiment {
+    /// Run the experiment.
+    pub fn run(&self, s: &Substrate, seeds: &SeedDomain) -> CacheHostResult {
+        let rank = self.service.index();
+        let model = ObjectModel::typical(self.service, rank);
+        let _ = s; // arrival *rates* don't change hit ratios under IRM
+        let mut rng = seeds.child("cache-host").rng("requests");
+        let mut cache = LruCache::new(self.capacity);
+
+        // Warm-up.
+        for _ in 0..self.warmup_requests {
+            cache.request(model.draw_object(&mut rng));
+        }
+
+        // Normal phase.
+        cache.reset_counters();
+        for _ in 0..self.phase_requests {
+            cache.request(model.draw_object(&mut rng));
+        }
+        let normal_hit_rate = cache.hit_rate();
+
+        // Flash phase.
+        cache.reset_counters();
+        let mut flash_hits = 0u64;
+        let mut flash_reqs = 0u64;
+        for _ in 0..self.phase_requests {
+            let obj = model.draw_object_flash(&mut rng, self.flash_share, self.flash_objects);
+            let is_flash = obj >= model.n_objects as u32;
+            let hit = cache.request(obj);
+            if is_flash {
+                flash_reqs += 1;
+                if hit {
+                    flash_hits += 1;
+                }
+            }
+        }
+
+        CacheHostResult {
+            normal_hit_rate,
+            che_prediction: model.che_hit_rate(self.capacity),
+            flash_hit_rate: cache.hit_rate(),
+            flash_set_hit_rate: if flash_reqs > 0 {
+                flash_hits as f64 / flash_reqs as f64
+            } else {
+                0.0
+            },
+            n_objects: model.n_objects,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::SubstrateConfig;
+    use crate::Substrate;
+
+    #[test]
+    fn lru_semantics() {
+        let mut c = LruCache::new(2);
+        assert!(!c.request(1)); // miss
+        assert!(!c.request(2)); // miss
+        assert!(c.request(1)); // hit
+        assert!(!c.request(3)); // miss, evicts 2 (LRU)
+        assert!(c.request(1)); // still cached
+        assert!(!c.request(2)); // was evicted
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut c = LruCache::new(0);
+        for i in 0..10 {
+            assert!(!c.request(i % 2));
+        }
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn measured_hit_rate_matches_che() {
+        let s = Substrate::build(SubstrateConfig::small(), 171).unwrap();
+        let exp = CacheHostExperiment {
+            service: ServiceId(0),
+            capacity: 2_000,
+            warmup_requests: 40_000,
+            phase_requests: 40_000,
+            flash_share: 0.5,
+            flash_objects: 8,
+        };
+        let r = exp.run(&s, &SeedDomain::new(171));
+        assert!(
+            (r.normal_hit_rate - r.che_prediction).abs() < 0.08,
+            "measured {:.3} vs Che {:.3}",
+            r.normal_hit_rate,
+            r.che_prediction
+        );
+    }
+
+    #[test]
+    fn flash_events_are_highly_cacheable() {
+        // §3.2.3's intuition: flash traffic concentrates on few objects,
+        // so caches absorb it — overall hit rate *rises* during a flash.
+        let s = Substrate::build(SubstrateConfig::small(), 173).unwrap();
+        let r = CacheHostExperiment::typical(ServiceId(0)).run(&s, &SeedDomain::new(173));
+        assert!(
+            r.flash_hit_rate > r.normal_hit_rate,
+            "flash {:.3} vs normal {:.3}",
+            r.flash_hit_rate,
+            r.normal_hit_rate
+        );
+        assert!(r.flash_set_hit_rate > 0.95, "{:.3}", r.flash_set_hit_rate);
+    }
+}

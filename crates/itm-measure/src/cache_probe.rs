@@ -1,0 +1,254 @@
+//! ECS cache probing of the open resolver (§3.1.2, approach 1).
+//!
+//! "By iterating over all routable prefixes, our methods identified client
+//! activity in prefixes representing 95% of Microsoft CDN traffic."
+//!
+//! The campaign iterates every routable /24 (from public BGP data — in the
+//! substrate, the prefix table), probing the open resolver non-recursively
+//! for a list of popular domains with the prefix in the ECS option,
+//! several times per day. A prefix with at least one hit is *discovered*;
+//! hit counts feed the relative-activity estimator (Fig. 2).
+
+use crate::substrate::Substrate;
+use itm_dns::{OpenResolver, ProbeResult};
+use itm_types::{Asn, PopId, PrefixId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheProbeCampaign {
+    /// How many of the most popular ECS-supporting domains to probe.
+    pub n_domains: usize,
+    /// Probe rounds per day (each round probes every prefix × domain).
+    pub rounds_per_day: u32,
+    /// Campaign length.
+    pub duration: SimDuration,
+    /// Campaign start.
+    pub start: SimTime,
+}
+
+impl Default for CacheProbeCampaign {
+    fn default() -> Self {
+        CacheProbeCampaign {
+            n_domains: 10,
+            rounds_per_day: 8,
+            duration: SimDuration::days(1),
+            start: SimTime::ZERO,
+        }
+    }
+}
+
+/// Campaign output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheProbeResult {
+    /// Prefixes with at least one cache hit.
+    pub discovered: HashSet<PrefixId>,
+    /// Hits per prefix (discovery strength / activity signal).
+    pub hits_by_prefix: HashMap<PrefixId, u32>,
+    /// Probes issued per prefix (denominator for hit rates).
+    pub probes_per_prefix: u32,
+    /// Distinct discovered prefixes per open-resolver PoP (Figure 1a).
+    pub discovered_by_pop: HashMap<PopId, u32>,
+    /// The domains probed.
+    pub domains: Vec<String>,
+}
+
+impl CacheProbeCampaign {
+    /// The domain list a real campaign would use: the most popular sites
+    /// that support ECS (non-ECS domains give no per-prefix signal, so
+    /// campaigns skip them).
+    pub fn pick_domains(&self, s: &Substrate) -> Vec<String> {
+        s.catalog
+            .services
+            .iter()
+            .filter(|svc| svc.ecs_support)
+            .take(self.n_domains)
+            .map(|svc| svc.domain.clone())
+            .collect()
+    }
+
+    /// Run the campaign.
+    pub fn run(&self, s: &Substrate, resolver: &OpenResolver<'_>) -> CacheProbeResult {
+        let domains = self.pick_domains(s);
+        let rounds = (self.duration.as_secs() as f64 / 86_400.0
+            * self.rounds_per_day as f64)
+            .round()
+            .max(1.0) as u64;
+        let step = self.duration.as_secs() / rounds;
+
+        let mut discovered: HashSet<PrefixId> = HashSet::new();
+        let mut hits_by_prefix: HashMap<PrefixId, u32> = HashMap::new();
+        for round in 0..rounds {
+            let t = SimTime(self.start.as_secs() + round * step);
+            for rec in s.topo.prefixes.iter() {
+                for d in &domains {
+                    if let ProbeResult::Hit(_) = resolver.probe(rec.net, d, t) {
+                        discovered.insert(rec.id);
+                        *hits_by_prefix.entry(rec.id).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        let mut discovered_by_pop: HashMap<PopId, u32> = HashMap::new();
+        for &p in &discovered {
+            *discovered_by_pop.entry(resolver.pop_of(p)).or_insert(0) += 1;
+        }
+
+        CacheProbeResult {
+            discovered,
+            hits_by_prefix,
+            probes_per_prefix: (rounds as u32) * domains.len() as u32,
+            discovered_by_pop,
+            domains,
+        }
+    }
+}
+
+impl CacheProbeResult {
+    /// ASes with at least one discovered prefix.
+    pub fn discovered_ases(&self, s: &Substrate) -> HashSet<Asn> {
+        self.discovered
+            .iter()
+            .map(|&p| s.topo.prefixes.get(p).owner)
+            .collect()
+    }
+
+    /// Hit counts aggregated per AS (the Fig. 2 x-axis signal).
+    pub fn hits_by_as(&self, s: &Substrate) -> HashMap<Asn, u32> {
+        let mut out: HashMap<Asn, u32> = HashMap::new();
+        for (&p, &h) in &self.hits_by_prefix {
+            *out.entry(s.topo.prefixes.get(p).owner).or_insert(0) += h;
+        }
+        out
+    }
+
+    /// Hit *rate* per AS: hits / probes issued to that AS's prefixes.
+    pub fn hit_rate_by_as(&self, s: &Substrate) -> HashMap<Asn, f64> {
+        let hits = self.hits_by_as(s);
+        let mut out = HashMap::new();
+        for (asn, h) in hits {
+            let n_prefixes = s.topo.prefixes.owned_by(asn).len() as f64;
+            let probes = n_prefixes * self.probes_per_prefix as f64;
+            if probes > 0.0 {
+                out.insert(asn, h as f64 / probes);
+            }
+        }
+        out
+    }
+
+    /// False-discovery rate: fraction of discovered prefixes that host no
+    /// users at all (the "<1% of identified client prefixes did not
+    /// contact Microsoft" check from \[34\]).
+    pub fn false_discovery_rate(&self, s: &Substrate) -> f64 {
+        if self.discovered.is_empty() {
+            return 0.0;
+        }
+        let false_pos = self
+            .discovered
+            .iter()
+            .filter(|&&p| s.users.users_of(p) <= 0.0)
+            .count();
+        false_pos as f64 / self.discovered.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::SubstrateConfig;
+    use std::collections::HashSet as HS;
+
+    fn setup() -> Substrate {
+        Substrate::build(SubstrateConfig::small(), 103).unwrap()
+    }
+
+    #[test]
+    fn campaign_discovers_most_traffic() {
+        let s = setup();
+        let resolver = s.open_resolver();
+        let result = CacheProbeCampaign::default().run(&s, &resolver);
+        assert!(!result.discovered.is_empty());
+        // Traffic-weighted coverage should be high: busy prefixes are the
+        // easiest to discover (the paper's 95% result, shape-wise).
+        let cov = s.traffic.provider_coverage(
+            &s.topo,
+            &s.users,
+            &s.catalog,
+            &result.discovered,
+            None,
+        );
+        assert!(cov > 0.75, "coverage only {cov:.3}");
+        // And per-prefix recall is *lower* than traffic coverage (quiet
+        // prefixes get missed) — the whole point of traffic weighting.
+        let all_user: HS<PrefixId> = s.users.user_prefixes(&s.topo).collect();
+        let recall = result
+            .discovered
+            .iter()
+            .filter(|p| all_user.contains(p))
+            .count() as f64
+            / all_user.len() as f64;
+        assert!(recall < cov, "recall {recall:.3} vs coverage {cov:.3}");
+    }
+
+    #[test]
+    fn false_discovery_rate_is_tiny() {
+        let s = setup();
+        let resolver = s.open_resolver();
+        let result = CacheProbeCampaign::default().run(&s, &resolver);
+        let fdr = result.false_discovery_rate(&s);
+        assert!(fdr < 0.02, "FDR {fdr:.4}");
+    }
+
+    #[test]
+    fn hit_counts_track_activity() {
+        let s = setup();
+        let resolver = s.open_resolver();
+        let result = CacheProbeCampaign::default().run(&s, &resolver);
+        // Across discovered prefixes, hits should correlate with traffic.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (&p, &h) in &result.hits_by_prefix {
+            xs.push(s.traffic.prefix_total(p).raw());
+            ys.push(h as f64);
+        }
+        let rho = itm_types::stats::spearman(&xs, &ys).unwrap();
+        assert!(rho > 0.4, "spearman {rho:.3}");
+    }
+
+    #[test]
+    fn per_pop_counts_sum_to_discoveries() {
+        let s = setup();
+        let resolver = s.open_resolver();
+        let result = CacheProbeCampaign::default().run(&s, &resolver);
+        let sum: u32 = result.discovered_by_pop.values().sum();
+        assert_eq!(sum as usize, result.discovered.len());
+    }
+
+    #[test]
+    fn more_rounds_discover_no_less(){
+        let s = setup();
+        let resolver = s.open_resolver();
+        let short = CacheProbeCampaign {
+            rounds_per_day: 2,
+            ..Default::default()
+        }
+        .run(&s, &resolver);
+        let long = CacheProbeCampaign {
+            rounds_per_day: 16,
+            ..Default::default()
+        }
+        .run(&s, &resolver);
+        assert!(long.discovered.len() >= short.discovered.len());
+    }
+
+    #[test]
+    fn domain_list_is_ecs_only() {
+        let s = setup();
+        let c = CacheProbeCampaign::default();
+        for d in c.pick_domains(&s) {
+            assert!(s.catalog.by_domain(&d).unwrap().ecs_support);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Topology discovery from cloud vantage points (§3.3.2, E9 support).
+//!
+//! "Measuring out from cloud VMs uncovers most peering links between the
+//! cloud and users \[7\], and Reverse Traceroute can measure reverse paths
+//! \[36\]." The campaign launches VMs in every cloud AS, measures paths in
+//! both directions to every network, and reports the discovered links —
+//! the augmentation that makes public-view path prediction usable for
+//! cloud destinations.
+
+use crate::substrate::Substrate;
+use itm_routing::{GraphView, VantagePoints};
+use itm_topology::Link;
+use itm_types::{Asn, SeedDomain};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Output of the cloud probing campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CloudProbeResult {
+    /// Links discovered (canonical endpoint order).
+    pub links: HashSet<(Asn, Asn)>,
+    /// The vantage points used.
+    pub vantage: VantagePoints,
+}
+
+impl CloudProbeResult {
+    /// Run the campaign over the ground-truth view (the measurements see
+    /// real paths; only their *vantage* is limited).
+    pub fn run(s: &Substrate, view: &GraphView, seeds: &SeedDomain) -> CloudProbeResult {
+        let vantage = VantagePoints::typical(&s.topo, seeds);
+        let links = vantage.cloud_discovered_links(view);
+        CloudProbeResult { links, vantage }
+    }
+
+    /// The discovered links as `Link` values (relationships taken from
+    /// ground truth — campaigns infer them with standard algorithms; we
+    /// grant perfect inference, the optimistic case).
+    pub fn as_links<'a>(&self, s: &'a Substrate) -> Vec<Link> {
+        s.topo
+            .links
+            .iter()
+            .filter(|l| self.links.contains(&l.key()))
+            .copied()
+            .collect()
+    }
+
+    /// Fraction of the clouds' own peering links discovered.
+    pub fn cloud_peering_recall(&self, s: &Substrate) -> f64 {
+        let clouds: HashSet<Asn> = s.topo.clouds().into_iter().collect();
+        let relevant: Vec<_> = s
+            .topo
+            .links
+            .iter()
+            .filter(|l| l.is_peering() && (clouds.contains(&l.a) || clouds.contains(&l.b)))
+            .collect();
+        if relevant.is_empty() {
+            return 1.0;
+        }
+        let found = relevant
+            .iter()
+            .filter(|l| self.links.contains(&l.key()))
+            .count();
+        found as f64 / relevant.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::SubstrateConfig;
+
+    #[test]
+    fn discovers_most_cloud_peering() {
+        let s = Substrate::build(SubstrateConfig::small(), 137).unwrap();
+        let view = s.full_view();
+        let r = CloudProbeResult::run(&s, &view, &SeedDomain::new(137));
+        assert!(!r.links.is_empty());
+        let recall = r.cloud_peering_recall(&s);
+        assert!(recall > 0.5, "recall {recall:.3}");
+        // All discovered links are real.
+        for &(a, b) in &r.links {
+            assert!(s.topo.has_link(a, b));
+        }
+        // as_links round-trips the set.
+        assert_eq!(r.as_links(&s).len(), r.links.len());
+    }
+}

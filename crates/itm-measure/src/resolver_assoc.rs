@@ -1,0 +1,237 @@
+//! Associating recursive resolvers with their clients (§3.1.3, \[43\]).
+//!
+//! "Since logs capture the address of the recursive resolver (rather than
+//! of the client), we either need to make simplifying assumptions … or
+//! deploy techniques to associate recursive resolvers with their clients
+//! (e.g., embedding measurements of the associations in popular pages
+//! \[43\]). Such an association would enable joining of resolver-based
+//! techniques with client-based techniques."
+//!
+//! The technique: a popular page embeds a unique-per-visit hostname whose
+//! authoritative server the experimenters run. When a user loads the page,
+//! the experimenters observe (client address from the HTTP fetch, resolver
+//! egress address from the DNS query) — one association sample. Coverage
+//! is visit-driven: busy prefixes are observed early, quiet ones may never
+//! appear.
+//!
+//! The association is then used to *correct* root-log attribution: query
+//! counts from a known resolver egress are redistributed over that
+//! resolver's observed client ASes instead of being booked to the egress
+//! address's own AS.
+
+use crate::root_crawl::RootCrawlResult;
+use crate::substrate::Substrate;
+use itm_dns::{OpenResolver, RootLogs};
+use itm_topology::PrefixKind;
+use itm_types::{Asn, Ipv4Addr, SeedDomain};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Measured resolver→clients association.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResolverAssociation {
+    /// resolver egress address → (client AS → observed visit weight).
+    pub clients_of: HashMap<u32, HashMap<Asn, f64>>,
+    /// Number of prefixes observed at least once.
+    pub prefixes_observed: usize,
+}
+
+impl ResolverAssociation {
+    /// Run the instrumented-page campaign.
+    ///
+    /// `page_reach` scales how many visits the instrumented page gets: the
+    /// probability a prefix is observed is `1 − exp(−reach · activity)`,
+    /// so busy prefixes are seen almost surely and quiet ones rarely —
+    /// the realistic coverage profile of a page-based vantage.
+    pub fn measure(
+        s: &Substrate,
+        resolver: &OpenResolver<'_>,
+        page_reach: f64,
+        seeds: &SeedDomain,
+    ) -> ResolverAssociation {
+        let seeds = seeds.child("resolver-assoc");
+        let mut clients_of: HashMap<u32, HashMap<Asn, f64>> = HashMap::new();
+        let mut observed = 0usize;
+
+        // Mean prefix activity normalizer.
+        let mut total_activity = 0.0;
+        let mut n_user = 0usize;
+        for rec in s.topo.prefixes.iter() {
+            if rec.kind == PrefixKind::UserAccess {
+                total_activity += s.traffic.prefix_total(rec.id).raw();
+                n_user += 1;
+            }
+        }
+        let mean_activity = (total_activity / n_user.max(1) as f64).max(1.0);
+
+        for rec in s.topo.prefixes.iter() {
+            if rec.kind != PrefixKind::UserAccess {
+                continue;
+            }
+            let activity = s.traffic.prefix_total(rec.id).raw() / mean_activity;
+            let p_seen = 1.0 - (-page_reach * activity).exp();
+            let mut rng = seeds.rng_indexed("visit", rec.id.raw() as u64);
+            use rand::Rng;
+            if !rng.gen_bool(p_seen.clamp(0.0, 1.0)) {
+                continue;
+            }
+            observed += 1;
+            let users = s.users.users_of(rec.id);
+
+            // The prefix's ISP-resolver side.
+            let isp_share = s.resolvers.isp_share(rec.id);
+            if isp_share > 0.0 {
+                if let Some(res) = s.resolvers.resolver_of(rec.owner) {
+                    // Forwarders egress from the open resolver; their DNS
+                    // side is observed as the open egress instead.
+                    let egress = if res.forwards_to_open {
+                        resolver.pop_egress_addr(resolver.pop_of(rec.id))
+                    } else {
+                        res.addr
+                    };
+                    *clients_of
+                        .entry(egress.0)
+                        .or_default()
+                        .entry(rec.owner)
+                        .or_insert(0.0) += users * isp_share;
+                }
+            }
+            // The open-resolver side.
+            let open_share = s.resolvers.open_share(rec.id);
+            if open_share > 0.0 {
+                let egress = resolver.pop_egress_addr(resolver.pop_of(rec.id));
+                *clients_of
+                    .entry(egress.0)
+                    .or_default()
+                    .entry(rec.owner)
+                    .or_insert(0.0) += users * open_share;
+            }
+        }
+
+        ResolverAssociation {
+            clients_of,
+            prefixes_observed: observed,
+        }
+    }
+
+    /// The client-AS weight distribution behind a resolver egress.
+    pub fn clients(&self, egress: Ipv4Addr) -> Option<&HashMap<Asn, f64>> {
+        self.clients_of.get(&egress.0)
+    }
+
+    /// Re-attribute root-log query counts using the association: counts
+    /// from a known egress are split over its observed client ASes
+    /// proportionally to the observed visit weights; unknown egresses fall
+    /// back to the naive owner-AS attribution.
+    pub fn correct_attribution(&self, s: &Substrate, logs: &RootLogs) -> RootCrawlResult {
+        let mut queries_by_as: HashMap<Asn, f64> = HashMap::new();
+        let mut unmapped = 0usize;
+        for e in &logs.entries {
+            if let Some(dist) = self.clients(e.src) {
+                let total: f64 = dist.values().sum();
+                if total > 0.0 {
+                    for (&asn, &w) in dist {
+                        *queries_by_as.entry(asn).or_insert(0.0) +=
+                            e.queries * w / total;
+                    }
+                    continue;
+                }
+            }
+            match s.topo.prefixes.lookup(e.src) {
+                Some(rec) => {
+                    *queries_by_as.entry(rec.owner).or_insert(0.0) += e.queries;
+                }
+                None => unmapped += 1,
+            }
+        }
+        RootCrawlResult {
+            queries_by_as,
+            unmapped_sources: unmapped,
+            usable_fraction: logs.usable_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::root_crawl::RootCrawler;
+    use crate::substrate::SubstrateConfig;
+    use itm_dns::{RootLogs, RootServerSet};
+    use itm_types::SimDuration;
+    use std::collections::HashSet;
+
+    fn setup() -> Substrate {
+        Substrate::build(SubstrateConfig::small(), 179).unwrap()
+    }
+
+    #[test]
+    fn busy_prefixes_are_observed_first() {
+        let s = setup();
+        let resolver = s.open_resolver();
+        let assoc =
+            ResolverAssociation::measure(&s, &resolver, 1.0, &SeedDomain::new(179));
+        assert!(assoc.prefixes_observed > 0);
+        let total_user = s.users.user_prefixes(&s.topo).count();
+        assert!(assoc.prefixes_observed < total_user, "page saw everyone?");
+        // Higher reach observes at least as many prefixes.
+        let wide =
+            ResolverAssociation::measure(&s, &resolver, 20.0, &SeedDomain::new(179));
+        assert!(wide.prefixes_observed >= assoc.prefixes_observed);
+    }
+
+    #[test]
+    fn association_improves_root_attribution() {
+        let s = setup();
+        let resolver = s.open_resolver();
+        let logs = RootLogs::collect(
+            &s.topo,
+            &s.resolvers,
+            &s.chromium,
+            &resolver,
+            &RootServerSet::typical(),
+            SimDuration::days(2),
+            &s.seeds,
+        );
+        let naive = RootCrawler::default().crawl(&s, &logs);
+        let assoc =
+            ResolverAssociation::measure(&s, &resolver, 5.0, &SeedDomain::new(180));
+        let corrected = assoc.correct_attribution(&s, &logs);
+
+        let cov = |r: &RootCrawlResult| {
+            let ases: HashSet<Asn> = r.client_ases(&s).into_iter().collect();
+            s.traffic
+                .provider_coverage_as(&s.topo, &s.users, &s.catalog, &ases, None)
+        };
+        let c_naive = cov(&naive);
+        let c_corrected = cov(&corrected);
+        assert!(
+            c_corrected > c_naive,
+            "association should recover forwarder-hidden ASes: {c_naive:.3} -> {c_corrected:.3}"
+        );
+    }
+
+    #[test]
+    fn corrected_counts_conserve_mass_for_known_egresses() {
+        let s = setup();
+        let resolver = s.open_resolver();
+        let logs = RootLogs::collect(
+            &s.topo,
+            &s.resolvers,
+            &s.chromium,
+            &resolver,
+            &RootServerSet::typical(),
+            SimDuration::days(2),
+            &s.seeds,
+        );
+        let assoc =
+            ResolverAssociation::measure(&s, &resolver, 50.0, &SeedDomain::new(181));
+        let corrected = assoc.correct_attribution(&s, &logs);
+        let total_logged: f64 = logs.entries.iter().map(|e| e.queries).sum();
+        let total_attributed: f64 = corrected.queries_by_as.values().sum();
+        assert!(
+            (total_attributed - total_logged).abs() / total_logged < 1e-6,
+            "mass not conserved: {total_attributed} vs {total_logged}"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Route collectors and the publicly visible topology.
+//!
+//! Public BGP data comes from collectors (RouteViews/RIPE RIS) peered with
+//! a *biased* set of feeder networks — mostly transit providers, almost
+//! never eyeballs or hypergiant PNI partners. A link is publicly visible
+//! only if it appears on some feeder's best path. Since peering links are
+//! only exported to customers, a hypergiant↔eyeball PNI is visible only if
+//! a collector feeds from the eyeball (or its customer cone) — which is
+//! rare. This is the mechanism behind §1's "more than 90% of the IXP's
+//! peerings were not visible in public topologies" \[4\] and §3.3.1's
+//! "available vantage points cannot uncover most peering links" — and it
+//! falls out of the export rules rather than being hard-coded.
+
+use crate::bgp::RoutingTree;
+use crate::view::GraphView;
+use itm_topology::{AsClass, Link, LinkClass, Topology};
+use itm_types::rng::SeedDomain;
+use itm_types::Asn;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A set of collector feeder ASes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectorSet {
+    /// ASes providing full feeds to public collectors.
+    pub feeders: Vec<Asn>,
+}
+
+impl CollectorSet {
+    /// The default public-collector model: all tier-1s feed, a fraction of
+    /// transits feed, and a small number of stubs/eyeballs feed (the
+    /// occasional university/research network that peers with RIS).
+    pub fn typical(topo: &Topology, seeds: &SeedDomain) -> CollectorSet {
+        let mut rng = seeds.rng("collectors");
+        let mut feeders = Vec::new();
+        for a in &topo.ases {
+            let p = match a.class {
+                AsClass::Tier1 => 1.0,
+                AsClass::Transit => 0.25,
+                AsClass::Eyeball => 0.02,
+                AsClass::Stub => 0.01,
+                // Content networks do not feed public collectors.
+                AsClass::Hypergiant | AsClass::Cloud => 0.0,
+            };
+            if p > 0.0 && rng.gen_bool(p) {
+                feeders.push(a.asn);
+            }
+        }
+        CollectorSet { feeders }
+    }
+
+    /// A collector set with exactly `n` feeders drawn from the typical
+    /// distribution (for the D3 ablation sweep).
+    pub fn with_count(topo: &Topology, seeds: &SeedDomain, n: usize) -> CollectorSet {
+        let base = Self::typical(topo, seeds);
+        let mut feeders = base.feeders;
+        let mut rng = seeds.rng("collectors-truncate");
+        // Deterministic shuffle, then truncate/extend.
+        for i in (1..feeders.len()).rev() {
+            feeders.swap(i, rng.gen_range(0..=i));
+        }
+        while feeders.len() < n {
+            let cand = Asn(rng.gen_range(0..topo.n_ases() as u32));
+            if !feeders.contains(&cand) {
+                feeders.push(cand);
+            }
+        }
+        feeders.truncate(n);
+        feeders.sort_unstable();
+        CollectorSet { feeders }
+    }
+
+    /// Compute the set of links visible from these feeders.
+    ///
+    /// For every destination AS, every feeder's best path is walked and its
+    /// links marked visible. Cost: one routing tree per destination —
+    /// O(V·(V+E)) total; run it on release builds for big topologies.
+    pub fn visible_links(&self, topo: &Topology, view: &GraphView) -> HashSet<(Asn, Asn)> {
+        let mut visible: HashSet<(Asn, Asn)> = HashSet::new();
+        for dst_i in 0..topo.n_ases() {
+            let dst = Asn(dst_i as u32);
+            let tree = RoutingTree::compute(view, dst);
+            for &f in &self.feeders {
+                if let Some(path) = tree.path(f) {
+                    for w in path.windows(2) {
+                        let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+                        visible.insert(key);
+                    }
+                }
+            }
+        }
+        visible
+    }
+
+    /// The archived RIB: every feeder's best AS path to every destination
+    /// — the raw material public archives actually contain, and what
+    /// relationship inference ([`crate::relationships`]) consumes.
+    pub fn archived_paths(&self, topo: &Topology, view: &GraphView) -> Vec<Vec<Asn>> {
+        let mut paths = Vec::new();
+        for dst_i in 0..topo.n_ases() {
+            let tree = RoutingTree::compute(view, Asn(dst_i as u32));
+            for &f in &self.feeders {
+                if let Some(p) = tree.path(f) {
+                    if p.len() >= 2 {
+                        paths.push(p);
+                    }
+                }
+            }
+        }
+        paths
+    }
+
+    /// Build the *public view*: the ground-truth graph restricted to
+    /// visible links (relationship labels assumed correctly inferred, the
+    /// optimistic case for the prediction experiment).
+    pub fn public_view(&self, topo: &Topology) -> (GraphView, VisibilityReport) {
+        let full = GraphView::full(topo);
+        let visible = self.visible_links(topo, &full);
+        let vis_links: Vec<&Link> = topo
+            .links
+            .iter()
+            .filter(|l| visible.contains(&l.key()))
+            .collect();
+        let report = VisibilityReport::build(topo, &visible);
+        (
+            GraphView::from_links(topo.n_ases(), vis_links.into_iter()),
+            report,
+        )
+    }
+}
+
+/// Per-link-class visibility statistics (E12).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VisibilityReport {
+    /// (class label, total links, visible links).
+    pub by_class: Vec<(String, usize, usize)>,
+    /// Total ground-truth links.
+    pub total: usize,
+    /// Total visible links.
+    pub visible: usize,
+}
+
+impl VisibilityReport {
+    fn build(topo: &Topology, visible: &HashSet<(Asn, Asn)>) -> VisibilityReport {
+        let classes: [(&str, fn(&Link) -> bool); 4] = [
+            ("transit", |l| matches!(l.class, LinkClass::Transit)),
+            ("public-peering", |l| {
+                matches!(l.class, LinkClass::PublicPeering(_))
+            }),
+            ("private-peering", |l| {
+                matches!(l.class, LinkClass::PrivatePeering(_))
+            }),
+            ("all-peering", |l| l.is_peering()),
+        ];
+        let mut by_class = Vec::new();
+        for (label, pred) in classes {
+            let total = topo.links.iter().filter(|l| pred(l)).count();
+            let vis = topo
+                .links
+                .iter()
+                .filter(|l| pred(l) && visible.contains(&l.key()))
+                .count();
+            by_class.push((label.to_string(), total, vis));
+        }
+        VisibilityReport {
+            by_class,
+            total: topo.links.len(),
+            visible: topo
+                .links
+                .iter()
+                .filter(|l| visible.contains(&l.key()))
+                .count(),
+        }
+    }
+
+    /// Fraction of links of a class that are invisible.
+    pub fn invisible_fraction(&self, class_label: &str) -> Option<f64> {
+        self.by_class
+            .iter()
+            .find(|(l, _, _)| l == class_label)
+            .map(|(_, total, vis)| {
+                if *total == 0 {
+                    0.0
+                } else {
+                    1.0 - *vis as f64 / *total as f64
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itm_topology::{generate, TopologyConfig};
+
+    fn setup() -> Topology {
+        generate(&TopologyConfig::small(), 5).unwrap()
+    }
+
+    #[test]
+    fn typical_feeders_are_transit_biased() {
+        let t = setup();
+        let c = CollectorSet::typical(&t, &SeedDomain::new(1));
+        assert!(!c.feeders.is_empty());
+        let transit_or_t1 = c
+            .feeders
+            .iter()
+            .filter(|&&f| {
+                matches!(
+                    t.as_info(f).class,
+                    AsClass::Tier1 | AsClass::Transit
+                )
+            })
+            .count();
+        assert!(transit_or_t1 * 2 > c.feeders.len(), "feeders not transit-biased");
+        // No content feeders ever.
+        assert!(c
+            .feeders
+            .iter()
+            .all(|&f| !t.as_info(f).class.is_content()));
+    }
+
+    #[test]
+    fn visibility_misses_most_private_peering() {
+        let t = setup();
+        let c = CollectorSet::typical(&t, &SeedDomain::new(1));
+        let (_, report) = c.public_view(&t);
+        // Transit links are nearly all visible (they're on paths up to the
+        // tier-1 feeders).
+        let transit_invisible = report.invisible_fraction("transit").unwrap();
+        assert!(transit_invisible < 0.30, "transit invisible {transit_invisible}");
+        // Peering is mostly invisible — the paper's 90% claim, shape-wise.
+        let peering_invisible = report.invisible_fraction("all-peering").unwrap();
+        assert!(
+            peering_invisible > 0.5,
+            "peering invisible only {peering_invisible}"
+        );
+        assert!(peering_invisible > transit_invisible);
+    }
+
+    #[test]
+    fn with_count_is_exact_and_deterministic() {
+        let t = setup();
+        let a = CollectorSet::with_count(&t, &SeedDomain::new(2), 10);
+        let b = CollectorSet::with_count(&t, &SeedDomain::new(2), 10);
+        assert_eq!(a.feeders, b.feeders);
+        assert_eq!(a.feeders.len(), 10);
+    }
+
+    #[test]
+    fn more_feeders_see_more() {
+        let t = setup();
+        let view = GraphView::full(&t);
+        let small = CollectorSet::with_count(&t, &SeedDomain::new(3), 3);
+        let big = CollectorSet::with_count(&t, &SeedDomain::new(3), 40);
+        let vs = small.visible_links(&t, &view);
+        let vb = big.visible_links(&t, &view);
+        assert!(vb.len() > vs.len(), "{} !> {}", vb.len(), vs.len());
+    }
+
+    #[test]
+    fn visible_links_are_real_links() {
+        let t = setup();
+        let view = GraphView::full(&t);
+        let c = CollectorSet::with_count(&t, &SeedDomain::new(4), 8);
+        for (a, b) in c.visible_links(&t, &view) {
+            assert!(t.has_link(a, b), "phantom link {a}–{b}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Graph views: the adjacency structure route computation runs over.
+//!
+//! Route prediction in the paper fails precisely because the *view* is
+//! incomplete ("available vantage points cannot uncover most peering links
+//! for large content providers", §3.3.1). Separating the view from the
+//! algorithm lets the same BGP code run over ground truth, over a
+//! collector-visible subset, or over a recommender-augmented topology.
+
+use itm_topology::{AsRel, Link, NeighborKind, Topology};
+use itm_types::Asn;
+
+/// A (possibly partial) AS-level graph with relationship labels.
+#[derive(Debug, Clone)]
+pub struct GraphView {
+    /// adjacency[asn] = (neighbor, our relationship to it), sorted by ASN.
+    adjacency: Vec<Vec<(Asn, NeighborKind)>>,
+}
+
+impl GraphView {
+    /// Number of AS slots (dense ASNs).
+    pub fn n_ases(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Neighbors of `asn` with perspective-relative relationships.
+    pub fn neighbors(&self, asn: Asn) -> &[(Asn, NeighborKind)] {
+        &self.adjacency[asn.index()]
+    }
+
+    /// The complete ground-truth view of a topology.
+    pub fn full(topo: &Topology) -> GraphView {
+        let adjacency = topo
+            .ases
+            .iter()
+            .map(|a| {
+                topo.neighbors(a.asn)
+                    .iter()
+                    .map(|n| (n.asn, n.kind))
+                    .collect()
+            })
+            .collect();
+        GraphView { adjacency }
+    }
+
+    /// A view over an explicit link list (e.g. only publicly visible
+    /// links). `n_ases` must cover every ASN referenced.
+    pub fn from_links<'a>(n_ases: usize, links: impl IntoIterator<Item = &'a Link>) -> GraphView {
+        let mut adjacency: Vec<Vec<(Asn, NeighborKind)>> = vec![Vec::new(); n_ases];
+        for l in links {
+            match l.rel {
+                AsRel::CustomerToProvider => {
+                    adjacency[l.a.index()].push((l.b, NeighborKind::Provider));
+                    adjacency[l.b.index()].push((l.a, NeighborKind::Customer));
+                }
+                AsRel::PeerToPeer => {
+                    adjacency[l.a.index()].push((l.b, NeighborKind::Peer));
+                    adjacency[l.b.index()].push((l.a, NeighborKind::Peer));
+                }
+            }
+        }
+        for adj in &mut adjacency {
+            adj.sort_by_key(|(asn, _)| *asn);
+            adj.dedup();
+        }
+        GraphView { adjacency }
+    }
+
+    /// A copy of this view with extra links added (used to test
+    /// recommender-completed topologies, E10).
+    pub fn with_extra_links<'a>(&self, links: impl IntoIterator<Item = &'a Link>) -> GraphView {
+        let mut v = self.clone();
+        for l in links {
+            match l.rel {
+                AsRel::CustomerToProvider => {
+                    v.adjacency[l.a.index()].push((l.b, NeighborKind::Provider));
+                    v.adjacency[l.b.index()].push((l.a, NeighborKind::Customer));
+                }
+                AsRel::PeerToPeer => {
+                    v.adjacency[l.a.index()].push((l.b, NeighborKind::Peer));
+                    v.adjacency[l.b.index()].push((l.a, NeighborKind::Peer));
+                }
+            }
+        }
+        for adj in &mut v.adjacency {
+            adj.sort_by_key(|(asn, _)| *asn);
+            adj.dedup();
+        }
+        v
+    }
+
+    /// Total number of directed adjacency entries (2× the link count).
+    pub fn n_edges_directed(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+
+    /// Whether an (undirected) adjacency exists between `x` and `y`.
+    pub fn has_edge(&self, x: Asn, y: Asn) -> bool {
+        self.adjacency[x.index()]
+            .binary_search_by_key(&y, |(a, _)| *a)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itm_topology::{generate, LinkClass, TopologyConfig};
+
+    #[test]
+    fn full_view_matches_topology() {
+        let t = generate(&TopologyConfig::small(), 1).unwrap();
+        let v = GraphView::full(&t);
+        assert_eq!(v.n_ases(), t.n_ases());
+        assert_eq!(v.n_edges_directed(), 2 * t.links.len());
+        for l in &t.links {
+            assert!(v.has_edge(l.a, l.b));
+            assert!(v.has_edge(l.b, l.a));
+        }
+    }
+
+    #[test]
+    fn from_links_builds_symmetric_adjacency() {
+        let links = vec![
+            Link::transit(Asn(1), Asn(0)),
+            Link::peering(Asn(1), Asn(2), LinkClass::Transit),
+        ];
+        let v = GraphView::from_links(3, &links);
+        assert_eq!(v.neighbors(Asn(0)), &[(Asn(1), NeighborKind::Customer)]);
+        assert_eq!(
+            v.neighbors(Asn(1)),
+            &[(Asn(0), NeighborKind::Provider), (Asn(2), NeighborKind::Peer)]
+        );
+        assert_eq!(v.neighbors(Asn(2)), &[(Asn(1), NeighborKind::Peer)]);
+        assert!(!v.has_edge(Asn(0), Asn(2)));
+    }
+
+    #[test]
+    fn with_extra_links_augments() {
+        let base = GraphView::from_links(3, &[Link::transit(Asn(1), Asn(0))]);
+        let aug = base.with_extra_links(&[Link::peering(Asn(0), Asn(2), LinkClass::Transit)]);
+        assert!(aug.has_edge(Asn(0), Asn(2)));
+        assert!(!base.has_edge(Asn(0), Asn(2)));
+        // Duplicates collapse.
+        let dup = aug.with_extra_links(&[Link::peering(Asn(0), Asn(2), LinkClass::Transit)]);
+        assert_eq!(dup.neighbors(Asn(2)).len(), 1);
+    }
+}

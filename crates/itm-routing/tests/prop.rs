@@ -1,0 +1,167 @@
+//! Property-based tests for route computation: the Gao–Rexford invariants
+//! must hold on *every* topology the generator can produce, and on random
+//! synthetic graphs.
+
+use itm_routing::{GraphView, RouteKind, RoutingTree};
+use itm_topology::{generate, Link, LinkClass, NeighborKind, TopologyConfig};
+use itm_types::Asn;
+use proptest::prelude::*;
+
+/// Build a random small connected policy graph: node 0 is the root
+/// provider; every node i>0 buys transit from some j<i; extra peer links
+/// sprinkle on top.
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<Link>)> {
+    (3usize..24).prop_flat_map(|n| {
+        let providers: Vec<BoxedStrategy<u32>> = (1..n)
+            .map(|i| (0..i as u32).boxed())
+            .collect();
+        let peers = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n);
+        (providers, peers).prop_map(move |(prov, peers)| {
+            let mut links: Vec<Link> = prov
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Link::transit(Asn(i as u32 + 1), Asn(p)))
+                .collect();
+            for (a, b) in peers {
+                if a != b && !links.iter().any(|l| l.key() == Link::peering(Asn(a), Asn(b), LinkClass::Transit).key()) {
+                    links.push(Link::peering(Asn(a), Asn(b), LinkClass::Transit));
+                }
+            }
+            (n, links)
+        })
+    })
+}
+
+/// Check that a path is valley-free and matches the view's relationships:
+/// once the path goes "down" (provider→customer) or crosses a peer link,
+/// it may never go "up" or cross another peer link again.
+fn assert_valley_free(view: &GraphView, path: &[Asn]) {
+    let mut descended = false;
+    let mut peered = false;
+    for w in path.windows(2) {
+        let kind = view
+            .neighbors(w[0])
+            .iter()
+            .find(|(n, _)| *n == w[1])
+            .map(|(_, k)| *k)
+            .expect("path uses real links");
+        match kind {
+            // w[0] -> its provider: going up.
+            NeighborKind::Provider => {
+                assert!(!descended && !peered, "valley in path {path:?}");
+            }
+            NeighborKind::Peer => {
+                assert!(!descended && !peered, "second lateral move in {path:?}");
+                peered = true;
+            }
+            NeighborKind::Customer => {
+                descended = true;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn routes_are_valley_free_on_random_graphs((n, links) in arb_graph()) {
+        let view = GraphView::from_links(n, &links);
+        for dst in 0..n {
+            let tree = RoutingTree::compute(&view, Asn(dst as u32));
+            for src in 0..n {
+                if let Some(path) = tree.path(Asn(src as u32)) {
+                    prop_assert_eq!(*path.first().unwrap(), Asn(src as u32));
+                    prop_assert_eq!(*path.last().unwrap(), Asn(dst as u32));
+                    // Loop-free.
+                    let mut sorted: Vec<Asn> = path.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    prop_assert_eq!(sorted.len(), path.len());
+                    assert_valley_free(&view, &path);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn everyone_reaches_everyone_via_transit_root((n, links) in arb_graph()) {
+        // The transit skeleton alone makes the graph connected (node 0 is
+        // an ancestor of everyone), so all destinations are reachable.
+        let view = GraphView::from_links(n, &links);
+        for dst in 0..n {
+            let tree = RoutingTree::compute(&view, Asn(dst as u32));
+            prop_assert_eq!(tree.reachable_count(), n, "dst {}", dst);
+        }
+    }
+
+    #[test]
+    fn route_lengths_are_consistent((n, links) in arb_graph()) {
+        let view = GraphView::from_links(n, &links);
+        for dst in 0..n.min(6) {
+            let tree = RoutingTree::compute(&view, Asn(dst as u32));
+            for src in 0..n {
+                if let Some(path) = tree.path(Asn(src as u32)) {
+                    prop_assert_eq!(
+                        path.len() as u32 - 1,
+                        tree.path_len(Asn(src as u32)).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preference_order_holds((n, links) in arb_graph()) {
+        // If an AS has a customer route available (a customer of it holds
+        // a route), it must never select a provider route *longer or
+        // equal*… stronger: selected kind must be the best available kind.
+        let view = GraphView::from_links(n, &links);
+        for dst in 0..n.min(5) {
+            let tree = RoutingTree::compute(&view, Asn(dst as u32));
+            for src in 0..n {
+                let Some(e) = tree.route(Asn(src as u32)) else { continue };
+                if e.kind == RouteKind::Origin {
+                    continue;
+                }
+                // Any neighbor relationship that would give a better kind?
+                for &(nb, kind) in view.neighbors(Asn(src as u32)) {
+                    let nb_route = tree.route(nb);
+                    let Some(nb_e) = nb_route else { continue };
+                    // A customer neighbor holding an exportable
+                    // (customer/origin) route implies src could have a
+                    // Customer-kind route; selection must then be Customer.
+                    if kind == NeighborKind::Customer
+                        && matches!(nb_e.kind, RouteKind::Origin | RouteKind::Customer)
+                    {
+                        // nb's route must not itself pass through src.
+                        let nb_path = tree.path(nb).unwrap();
+                        if !nb_path.contains(&Asn(src as u32)) {
+                            prop_assert_eq!(
+                                e.kind, RouteKind::Customer,
+                                "src {} picked {:?} despite customer route via {}",
+                                src, e.kind, nb
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_topologies_route_valley_free() {
+    // The generator's real output, not just synthetic graphs.
+    let topo = generate(&TopologyConfig::small(), 77).unwrap();
+    let view = GraphView::full(&topo);
+    for &hg in &topo.hypergiants() {
+        let tree = RoutingTree::compute(&view, hg);
+        assert_eq!(tree.reachable_count(), topo.n_ases());
+        for i in (0..topo.n_ases()).step_by(7) {
+            if let Some(path) = tree.path(Asn(i as u32)) {
+                assert_valley_free(&view, &path);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! An X.509-lite certificate model.
+//!
+//! Only the fields the measurement techniques read are modelled: the
+//! subject, the SAN list (which domains the cert is valid for), the
+//! issuer (which organization's CA signed it), and a serial acting as a
+//! fingerprint. Validity periods and chains are out of scope — the paper's
+//! techniques never inspect them.
+
+use serde::{Deserialize, Serialize};
+
+/// A leaf certificate as a scanner sees it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Subject common name.
+    pub subject: String,
+    /// Subject alternative names: every domain the cert is valid for.
+    pub san: Vec<String>,
+    /// Issuing organization (hypergiants run their own CAs; that issuer
+    /// string is the strongest ownership signal \[25\]).
+    pub issuer: String,
+    /// Serial number; stands in for the certificate fingerprint.
+    pub serial: u64,
+}
+
+impl Certificate {
+    /// Whether the certificate is valid for `domain` (exact SAN match; the
+    /// substrate does not generate wildcards).
+    pub fn covers(&self, domain: &str) -> bool {
+        self.san.iter().any(|d| d == domain)
+    }
+
+    /// Issuer organization for a hypergiant's private CA.
+    pub fn hypergiant_issuer(asn_raw: u32) -> String {
+        format!("HG{asn_raw} Trust Services")
+    }
+
+    /// Issuer for generic/public CAs used by cloud tenants.
+    pub fn public_issuer() -> String {
+        "Let's Simulate CA".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn san_matching() {
+        let c = Certificate {
+            subject: "svc0.example".into(),
+            san: vec!["svc0.example".into(), "svc3.example".into()],
+            issuer: Certificate::hypergiant_issuer(7),
+            serial: 42,
+        };
+        assert!(c.covers("svc0.example"));
+        assert!(c.covers("svc3.example"));
+        assert!(!c.covers("svc1.example"));
+    }
+
+    #[test]
+    fn issuers_are_distinct_per_hypergiant() {
+        assert_ne!(
+            Certificate::hypergiant_issuer(1),
+            Certificate::hypergiant_issuer(2)
+        );
+        assert_ne!(Certificate::hypergiant_issuer(1), Certificate::public_issuer());
+    }
+}

@@ -1,0 +1,34 @@
+//! # itm-tls — certificates, Internet-wide scans, and off-net detection
+//!
+//! §3.2.2, approach 1: "TLS certificates validate the owner of a resource.
+//! With the recent dramatic increase in web encryption, we used TLS scans
+//! to identify the global serving infrastructure of large content
+//! providers and CDNs" \[25\]. Approach 2 proposes SNI scans to find "which
+//! CDN or cloud IP addresses have the services' TLS certificates".
+//!
+//! This crate provides:
+//!
+//! * [`certs`]: an X.509-lite certificate model — subject, SAN list,
+//!   issuer, serial — enough structure for fingerprint matching.
+//! * [`hosts`]: the ground-truth TLS behaviour of every serving address:
+//!   hypergiant infrastructure (on-net and off-net) presents the
+//!   hypergiant's infrastructure certificate regardless of SNI; cloud
+//!   front-ends present tenant certificates only for the right SNI.
+//! * [`scanner`]: the scanning engine — a full-address-plan TLS sweep and
+//!   a domain-targeted SNI sweep, with a coverage knob (real scans miss
+//!   hosts behind filters).
+//! * [`offnet_detect`]: the \[25\]-style classifier that turns scan output
+//!   into per-hypergiant off-net footprints (Figure 1b's dots).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod certs;
+pub mod hosts;
+pub mod offnet_detect;
+pub mod scanner;
+
+pub use certs::Certificate;
+pub use hosts::{HostProfile, TlsHostRegistry};
+pub use offnet_detect::{detect_offnets, OffnetFinding};
+pub use scanner::{ScanConfig, ScanObservation, SniScan, TlsScan};

@@ -1,0 +1,254 @@
+//! Internet-wide TLS and SNI scanning.
+//!
+//! The scanner does what zgrab-style campaigns do: sweep the routed
+//! address plan attempting handshakes, recording any certificate
+//! presented. It has no ground-truth hit list — it tries a set of host
+//! offsets inside every routed /24 (serving hosts cluster at conventional
+//! offsets in the substrate, as real infra clusters in practice), and a
+//! coverage knob models hosts lost to filtering and transient failures.
+
+use crate::certs::Certificate;
+use crate::hosts::TlsHostRegistry;
+use itm_topology::Topology;
+use itm_types::rng::SeedDomain;
+use itm_types::Ipv4Addr;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Scan parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanConfig {
+    /// Host offsets probed inside each routed /24.
+    pub offsets: Vec<u32>,
+    /// Probability a listening host actually answers the scanner
+    /// (firewalls, rate limits, flaps).
+    pub response_rate: f64,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            // Offsets cover the substrate's serving conventions (10 for
+            // front-ends, 100.. for VIPs, 8/9 for resolver egress) plus a
+            // few that hit nothing — the scanner does not know which.
+            offsets: vec![1, 8, 9, 10, 53, 100, 101, 102, 240],
+            response_rate: 0.97,
+        }
+    }
+}
+
+/// One scan hit: an address that completed a handshake.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanObservation {
+    /// The responding address.
+    pub addr: Ipv4Addr,
+    /// The presented certificate.
+    pub cert: Certificate,
+}
+
+/// Results of a full (no-SNI) TLS sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TlsScan {
+    /// All hits, in address order.
+    pub observations: Vec<ScanObservation>,
+    /// How many addresses were attempted.
+    pub attempted: usize,
+}
+
+impl TlsScan {
+    /// Run the sweep over every routed /24 of the topology.
+    pub fn run(
+        topo: &Topology,
+        registry: &TlsHostRegistry,
+        cfg: &ScanConfig,
+        seeds: &SeedDomain,
+    ) -> TlsScan {
+        let mut rng = seeds.child("tls-scan").rng("sweep");
+        let mut observations = Vec::new();
+        let mut attempted = 0;
+        for r in topo.prefixes.iter() {
+            for &off in &cfg.offsets {
+                attempted += 1;
+                let addr = r.net.addr(off);
+                if let Some(cert) = registry.handshake(addr, None) {
+                    if rng.gen_bool(cfg.response_rate.clamp(0.0, 1.0)) {
+                        observations.push(ScanObservation {
+                            addr,
+                            cert: cert.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        observations.sort_by_key(|o| o.addr);
+        observations.dedup_by_key(|o| o.addr);
+        TlsScan {
+            observations,
+            attempted,
+        }
+    }
+
+    /// Hits presenting a certificate from a given issuer.
+    pub fn by_issuer<'a>(&'a self, issuer: &'a str) -> impl Iterator<Item = &'a ScanObservation> {
+        self.observations.iter().filter(move |o| o.cert.issuer == issuer)
+    }
+}
+
+/// Results of an SNI scan: for each target domain, the addresses that
+/// presented a valid certificate for it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SniScan {
+    /// domain -> responding addresses (sorted).
+    pub footprint: HashMap<String, Vec<Ipv4Addr>>,
+    /// How many (address, domain) handshakes were attempted.
+    pub attempted: usize,
+}
+
+impl SniScan {
+    /// Handshake every candidate address with each domain as SNI.
+    ///
+    /// `candidates` is typically the hit list from a prior [`TlsScan`]
+    /// (scanning the full plan times every domain would be prohibitively
+    /// loud, exactly as in practice).
+    pub fn run(
+        registry: &TlsHostRegistry,
+        candidates: &[Ipv4Addr],
+        domains: &[String],
+        cfg: &ScanConfig,
+        seeds: &SeedDomain,
+    ) -> SniScan {
+        let mut rng = seeds.child("sni-scan").rng("sweep");
+        let mut footprint: HashMap<String, Vec<Ipv4Addr>> = HashMap::new();
+        let mut attempted = 0;
+        for domain in domains {
+            let mut hits = Vec::new();
+            for &addr in candidates {
+                attempted += 1;
+                if let Some(cert) = registry.handshake(addr, Some(domain)) {
+                    if cert.covers(domain) && rng.gen_bool(cfg.response_rate.clamp(0.0, 1.0)) {
+                        hits.push(addr);
+                    }
+                }
+            }
+            hits.sort_unstable();
+            footprint.insert(domain.clone(), hits);
+        }
+        SniScan {
+            footprint,
+            attempted,
+        }
+    }
+
+    /// Addresses serving a domain.
+    pub fn addresses_of(&self, domain: &str) -> &[Ipv4Addr] {
+        self.footprint
+            .get(domain)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itm_dns::FrontendDirectory;
+    use itm_topology::{generate, TopologyConfig};
+    use itm_traffic::{ServiceCatalog, ServiceCatalogConfig, ServiceOwner};
+
+    struct Fixture {
+        topo: Topology,
+        catalog: ServiceCatalog,
+        registry: TlsHostRegistry,
+    }
+
+    fn fixture() -> Fixture {
+        let topo = generate(&TopologyConfig::small(), 67).unwrap();
+        let catalog =
+            ServiceCatalog::generate(&ServiceCatalogConfig::small(), &topo, &SeedDomain::new(67));
+        let frontends = FrontendDirectory::build(&topo, &catalog);
+        let registry = TlsHostRegistry::build(&topo, &catalog, &frontends);
+        Fixture {
+            topo,
+            catalog,
+            registry,
+        }
+    }
+
+    #[test]
+    fn full_sweep_finds_most_hypergiant_infra() {
+        let f = fixture();
+        let scan = TlsScan::run(
+            &f.topo,
+            &f.registry,
+            &ScanConfig::default(),
+            &SeedDomain::new(1),
+        );
+        assert!(scan.attempted > 0);
+        assert!(!scan.observations.is_empty());
+        // With response_rate 0.97 and covering offsets, we should see at
+        // least 90% of registered TLS hosts.
+        let total = f.registry.len();
+        let frac = scan.observations.len() as f64 / total as f64;
+        assert!(frac > 0.85, "saw {frac:.2} of hosts");
+    }
+
+    #[test]
+    fn deterministic_scan() {
+        let f = fixture();
+        let a = TlsScan::run(&f.topo, &f.registry, &ScanConfig::default(), &SeedDomain::new(2));
+        let b = TlsScan::run(&f.topo, &f.registry, &ScanConfig::default(), &SeedDomain::new(2));
+        assert_eq!(a.observations.len(), b.observations.len());
+        for (x, y) in a.observations.iter().zip(&b.observations) {
+            assert_eq!(x.addr, y.addr);
+        }
+    }
+
+    #[test]
+    fn zero_response_rate_sees_nothing() {
+        let f = fixture();
+        let cfg = ScanConfig {
+            response_rate: 0.0,
+            ..Default::default()
+        };
+        let scan = TlsScan::run(&f.topo, &f.registry, &cfg, &SeedDomain::new(3));
+        assert!(scan.observations.is_empty());
+    }
+
+    #[test]
+    fn sni_scan_recovers_cloud_tenants() {
+        let f = fixture();
+        let scan = TlsScan::run(
+            &f.topo,
+            &f.registry,
+            &ScanConfig::default(),
+            &SeedDomain::new(4),
+        );
+        let candidates: Vec<Ipv4Addr> = scan.observations.iter().map(|o| o.addr).collect();
+        let domains: Vec<String> = f
+            .catalog
+            .services
+            .iter()
+            .map(|s| s.domain.clone())
+            .collect();
+        let sni = SniScan::run(
+            &f.registry,
+            &candidates,
+            &domains,
+            &ScanConfig::default(),
+            &SeedDomain::new(4),
+        );
+        // Every cloud tenant should have a non-empty footprint.
+        for s in &f.catalog.services {
+            if matches!(s.owner, ServiceOwner::CloudTenant { .. }) {
+                assert!(
+                    !sni.addresses_of(&s.domain).is_empty(),
+                    "{} footprint empty",
+                    s.domain
+                );
+            }
+        }
+        assert!(sni.attempted >= candidates.len());
+        assert!(sni.addresses_of("unknown.example").is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Customer-cone computation.
+//!
+//! An AS's customer cone is the set of ASes reachable by walking only
+//! provider→customer edges (itself included). Cone size is the classic
+//! proxy for transit importance (Luckie et al. \[41\]) and one of the
+//! features §3.3.3 proposes feeding the peering recommender.
+
+use crate::link::{AsRel, Link};
+use itm_types::Asn;
+
+/// Customer cones for every AS, plus the provider/customer adjacency used
+/// to compute them.
+#[derive(Debug, Clone)]
+pub struct CustomerCones {
+    /// customers[asn] = direct customers of asn.
+    customers: Vec<Vec<Asn>>,
+    /// cone_size[asn] = |customer cone of asn| (including itself).
+    cone_size: Vec<usize>,
+}
+
+impl CustomerCones {
+    /// Compute cones over the ground-truth link set for `n_ases` dense ASNs.
+    ///
+    /// The provider graph is a DAG by construction in the generator (a
+    /// customer's index class is always "below" its provider's), but this
+    /// routine tolerates arbitrary graphs by memoizing with a visited set
+    /// per root (cost O(V·(V+E)) worst case; fine at our scales because
+    /// cones are shallow).
+    pub fn compute(n_ases: usize, links: &[Link]) -> CustomerCones {
+        let mut customers: Vec<Vec<Asn>> = vec![Vec::new(); n_ases];
+        for l in links {
+            if l.rel == AsRel::CustomerToProvider {
+                // a = customer, b = provider
+                customers[l.b.index()].push(l.a);
+            }
+        }
+        for c in &mut customers {
+            c.sort_unstable();
+            c.dedup();
+        }
+
+        let mut cone_size = vec![0usize; n_ases];
+        let mut visited = vec![u32::MAX; n_ases];
+        for root in 0..n_ases {
+            // Iterative DFS from root over customer edges.
+            let mut stack = vec![root];
+            let mut count = 0usize;
+            while let Some(u) = stack.pop() {
+                if visited[u] == root as u32 {
+                    continue;
+                }
+                visited[u] = root as u32;
+                count += 1;
+                for &c in &customers[u] {
+                    if visited[c.index()] != root as u32 {
+                        stack.push(c.index());
+                    }
+                }
+            }
+            cone_size[root] = count;
+        }
+
+        CustomerCones {
+            customers,
+            cone_size,
+        }
+    }
+
+    /// Direct customers of `asn`.
+    pub fn direct_customers(&self, asn: Asn) -> &[Asn] {
+        &self.customers[asn.index()]
+    }
+
+    /// Size of `asn`'s customer cone (including itself; a stub has cone 1).
+    pub fn cone_size(&self, asn: Asn) -> usize {
+        self.cone_size[asn.index()]
+    }
+
+    /// The full cone membership of `asn`, computed on demand.
+    pub fn cone_members(&self, asn: Asn) -> Vec<Asn> {
+        let mut seen = vec![false; self.customers.len()];
+        let mut stack = vec![asn.index()];
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            if seen[u] {
+                continue;
+            }
+            seen[u] = true;
+            out.push(Asn(u as u32));
+            for &c in &self.customers[u] {
+                if !seen[c.index()] {
+                    stack.push(c.index());
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+
+    /// 0 is provider of 1 and 2; 1 is provider of 3; 2 and 3 peer.
+    fn sample() -> Vec<Link> {
+        vec![
+            Link::transit(Asn(1), Asn(0)),
+            Link::transit(Asn(2), Asn(0)),
+            Link::transit(Asn(3), Asn(1)),
+            Link::peering(Asn(2), Asn(3), crate::link::LinkClass::Transit),
+        ]
+    }
+
+    #[test]
+    fn cone_sizes() {
+        let c = CustomerCones::compute(4, &sample());
+        assert_eq!(c.cone_size(Asn(0)), 4);
+        assert_eq!(c.cone_size(Asn(1)), 2);
+        assert_eq!(c.cone_size(Asn(2)), 1);
+        assert_eq!(c.cone_size(Asn(3)), 1);
+    }
+
+    #[test]
+    fn peering_does_not_extend_cones() {
+        // 2–3 peer link must not put 3 into 2's cone.
+        let c = CustomerCones::compute(4, &sample());
+        assert_eq!(c.cone_members(Asn(2)), vec![Asn(2)]);
+    }
+
+    #[test]
+    fn members_and_direct_customers() {
+        let c = CustomerCones::compute(4, &sample());
+        assert_eq!(c.cone_members(Asn(0)), vec![Asn(0), Asn(1), Asn(2), Asn(3)]);
+        assert_eq!(c.direct_customers(Asn(0)), &[Asn(1), Asn(2)]);
+        assert_eq!(c.direct_customers(Asn(3)), &[] as &[Asn]);
+    }
+
+    #[test]
+    fn multihoming_counts_once() {
+        // 2 buys from both 0 and 1; 0 is provider of 1.
+        let links = vec![
+            Link::transit(Asn(1), Asn(0)),
+            Link::transit(Asn(2), Asn(0)),
+            Link::transit(Asn(2), Asn(1)),
+        ];
+        let c = CustomerCones::compute(3, &links);
+        assert_eq!(c.cone_size(Asn(0)), 3); // not 4
+    }
+}

@@ -1,0 +1,202 @@
+//! Topology generator configuration.
+
+use itm_types::geo::WorldConfig;
+use itm_types::{ItmError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for [`crate::generate`].
+///
+/// Defaults produce a mid-size Internet (≈2,000 ASes, ≈60k routed /24s)
+/// that exhibits all the structural phenomena the experiments need while
+/// building in well under a second. `TopologyConfig::small()` is for unit
+/// tests; `TopologyConfig::large()` approaches published Internet scale
+/// ratios for the headline benchmark runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// World (countries, cities) generation parameters.
+    pub world: WorldConfig,
+    /// Number of tier-1 backbone networks (full clique).
+    pub n_tier1: usize,
+    /// Number of transit providers.
+    pub n_transit: usize,
+    /// Number of eyeball/access networks.
+    pub n_eyeball: usize,
+    /// Number of stub/enterprise networks.
+    pub n_stub: usize,
+    /// Number of hypergiant content providers.
+    pub n_hypergiant: usize,
+    /// Number of public cloud providers.
+    pub n_cloud: usize,
+
+    /// Facilities per city are drawn in `0..=max_facilities_per_city`,
+    /// weighted by city size.
+    pub max_facilities_per_city: usize,
+    /// Fraction of cities (largest first) that host an IXP.
+    pub ixp_city_fraction: f64,
+
+    /// Mean transit providers for a multihomed network.
+    pub mean_providers: f64,
+    /// Global scale on peering propensity (1.0 = calibrated default).
+    pub peering_intensity: f64,
+    /// Fraction of eyeball ASes in which each hypergiant attempts to place
+    /// an off-net cache (largest eyeballs first): the consolidation knob.
+    pub offnet_reach: f64,
+
+    /// Mean /24s allocated to an eyeball AS (log-normal around this).
+    pub eyeball_mean_prefixes: f64,
+    /// Mean /24s for a stub.
+    pub stub_mean_prefixes: f64,
+    /// Mean hosting /24s for hypergiants/clouds.
+    pub content_mean_prefixes: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            world: WorldConfig::default(),
+            n_tier1: 10,
+            n_transit: 180,
+            n_eyeball: 800,
+            n_stub: 1000,
+            n_hypergiant: 8,
+            n_cloud: 4,
+            max_facilities_per_city: 3,
+            ixp_city_fraction: 0.25,
+            mean_providers: 1.8,
+            peering_intensity: 1.0,
+            offnet_reach: 0.45,
+            eyeball_mean_prefixes: 40.0,
+            stub_mean_prefixes: 2.0,
+            content_mean_prefixes: 60.0,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// A tiny Internet for unit tests (≈120 ASes) that still has every
+    /// class represented and every structural feature present.
+    pub fn small() -> Self {
+        TopologyConfig {
+            world: WorldConfig {
+                n_countries: 6,
+                n_cities: 30,
+                population_skew: 1.0,
+            },
+            n_tier1: 4,
+            n_transit: 14,
+            n_eyeball: 50,
+            n_stub: 50,
+            n_hypergiant: 3,
+            n_cloud: 2,
+            max_facilities_per_city: 2,
+            ixp_city_fraction: 0.3,
+            mean_providers: 1.8,
+            peering_intensity: 1.0,
+            offnet_reach: 0.5,
+            eyeball_mean_prefixes: 6.0,
+            stub_mean_prefixes: 1.5,
+            content_mean_prefixes: 8.0,
+        }
+    }
+
+    /// A large Internet whose class ratios approach the real one's
+    /// (≈20k ASes). Used by scale benchmarks; building it takes seconds.
+    pub fn large() -> Self {
+        TopologyConfig {
+            world: WorldConfig {
+                n_countries: 60,
+                n_cities: 600,
+                population_skew: 1.05,
+            },
+            n_tier1: 14,
+            n_transit: 1500,
+            n_eyeball: 8000,
+            n_stub: 10000,
+            n_hypergiant: 12,
+            n_cloud: 6,
+            max_facilities_per_city: 4,
+            ixp_city_fraction: 0.2,
+            mean_providers: 1.9,
+            peering_intensity: 1.0,
+            offnet_reach: 0.4,
+            eyeball_mean_prefixes: 60.0,
+            stub_mean_prefixes: 2.0,
+            content_mean_prefixes: 100.0,
+        }
+    }
+
+    /// Total number of ASes the configuration will produce.
+    pub fn total_ases(&self) -> usize {
+        self.n_tier1 + self.n_transit + self.n_eyeball + self.n_stub + self.n_hypergiant
+            + self.n_cloud
+    }
+
+    /// Validate invariants the generator relies on.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_tier1 < 2 {
+            return Err(ItmError::config("n_tier1", "need at least 2 tier-1s"));
+        }
+        if self.n_transit == 0 {
+            return Err(ItmError::config("n_transit", "need at least 1 transit"));
+        }
+        if self.n_eyeball == 0 {
+            return Err(ItmError::config("n_eyeball", "need at least 1 eyeball"));
+        }
+        if self.n_hypergiant == 0 {
+            return Err(ItmError::config(
+                "n_hypergiant",
+                "the paper's Internet has hypergiants; need at least 1",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.offnet_reach) {
+            return Err(ItmError::config("offnet_reach", "must be in [0,1]"));
+        }
+        if !(0.0..=1.0).contains(&self.ixp_city_fraction) {
+            return Err(ItmError::config("ixp_city_fraction", "must be in [0,1]"));
+        }
+        if self.mean_providers < 1.0 {
+            return Err(ItmError::config(
+                "mean_providers",
+                "every non-tier-1 needs a provider; must be >= 1",
+            ));
+        }
+        if self.peering_intensity < 0.0 {
+            return Err(ItmError::config("peering_intensity", "must be >= 0"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        TopologyConfig::default().validate().unwrap();
+        TopologyConfig::small().validate().unwrap();
+        TopologyConfig::large().validate().unwrap();
+    }
+
+    #[test]
+    fn total_ases_adds_up() {
+        let c = TopologyConfig::small();
+        assert_eq!(c.total_ases(), 4 + 14 + 50 + 50 + 3 + 2);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = TopologyConfig::small();
+        c.n_tier1 = 1;
+        assert!(c.validate().is_err());
+        let mut c = TopologyConfig::small();
+        c.offnet_reach = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = TopologyConfig::small();
+        c.mean_providers = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = TopologyConfig::small();
+        c.n_hypergiant = 0;
+        assert!(c.validate().is_err());
+    }
+}

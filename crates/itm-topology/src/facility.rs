@@ -1,0 +1,75 @@
+//! Colocation facilities and Internet exchange points.
+//!
+//! §3.3.3: "Increasingly many networks indicate in PeeringDB the colocation
+//! facilities in which they maintain a peering presence. Given two networks
+//! are both present in a facility, it may be possible to develop techniques
+//! to predict how likely it is that two networks interconnect". The
+//! facility/IXP registry built here is the ground truth behind both peering
+//! formation (in the generator) and the §3.3.3 recommender (in `itm-core`).
+
+use itm_types::{Asn, FacilityId, IxpId};
+use serde::{Deserialize, Serialize};
+
+/// A colocation facility in one city.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Facility {
+    /// Facility id (dense).
+    pub id: FacilityId,
+    /// City (index into the world city table) where the facility stands.
+    pub city: u32,
+    /// ASes with presence in this facility, sorted by ASN.
+    pub tenants: Vec<Asn>,
+}
+
+impl Facility {
+    /// Whether `asn` is present in this facility.
+    pub fn has_tenant(&self, asn: Asn) -> bool {
+        self.tenants.binary_search(&asn).is_ok()
+    }
+}
+
+/// An Internet exchange point. IXPs live *in* a facility's city but have
+/// their own membership (networks connect to the shared fabric).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ixp {
+    /// IXP id (dense).
+    pub id: IxpId,
+    /// City where the exchange operates.
+    pub city: u32,
+    /// Member ASes, sorted by ASN.
+    pub members: Vec<Asn>,
+}
+
+impl Ixp {
+    /// Whether `asn` is a member of this exchange.
+    pub fn has_member(&self, asn: Asn) -> bool {
+        self.members.binary_search(&asn).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_lookup_uses_sorted_order() {
+        let f = Facility {
+            id: FacilityId(0),
+            city: 1,
+            tenants: vec![Asn(2), Asn(5), Asn(9)],
+        };
+        assert!(f.has_tenant(Asn(5)));
+        assert!(!f.has_tenant(Asn(4)));
+    }
+
+    #[test]
+    fn ixp_membership() {
+        let x = Ixp {
+            id: IxpId(0),
+            city: 0,
+            members: vec![Asn(1), Asn(3)],
+        };
+        assert!(x.has_member(Asn(1)));
+        assert!(!x.has_member(Asn(2)));
+    }
+}

@@ -1,0 +1,859 @@
+//! The Internet generator.
+//!
+//! Construction order mirrors how the real Internet is layered:
+//!
+//! 1. **Geography** — countries and cities ([`itm_types::geo::World`]).
+//! 2. **ASes** — each class gets a home country, a city footprint, a
+//!    peering policy, and a heavy-tailed size factor.
+//! 3. **Facilities & IXPs** — placed in cities, populated by the ASes
+//!    present there (the PeeringDB-like registry of §3.3.3).
+//! 4. **Transit hierarchy** — every non-tier-1 buys from one or more
+//!    providers "above" it; the customer/provider graph is acyclic by
+//!    construction.
+//! 5. **Peering** — tier-1 clique; co-located networks peer with
+//!    probability driven by their policies; hypergiants and clouds peer
+//!    aggressively with access networks (Internet flattening, §3.3.2).
+//! 6. **Off-nets** — hypergiants place caches inside the largest eyeballs
+//!    (§1, \[25\]).
+//! 7. **Prefixes** — /24s allocated per AS, anchored in its cities.
+//!
+//! Every step draws from named sub-streams of the seed domain, so edits to
+//! one step never reshuffle another.
+
+use crate::asinfo::{AsClass, AsInfo, PeeringPolicy};
+use crate::config::TopologyConfig;
+use crate::facility::{Facility, Ixp};
+use crate::link::{Link, LinkClass};
+use crate::offnet::{OffnetDeployment, OffnetTable};
+use crate::prefix::{PrefixKind, PrefixTable, Slash24Allocator};
+use crate::topology::Topology;
+use itm_types::geo::World;
+use itm_types::rng::{lognormal, pareto, weighted_choice};
+use itm_types::{Asn, Country, FacilityId, IxpId, Result, SeedDomain};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{BTreeSet, HashSet};
+
+/// Generate a complete synthetic Internet.
+///
+/// Deterministic in `(cfg, seed)`. Panics only on internal invariant
+/// violations (checked in debug builds); configuration errors are returned.
+pub fn generate(cfg: &TopologyConfig, seed: u64) -> Result<Topology> {
+    cfg.validate()?;
+    let seeds = SeedDomain::new(seed).child("topology");
+    let world = World::generate(&cfg.world, &seeds);
+
+    let ases = make_ases(cfg, &world, &seeds);
+    let (facilities, ixps) = make_colocation(cfg, &world, &ases, &seeds);
+    let mut links = Vec::new();
+    let mut link_keys: HashSet<(Asn, Asn)> = HashSet::new();
+    make_transit(cfg, &ases, &seeds, &mut links, &mut link_keys);
+    make_peering(cfg, &ases, &facilities, &ixps, &seeds, &mut links, &mut link_keys);
+
+    let mut prefixes = PrefixTable::new();
+    let mut alloc = Slash24Allocator::new();
+    make_prefixes(cfg, &ases, &seeds, &mut prefixes, &mut alloc);
+    let offnets = make_offnets(cfg, &ases, &seeds, &mut prefixes, &mut alloc);
+
+    let topo = Topology::from_parts(
+        cfg.clone(),
+        seed,
+        world,
+        ases,
+        links,
+        facilities,
+        ixps,
+        prefixes,
+        offnets,
+    );
+    debug_assert_eq!(topo.check_invariants(), Ok(()));
+    Ok(topo)
+}
+
+/// Draw a home country weighted by population.
+fn pick_country(world: &World, rng: &mut StdRng) -> Country {
+    let weights: Vec<f64> = world.countries.iter().map(|c| c.population_weight).collect();
+    let i = weighted_choice(rng, &weights).expect("countries have weight");
+    Country(i as u16)
+}
+
+/// Cities of a country sorted by size weight, largest first.
+fn country_cities_by_size(world: &World, c: Country) -> Vec<u32> {
+    let mut cities: Vec<(u32, f64)> = world
+        .cities_of(c)
+        .map(|city| (city.id, city.size_weight))
+        .collect();
+    cities.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    cities.into_iter().map(|(id, _)| id).collect()
+}
+
+/// Global city ids sorted by size weight descending.
+fn global_cities_by_size(world: &World) -> Vec<u32> {
+    let mut cities: Vec<(u32, f64)> = world
+        .cities
+        .iter()
+        .map(|c| {
+            let cw = world.country(c.country).population_weight;
+            (c.id, c.size_weight * cw)
+        })
+        .collect();
+    cities.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    cities.into_iter().map(|(id, _)| id).collect()
+}
+
+fn make_ases(cfg: &TopologyConfig, world: &World, seeds: &SeedDomain) -> Vec<AsInfo> {
+    let mut rng = seeds.rng("ases");
+    let global = global_cities_by_size(world);
+    let mut out = Vec::with_capacity(cfg.total_ases());
+    let mut next = 0u32;
+
+    let push = |class: AsClass,
+                    home: Country,
+                    cities: Vec<u32>,
+                    policy: PeeringPolicy,
+                    size: f64,
+                    next: &mut u32,
+                    out: &mut Vec<AsInfo>| {
+        assert!(!cities.is_empty());
+        out.push(AsInfo {
+            asn: Asn(*next),
+            class,
+            home_country: home,
+            cities,
+            policy,
+            size_factor: size,
+        });
+        *next += 1;
+    };
+
+    // Tier-1: global footprint across the biggest cities.
+    for _ in 0..cfg.n_tier1 {
+        let home = pick_country(world, &mut rng);
+        let span = (global.len() * 3 / 10).max(5).min(global.len());
+        let mut cities: Vec<u32> = global[..span].to_vec();
+        // Always cover the home country's primary city too.
+        if let Some(&primary) = country_cities_by_size(world, home).first() {
+            if !cities.contains(&primary) {
+                cities.push(primary);
+            }
+        }
+        push(
+            AsClass::Tier1,
+            home,
+            cities,
+            PeeringPolicy::Restrictive,
+            pareto(&mut rng, 1.0, 1.5),
+            &mut next,
+            &mut out,
+        );
+    }
+
+    // Transit: regional footprint (home country plus occasional neighbor).
+    for _ in 0..cfg.n_transit {
+        let home = pick_country(world, &mut rng);
+        let mut cities = country_cities_by_size(world, home);
+        let want = rng.gen_range(2..=8usize).min(cities.len().max(1));
+        cities.truncate(want.max(1));
+        if rng.gen_bool(0.3) {
+            let other = pick_country(world, &mut rng);
+            if let Some(&c) = country_cities_by_size(world, other).first() {
+                if !cities.contains(&c) {
+                    cities.push(c);
+                }
+            }
+        }
+        let policy = if rng.gen_bool(0.5) {
+            PeeringPolicy::Selective
+        } else {
+            PeeringPolicy::Restrictive
+        };
+        push(
+            AsClass::Transit,
+            home,
+            cities,
+            policy,
+            pareto(&mut rng, 1.0, 1.3),
+            &mut next,
+            &mut out,
+        );
+    }
+
+    // Eyeball: domestic footprint; size very heavy-tailed (national
+    // incumbents vs small regionals) — this skew is what Fig. 2 plots.
+    for _ in 0..cfg.n_eyeball {
+        let home = pick_country(world, &mut rng);
+        let all = country_cities_by_size(world, home);
+        let want = rng.gen_range(1..=6usize).min(all.len());
+        let cities = all[..want.max(1)].to_vec();
+        let policy = if rng.gen_bool(0.6) {
+            PeeringPolicy::Open
+        } else {
+            PeeringPolicy::Selective
+        };
+        push(
+            AsClass::Eyeball,
+            home,
+            cities,
+            policy,
+            pareto(&mut rng, 1.0, 1.1),
+            &mut next,
+            &mut out,
+        );
+    }
+
+    // Stub: single city.
+    for _ in 0..cfg.n_stub {
+        let home = pick_country(world, &mut rng);
+        let all = country_cities_by_size(world, home);
+        let city = all[rng.gen_range(0..all.len())];
+        let policy = if rng.gen_bool(0.7) {
+            PeeringPolicy::Open
+        } else {
+            PeeringPolicy::Selective
+        };
+        push(
+            AsClass::Stub,
+            home,
+            vec![city],
+            policy,
+            lognormal(&mut rng, 0.0, 0.5),
+            &mut next,
+            &mut out,
+        );
+    }
+
+    // Hypergiants: near-global footprint, open policy (they want to be
+    // one hop from everyone), enormous size factors.
+    for i in 0..cfg.n_hypergiant {
+        let home = pick_country(world, &mut rng);
+        let span = (global.len() * 4 / 10).max(5).min(global.len());
+        push(
+            AsClass::Hypergiant,
+            home,
+            global[..span].to_vec(),
+            PeeringPolicy::Open,
+            // Rank-ordered sizes: hypergiant 0 is the largest.
+            16.0 / (i as f64 + 1.0).powf(0.7),
+            &mut next,
+            &mut out,
+        );
+    }
+
+    // Clouds: regional hubs ("regions") in big cities.
+    for i in 0..cfg.n_cloud {
+        let home = pick_country(world, &mut rng);
+        let span = (global.len() * 2 / 10).max(3).min(global.len());
+        push(
+            AsClass::Cloud,
+            home,
+            global[..span].to_vec(),
+            PeeringPolicy::Open,
+            10.0 / (i as f64 + 1.0).powf(0.7),
+            &mut next,
+            &mut out,
+        );
+    }
+
+    out
+}
+
+fn make_colocation(
+    cfg: &TopologyConfig,
+    world: &World,
+    ases: &[AsInfo],
+    seeds: &SeedDomain,
+) -> (Vec<Facility>, Vec<Ixp>) {
+    let mut rng = seeds.rng("colocation");
+
+    // Which ASes sit in which city (precomputed inverse index).
+    let mut by_city: Vec<Vec<Asn>> = vec![Vec::new(); world.cities.len()];
+    for a in ases {
+        for &c in &a.cities {
+            by_city[c as usize].push(a.asn);
+        }
+    }
+
+    // Facilities: bigger cities get more.
+    let mut facilities = Vec::new();
+    for city in &world.cities {
+        let n_fac = 1 + ((city.size_weight * cfg.max_facilities_per_city as f64) as usize)
+            .min(cfg.max_facilities_per_city.saturating_sub(1));
+        for _ in 0..n_fac {
+            let mut tenants = Vec::new();
+            for &asn in &by_city[city.id as usize] {
+                let class = ases[asn.index()].class;
+                // Join probability: infrastructure-heavy classes colocate
+                // almost always; stubs only sometimes.
+                let p = match class {
+                    AsClass::Tier1 => 0.9,
+                    AsClass::Hypergiant => 0.95,
+                    AsClass::Cloud => 0.9,
+                    AsClass::Transit => 0.8,
+                    AsClass::Eyeball => 0.6,
+                    AsClass::Stub => 0.25,
+                };
+                if rng.gen_bool(p) {
+                    tenants.push(asn);
+                }
+            }
+            tenants.sort_unstable();
+            tenants.dedup();
+            facilities.push(Facility {
+                id: FacilityId(facilities.len() as u32),
+                city: city.id,
+                tenants,
+            });
+        }
+    }
+
+    // IXPs: the largest cities (globally) get one exchange each.
+    let global = global_cities_by_size(world);
+    let n_ixps = ((global.len() as f64 * cfg.ixp_city_fraction) as usize).max(1);
+    let mut ixps = Vec::new();
+    for &city in global.iter().take(n_ixps) {
+        let mut members = Vec::new();
+        for &asn in &by_city[city as usize] {
+            let class = ases[asn.index()].class;
+            let p = match class {
+                AsClass::Tier1 => 0.2, // tier-1s rarely join exchanges
+                AsClass::Hypergiant => 0.9,
+                AsClass::Cloud => 0.85,
+                AsClass::Transit => 0.7,
+                AsClass::Eyeball => 0.75,
+                AsClass::Stub => 0.4,
+            };
+            if rng.gen_bool(p) {
+                members.push(asn);
+            }
+        }
+        members.sort_unstable();
+        members.dedup();
+        ixps.push(Ixp {
+            id: IxpId(ixps.len() as u32),
+            city,
+            members,
+        });
+    }
+
+    (facilities, ixps)
+}
+
+/// Build the transit hierarchy. Acyclicity argument: tier-1s sell to
+/// everyone; transits only buy from tier-1s and *lower-indexed* transits;
+/// eyeballs and content buy from transits/tier-1s; stubs buy from transits
+/// and eyeballs. No class ever sells "upwards", so provider chains strictly
+/// descend a well-founded order.
+fn make_transit(
+    cfg: &TopologyConfig,
+    ases: &[AsInfo],
+    seeds: &SeedDomain,
+    links: &mut Vec<Link>,
+    keys: &mut HashSet<(Asn, Asn)>,
+) {
+    let mut rng = seeds.rng("transit");
+    let tier1: Vec<&AsInfo> = ases.iter().filter(|a| a.class == AsClass::Tier1).collect();
+    let transits: Vec<&AsInfo> = ases.iter().filter(|a| a.class == AsClass::Transit).collect();
+    let eyeballs: Vec<&AsInfo> = ases.iter().filter(|a| a.class == AsClass::Eyeball).collect();
+
+    let add = |customer: Asn, provider: Asn, links: &mut Vec<Link>, keys: &mut HashSet<(Asn, Asn)>| {
+        let l = Link::transit(customer, provider);
+        if keys.insert(l.key()) {
+            links.push(l);
+        }
+    };
+
+    // How many providers a multihomed network buys from.
+    let provider_count = |rng: &mut StdRng| -> usize {
+        let extra = cfg.mean_providers - 1.0;
+        1 + (0..3).filter(|_| rng.gen_bool((extra / 3.0).clamp(0.0, 1.0))).count()
+    };
+
+    // Geographic affinity: prefer providers that share the home country,
+    // then big ones.
+    let weight_for = |a: &AsInfo, p: &AsInfo| -> f64 {
+        let geo = if a.home_country == p.home_country { 8.0 } else { 1.0 };
+        geo * p.size_factor
+    };
+
+    // Transits buy from tier-1s (always at least one) and sometimes from
+    // bigger (lower-indexed) transits.
+    for (ti, t) in transits.iter().enumerate() {
+        let n_prov = provider_count(&mut rng);
+        // candidate set: all tier-1s + transits with lower vec index
+        let mut cands: Vec<&AsInfo> = tier1.clone();
+        cands.extend(transits[..ti].iter().copied());
+        let weights: Vec<f64> = cands.iter().map(|p| weight_for(t, p)).collect();
+        let mut chosen = BTreeSet::new();
+        for _ in 0..n_prov {
+            if let Some(i) = weighted_choice(&mut rng, &weights) {
+                chosen.insert(cands[i].asn);
+            }
+        }
+        // Guarantee reachability through at least one tier-1-rooted chain.
+        if chosen.is_empty() {
+            chosen.insert(tier1[rng.gen_range(0..tier1.len())].asn);
+        }
+        for p in chosen {
+            add(t.asn, p, links, keys);
+        }
+    }
+
+    // Eyeballs buy from transits (domestic preferred), occasionally tier-1.
+    for e in &eyeballs {
+        let n_prov = provider_count(&mut rng);
+        let weights: Vec<f64> = transits.iter().map(|p| weight_for(e, p)).collect();
+        let mut chosen = BTreeSet::new();
+        for _ in 0..n_prov {
+            if rng.gen_bool(0.1) {
+                chosen.insert(tier1[rng.gen_range(0..tier1.len())].asn);
+            } else if let Some(i) = weighted_choice(&mut rng, &weights) {
+                chosen.insert(transits[i].asn);
+            }
+        }
+        if chosen.is_empty() {
+            chosen.insert(transits[rng.gen_range(0..transits.len())].asn);
+        }
+        for p in chosen {
+            add(e.asn, p, links, keys);
+        }
+    }
+
+    // Stubs buy from transits or (domestic) eyeballs.
+    for s in ases.iter().filter(|a| a.class == AsClass::Stub) {
+        let n_prov = provider_count(&mut rng);
+        let mut chosen = BTreeSet::new();
+        for _ in 0..n_prov {
+            if rng.gen_bool(0.4) {
+                // domestic eyeball reseller if one exists
+                let domestic: Vec<&&AsInfo> = eyeballs
+                    .iter()
+                    .filter(|e| e.home_country == s.home_country)
+                    .collect();
+                if !domestic.is_empty() {
+                    let w: Vec<f64> = domestic.iter().map(|e| e.size_factor).collect();
+                    if let Some(i) = weighted_choice(&mut rng, &w) {
+                        chosen.insert(domestic[i].asn);
+                        continue;
+                    }
+                }
+            }
+            let weights: Vec<f64> = transits.iter().map(|p| weight_for(s, p)).collect();
+            if let Some(i) = weighted_choice(&mut rng, &weights) {
+                chosen.insert(transits[i].asn);
+            }
+        }
+        if chosen.is_empty() {
+            chosen.insert(transits[rng.gen_range(0..transits.len())].asn);
+        }
+        for p in chosen {
+            add(s.asn, p, links, keys);
+        }
+    }
+
+    // Hypergiants and clouds buy from a few tier-1s (reachability of last
+    // resort; most of their traffic will flow over peering).
+    for c in ases
+        .iter()
+        .filter(|a| matches!(a.class, AsClass::Hypergiant | AsClass::Cloud))
+    {
+        let n = rng.gen_range(2..=3usize).min(tier1.len());
+        let mut order: Vec<usize> = (0..tier1.len()).collect();
+        // deterministic shuffle
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for &i in order.iter().take(n) {
+            add(c.asn, tier1[i].asn, links, keys);
+        }
+    }
+}
+
+/// Probability that two co-located networks agree to peer, before the
+/// global intensity scale. Encodes the flattening story: content↔access
+/// peering is near-certain; access↔access is common at IXPs; anything
+/// involving a restrictive transit seller is rare.
+fn peer_probability(a: &AsInfo, b: &AsInfo) -> f64 {
+    use AsClass::*;
+    let class_factor = match (a.class, b.class) {
+        (Hypergiant, Eyeball) | (Eyeball, Hypergiant) => 3.0,
+        (Cloud, Eyeball) | (Eyeball, Cloud) => 2.5,
+        (Hypergiant, Transit) | (Transit, Hypergiant) => 1.6,
+        (Cloud, Transit) | (Transit, Cloud) => 1.4,
+        (Hypergiant, Stub) | (Stub, Hypergiant) => 0.8,
+        (Cloud, Stub) | (Stub, Cloud) => 0.7,
+        (Eyeball, Eyeball) => 1.0,
+        (Eyeball, Stub) | (Stub, Eyeball) => 0.7,
+        (Stub, Stub) => 0.4,
+        (Transit, Transit) => 0.5,
+        (Transit, Eyeball) | (Eyeball, Transit) => 0.6,
+        (Transit, Stub) | (Stub, Transit) => 0.3,
+        (Tier1, _) | (_, Tier1) => 0.05,
+        (Hypergiant, Hypergiant) | (Cloud, Cloud) | (Hypergiant, Cloud) | (Cloud, Hypergiant) => {
+            1.2
+        }
+    };
+    let policy = (a.policy.base_propensity() * b.policy.base_propensity()).sqrt();
+    (class_factor * policy * 0.5).min(0.98)
+}
+
+fn make_peering(
+    cfg: &TopologyConfig,
+    ases: &[AsInfo],
+    facilities: &[Facility],
+    ixps: &[Ixp],
+    seeds: &SeedDomain,
+    links: &mut Vec<Link>,
+    keys: &mut HashSet<(Asn, Asn)>,
+) {
+    let mut rng = seeds.rng("peering");
+
+    let add = |x: Asn, y: Asn, class: LinkClass, links: &mut Vec<Link>, keys: &mut HashSet<(Asn, Asn)>| -> bool {
+        let l = Link::peering(x, y, class);
+        if keys.insert(l.key()) {
+            links.push(l);
+            true
+        } else {
+            false
+        }
+    };
+
+    // Tier-1 clique (private interconnects at the first facility both
+    // tenant — or facility 0 as a fallback anchor).
+    let tier1: Vec<Asn> = ases
+        .iter()
+        .filter(|a| a.class == AsClass::Tier1)
+        .map(|a| a.asn)
+        .collect();
+    for (i, &t) in tier1.iter().enumerate() {
+        for &u in tier1.iter().skip(i + 1) {
+            let fac = facilities
+                .iter()
+                .find(|f| f.has_tenant(t) && f.has_tenant(u))
+                .map(|f| f.id)
+                .unwrap_or(FacilityId(0));
+            add(t, u, LinkClass::PrivatePeering(fac), links, keys);
+        }
+    }
+
+    // Hypergiant/cloud flattening pass: explicit PNIs with every co-located
+    // access & transit network. This is the structural core of the paper's
+    // Internet: "most users have short, downhill paths to services".
+    let content: Vec<&AsInfo> = ases
+        .iter()
+        .filter(|a| a.class.is_content())
+        .collect();
+    for hg in &content {
+        let hg_cities: HashSet<u32> = hg.cities.iter().copied().collect();
+        for other in ases.iter() {
+            if other.asn == hg.asn || other.class.is_content() {
+                continue;
+            }
+            if !other.cities.iter().any(|c| hg_cities.contains(c)) {
+                continue;
+            }
+            let base = peer_probability(hg, other) * cfg.peering_intensity;
+            // Size sweetens the deal: big eyeballs always get a PNI.
+            let p = (base * (1.0 + other.size_factor.ln().max(0.0) * 0.3)).min(0.97);
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                // Anchor at a shared facility if there is one.
+                let fac = facilities
+                    .iter()
+                    .find(|f| f.has_tenant(hg.asn) && f.has_tenant(other.asn))
+                    .map(|f| f.id);
+                let class = match fac {
+                    Some(f) => LinkClass::PrivatePeering(f),
+                    None => {
+                        // fall back to a shared IXP port
+                        match ixps
+                            .iter()
+                            .find(|x| x.has_member(hg.asn) && x.has_member(other.asn))
+                        {
+                            Some(x) => LinkClass::PublicPeering(x.id),
+                            None => continue, // no common interconnection point
+                        }
+                    }
+                };
+                add(hg.asn, other.asn, class, links, keys);
+            }
+        }
+    }
+
+    // General IXP peering: pairwise among members.
+    for ixp in ixps {
+        for (i, &x) in ixp.members.iter().enumerate() {
+            for &y in ixp.members.iter().skip(i + 1) {
+                let (a, b) = (&ases[x.index()], &ases[y.index()]);
+                // Skip pairs in a provider chain (they already have a link)
+                // and content pairs already handled above.
+                let p = peer_probability(a, b) * cfg.peering_intensity * 0.5;
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    add(x, y, LinkClass::PublicPeering(ixp.id), links, keys);
+                }
+            }
+        }
+    }
+
+    // Facility-based private peering among non-content networks (smaller
+    // rate: PNIs need justification).
+    for fac in facilities {
+        for (i, &x) in fac.tenants.iter().enumerate() {
+            for &y in fac.tenants.iter().skip(i + 1) {
+                let (a, b) = (&ases[x.index()], &ases[y.index()]);
+                if a.class.is_content() || b.class.is_content() {
+                    continue; // already handled with full force above
+                }
+                let p = peer_probability(a, b) * cfg.peering_intensity * 0.12;
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    add(x, y, LinkClass::PrivatePeering(fac.id), links, keys);
+                }
+            }
+        }
+    }
+}
+
+fn make_prefixes(
+    cfg: &TopologyConfig,
+    ases: &[AsInfo],
+    seeds: &SeedDomain,
+    prefixes: &mut PrefixTable,
+    alloc: &mut Slash24Allocator,
+) {
+    let mut rng = seeds.rng("prefixes");
+    for a in ases {
+        let (n_user, n_infra, n_hosting) = match a.class {
+            AsClass::Eyeball => {
+                let mean = cfg.eyeball_mean_prefixes * a.size_factor;
+                let n = lognormal(&mut rng, mean.max(1.0).ln(), 0.5).round() as usize;
+                (n.max(1), 1, 0)
+            }
+            AsClass::Stub => {
+                let n = lognormal(&mut rng, cfg.stub_mean_prefixes.max(1.0).ln(), 0.4).round()
+                    as usize;
+                (n.max(1), 0, 0)
+            }
+            AsClass::Transit => (0, rng.gen_range(1..=2), 0),
+            AsClass::Tier1 => (0, rng.gen_range(2..=3), 0),
+            AsClass::Hypergiant | AsClass::Cloud => {
+                let mean = cfg.content_mean_prefixes * (a.size_factor / 8.0).max(0.3);
+                let n = lognormal(&mut rng, mean.max(1.0).ln(), 0.4).round() as usize;
+                (0, 1, n.max(2))
+            }
+        };
+        // Spread across the AS's cities, first city (largest) favored.
+        let city_weights: Vec<f64> = (0..a.cities.len())
+            .map(|i| 1.0 / (i as f64 + 1.0))
+            .collect();
+        let place = |kind: PrefixKind, count: usize, rng: &mut StdRng, prefixes: &mut PrefixTable, alloc: &mut Slash24Allocator| {
+            for _ in 0..count {
+                let ci = weighted_choice(rng, &city_weights).unwrap_or(0);
+                prefixes.push(alloc.alloc(), a.asn, a.cities[ci], kind);
+            }
+        };
+        place(PrefixKind::UserAccess, n_user, &mut rng, prefixes, alloc);
+        place(PrefixKind::Infrastructure, n_infra, &mut rng, prefixes, alloc);
+        place(PrefixKind::Hosting, n_hosting, &mut rng, prefixes, alloc);
+    }
+}
+
+fn make_offnets(
+    cfg: &TopologyConfig,
+    ases: &[AsInfo],
+    seeds: &SeedDomain,
+    prefixes: &mut PrefixTable,
+    alloc: &mut Slash24Allocator,
+) -> OffnetTable {
+    let mut rng = seeds.rng("offnets");
+    let mut table = OffnetTable::new();
+
+    // Largest eyeballs first: hypergiants prioritize big access networks.
+    let mut eyeballs: Vec<&AsInfo> = ases.iter().filter(|a| a.class == AsClass::Eyeball).collect();
+    eyeballs.sort_by(|a, b| {
+        b.size_factor
+            .partial_cmp(&a.size_factor)
+            .unwrap()
+            .then(a.asn.cmp(&b.asn))
+    });
+
+    let hypergiants: Vec<&AsInfo> = ases
+        .iter()
+        .filter(|a| a.class == AsClass::Hypergiant)
+        .collect();
+
+    for (rank, hg) in hypergiants.iter().enumerate() {
+        // The largest hypergiant reaches the configured fraction; smaller
+        // ones progressively less (their off-net programs are smaller).
+        let reach = cfg.offnet_reach / (1.0 + rank as f64 * 0.4);
+        let n_targets = ((eyeballs.len() as f64) * reach).round() as usize;
+        for host in eyeballs.iter().take(n_targets) {
+            // Deployment succeeds with high probability (negotiations
+            // occasionally fail).
+            if !rng.gen_bool(0.9) {
+                continue;
+            }
+            let city = host.cities[rng.gen_range(0..host.cities.len())];
+            let pfx = prefixes.push(alloc.alloc(), host.asn, city, PrefixKind::OffnetCache);
+            table.push(OffnetDeployment {
+                hypergiant: hg.asn,
+                host: host.asn,
+                prefix: pfx,
+                city,
+            });
+        }
+    }
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::AsRel;
+
+    fn small() -> Topology {
+        generate(&TopologyConfig::small(), 42).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.links.len(), b.links.len());
+        assert_eq!(a.prefixes.len(), b.prefixes.len());
+        for (x, y) in a.links.iter().zip(&b.links) {
+            assert_eq!(x, y);
+        }
+        let c = generate(&TopologyConfig::small(), 43).unwrap();
+        assert!(
+            a.links != c.links || a.prefixes.len() != c.prefixes.len(),
+            "different seeds must produce different Internets"
+        );
+    }
+
+    #[test]
+    fn invariants_hold() {
+        assert_eq!(small().check_invariants(), Ok(()));
+        let d = generate(&TopologyConfig::default(), 7).unwrap();
+        assert_eq!(d.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn class_counts_match_config() {
+        let t = small();
+        let cfg = TopologyConfig::small();
+        assert_eq!(t.ases_of_class(AsClass::Tier1).count(), cfg.n_tier1);
+        assert_eq!(t.ases_of_class(AsClass::Transit).count(), cfg.n_transit);
+        assert_eq!(t.ases_of_class(AsClass::Eyeball).count(), cfg.n_eyeball);
+        assert_eq!(t.ases_of_class(AsClass::Stub).count(), cfg.n_stub);
+        assert_eq!(t.ases_of_class(AsClass::Hypergiant).count(), cfg.n_hypergiant);
+        assert_eq!(t.ases_of_class(AsClass::Cloud).count(), cfg.n_cloud);
+    }
+
+    #[test]
+    fn transit_graph_is_acyclic() {
+        let t = small();
+        // Kahn's algorithm over customer->provider edges.
+        let n = t.n_ases();
+        let mut indeg = vec![0usize; n];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for l in &t.links {
+            if l.rel == AsRel::CustomerToProvider {
+                // edge customer -> provider
+                out[l.a.index()].push(l.b.index());
+                indeg[l.b.index()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in &out[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        assert_eq!(seen, n, "customer-provider cycle detected");
+    }
+
+    #[test]
+    fn hypergiants_peer_widely_with_eyeballs() {
+        let t = small();
+        let hgs = t.hypergiants();
+        let eyeballs: Vec<Asn> = t
+            .ases_of_class(AsClass::Eyeball)
+            .map(|a| a.asn)
+            .collect();
+        // The biggest hypergiant should peer with a sizable share of eyeballs.
+        let hg = hgs[0];
+        let peered = eyeballs.iter().filter(|&&e| t.has_link(hg, e)).count();
+        assert!(
+            peered as f64 >= eyeballs.len() as f64 * 0.2,
+            "hypergiant peers with only {peered}/{} eyeballs",
+            eyeballs.len()
+        );
+    }
+
+    #[test]
+    fn offnets_target_large_eyeballs() {
+        let t = small();
+        assert!(!t.offnets.is_empty());
+        // Every host is an eyeball and the mean size factor of hosts
+        // exceeds the overall eyeball mean (they target large networks).
+        let mut host_sizes = Vec::new();
+        for d in t.offnets.iter() {
+            assert_eq!(t.as_info(d.host).class, AsClass::Eyeball);
+            host_sizes.push(t.as_info(d.host).size_factor);
+        }
+        let all: Vec<f64> = t
+            .ases_of_class(AsClass::Eyeball)
+            .map(|a| a.size_factor)
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&host_sizes) > mean(&all));
+    }
+
+    #[test]
+    fn most_peering_is_invisible_class() {
+        // Structural precondition for E12: a large share of peering links
+        // are private or hypergiant-access, the classes collectors miss.
+        let t = small();
+        let peering = t.count_links(|l| l.is_peering());
+        let transit = t.count_links(|l| !l.is_peering());
+        assert!(peering > transit, "peering {peering} vs transit {transit}");
+    }
+
+    #[test]
+    fn prefixes_are_anchored_in_owner_cities() {
+        let t = small();
+        for r in t.prefixes.iter() {
+            let a = t.as_info(r.owner);
+            assert!(
+                a.cities.contains(&r.city),
+                "{} anchored outside {}'s footprint",
+                r.net,
+                r.owner
+            );
+        }
+    }
+
+    #[test]
+    fn eyeballs_have_user_prefixes() {
+        let t = small();
+        for a in t.ases_of_class(AsClass::Eyeball) {
+            let has_user = t
+                .prefixes
+                .owned_by(a.asn)
+                .iter()
+                .any(|&p| t.prefixes.get(p).kind == PrefixKind::UserAccess);
+            assert!(has_user, "{} has no user prefix", a.asn);
+        }
+    }
+
+    #[test]
+    fn bad_config_is_rejected() {
+        let mut cfg = TopologyConfig::small();
+        cfg.n_tier1 = 0;
+        assert!(generate(&cfg, 1).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # itm-topology — a generative model of the Internet's structure
+//!
+//! The paper's measurement techniques exploit *structural* facts about the
+//! modern Internet: a small set of hypergiants and clouds serve most
+//! traffic (§1, \[25\], \[40\]); they peer directly and densely with eyeball
+//! networks ("Internet flattening", §3.3.2, \[7, 19\]); they additionally
+//! place off-net caches *inside* thousands of eyeball ASes \[25\]; most of
+//! that peering is invisible to public BGP collectors (§1, \[4\]); and the
+//! remaining Internet is a customer/provider hierarchy topped by a clique
+//! of transit-free tier-1s.
+//!
+//! This crate generates synthetic Internets with exactly those properties,
+//! with complete ground truth. Everything downstream — routing, traffic,
+//! DNS, TLS, the measurement techniques, and the traffic-map assembly —
+//! consumes the [`Topology`] built here.
+//!
+//! The generator is deterministic: the same [`TopologyConfig`] and seed
+//! produce the identical Internet, byte for byte.
+//!
+//! ## Entity model
+//!
+//! * [`AsInfo`] — an autonomous system with a class ([`AsClass`]), a home
+//!   country, a set of cities where it has points of presence, a peering
+//!   policy, and allocated prefixes.
+//! * [`Facility`] / [`Ixp`] — colocation facilities and exchange points in
+//!   cities; co-presence at one is a precondition for peering, mirroring
+//!   the PeeringDB-based link-prediction idea in §3.3.3.
+//! * [`Link`] — a ground-truth adjacency with a business relationship
+//!   ([`AsRel`]) and a [`LinkClass`] (transit / public peering at an IXP /
+//!   private peering at a facility), used by the visibility model (E12).
+//! * [`PrefixTable`] — every routed /24 with owner AS, anchor city, and
+//!   [`PrefixKind`] (user access, infrastructure, cloud hosting, off-net).
+//! * [`OffnetDeployment`] — hypergiant cache servers hosted inside other
+//!   ASes' address space (\[25\]).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod asinfo;
+mod cone;
+mod config;
+mod facility;
+mod generator;
+mod link;
+mod offnet;
+mod prefix;
+mod topology;
+
+pub use asinfo::{AsClass, AsInfo, PeeringPolicy};
+pub use cone::CustomerCones;
+pub use config::TopologyConfig;
+pub use facility::{Facility, Ixp};
+pub use generator::generate;
+pub use link::{AsRel, Link, LinkClass, LinkId};
+pub use offnet::{OffnetDeployment, OffnetTable};
+pub use prefix::{PrefixKind, PrefixRecord, PrefixTable, Slash24Allocator};
+pub use topology::{Neighbor, NeighborKind, Topology};

@@ -1,0 +1,156 @@
+//! Inter-AS links: relationships and interconnection classes.
+
+use itm_types::{Asn, FacilityId, IxpId};
+use serde::{Deserialize, Serialize};
+
+/// Dense index of a link in the topology's link table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The business relationship on a link, in the Gao–Rexford model the
+/// routing crate implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsRel {
+    /// `a` is the customer, `b` the provider (`a` pays `b`).
+    CustomerToProvider,
+    /// Settlement-free peering.
+    PeerToPeer,
+}
+
+/// Where and how the interconnection happens. The distinction matters for
+/// visibility (E12): private peering between a hypergiant and an eyeball is
+/// precisely the link class the paper says is invisible to public
+/// topologies (§1, citing \[4, 48, 63, 64\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// A transit (customer-provider) adjacency.
+    Transit,
+    /// Settlement-free peering across an IXP's shared fabric.
+    PublicPeering(IxpId),
+    /// Settlement-free private interconnect (PNI) inside a facility.
+    PrivatePeering(FacilityId),
+}
+
+impl LinkClass {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkClass::Transit => "transit",
+            LinkClass::PublicPeering(_) => "public-peering",
+            LinkClass::PrivatePeering(_) => "private-peering",
+        }
+    }
+}
+
+/// A ground-truth inter-AS adjacency.
+///
+/// Invariant: `a < b` for peer links (canonical order); for transit links
+/// `a` is always the customer and `b` the provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// First endpoint (customer for transit links).
+    pub a: Asn,
+    /// Second endpoint (provider for transit links).
+    pub b: Asn,
+    /// Business relationship.
+    pub rel: AsRel,
+    /// Interconnection class / location.
+    pub class: LinkClass,
+}
+
+impl Link {
+    /// A transit link: `customer` buys from `provider`.
+    pub fn transit(customer: Asn, provider: Asn) -> Link {
+        Link {
+            a: customer,
+            b: provider,
+            rel: AsRel::CustomerToProvider,
+            class: LinkClass::Transit,
+        }
+    }
+
+    /// A peering link in canonical (low ASN first) order.
+    pub fn peering(x: Asn, y: Asn, class: LinkClass) -> Link {
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        Link {
+            a,
+            b,
+            rel: AsRel::PeerToPeer,
+            class,
+        }
+    }
+
+    /// The endpoint that is not `asn`, or `None` if `asn` is not on the link.
+    pub fn other(&self, asn: Asn) -> Option<Asn> {
+        if self.a == asn {
+            Some(self.b)
+        } else if self.b == asn {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// The unordered endpoint pair in canonical order, the key for
+    /// comparing link *sets* regardless of direction.
+    pub fn key(&self) -> (Asn, Asn) {
+        if self.a <= self.b {
+            (self.a, self.b)
+        } else {
+            (self.b, self.a)
+        }
+    }
+
+    /// Whether this is a settlement-free peering link.
+    pub fn is_peering(&self) -> bool {
+        self.rel == AsRel::PeerToPeer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peering_constructor_canonicalizes() {
+        let l = Link::peering(Asn(9), Asn(2), LinkClass::PublicPeering(IxpId(0)));
+        assert_eq!((l.a, l.b), (Asn(2), Asn(9)));
+        assert!(l.is_peering());
+        assert_eq!(l.key(), (Asn(2), Asn(9)));
+    }
+
+    #[test]
+    fn transit_preserves_direction() {
+        let l = Link::transit(Asn(10), Asn(3));
+        assert_eq!(l.a, Asn(10)); // customer
+        assert_eq!(l.b, Asn(3)); // provider
+        assert!(!l.is_peering());
+        assert_eq!(l.key(), (Asn(3), Asn(10)));
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let l = Link::transit(Asn(1), Asn(2));
+        assert_eq!(l.other(Asn(1)), Some(Asn(2)));
+        assert_eq!(l.other(Asn(2)), Some(Asn(1)));
+        assert_eq!(l.other(Asn(3)), None);
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(LinkClass::Transit.label(), "transit");
+        assert_eq!(LinkClass::PublicPeering(IxpId(1)).label(), "public-peering");
+        assert_eq!(
+            LinkClass::PrivatePeering(FacilityId(1)).label(),
+            "private-peering"
+        );
+    }
+}

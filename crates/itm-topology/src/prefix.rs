@@ -1,0 +1,248 @@
+//! Routed prefixes: the address plan of the synthetic Internet.
+//!
+//! Table 1's network-precision axis is denominated in /24s ("Desired: /24
+//! Prefix … 8.8M /24s"); every routed prefix in the substrate is a /24 with
+//! an owner AS, an anchor city (for geolocation experiments), and a kind
+//! that says what lives inside it. The measurement techniques iterate this
+//! table exactly the way the paper iterates "all routable prefixes".
+
+use itm_types::{Asn, Ipv4Addr, Ipv4Net, PrefixId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What a prefix is used for. Drives which prefixes have users (traffic
+/// model), which host serving infrastructure (TLS scans), and which are
+/// off-net caches (hypergiant deployments inside eyeball networks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefixKind {
+    /// Residential/business access: hosts end users.
+    UserAccess,
+    /// Network infrastructure (router interfaces, NMS, DNS resolvers).
+    Infrastructure,
+    /// Hosting space in a cloud or hypergiant (on-net serving).
+    Hosting,
+    /// A hypergiant off-net cache block hosted inside another AS.
+    /// The *owner* is the hosting AS; the deployment table records which
+    /// hypergiant operates the servers.
+    OffnetCache,
+}
+
+impl PrefixKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefixKind::UserAccess => "user",
+            PrefixKind::Infrastructure => "infra",
+            PrefixKind::Hosting => "hosting",
+            PrefixKind::OffnetCache => "offnet",
+        }
+    }
+}
+
+/// One routed /24.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixRecord {
+    /// Dense id (index into the table).
+    pub id: PrefixId,
+    /// The /24 itself.
+    pub net: Ipv4Net,
+    /// Originating AS.
+    pub owner: Asn,
+    /// City (world city index) the prefix is anchored in.
+    pub city: u32,
+    /// Usage class.
+    pub kind: PrefixKind,
+}
+
+/// The routed-prefix table: dense storage plus lookup indices.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PrefixTable {
+    records: Vec<PrefixRecord>,
+    /// base address of /24 -> PrefixId
+    by_net: HashMap<u32, PrefixId>,
+    /// per-AS prefix lists
+    by_owner: HashMap<Asn, Vec<PrefixId>>,
+}
+
+impl PrefixTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a /24 for `owner`; panics if `net` is not a /24 or is already
+    /// present (the address plan never double-allocates).
+    pub fn push(&mut self, net: Ipv4Net, owner: Asn, city: u32, kind: PrefixKind) -> PrefixId {
+        assert_eq!(net.len(), 24, "prefix table stores /24s only");
+        let id = PrefixId(self.records.len() as u32);
+        let prev = self.by_net.insert(net.network().0, id);
+        assert!(prev.is_none(), "duplicate allocation of {net}");
+        self.by_owner.entry(owner).or_default().push(id);
+        self.records.push(PrefixRecord {
+            id,
+            net,
+            owner,
+            city,
+            kind,
+        });
+        id
+    }
+
+    /// Number of routed prefixes.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Look up a record by id.
+    pub fn get(&self, id: PrefixId) -> &PrefixRecord {
+        &self.records[id.index()]
+    }
+
+    /// All records in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &PrefixRecord> {
+        self.records.iter()
+    }
+
+    /// Ids of prefixes owned by `asn` (empty slice if none).
+    pub fn owned_by(&self, asn: Asn) -> &[PrefixId] {
+        self.by_owner.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Longest-prefix match for an address. All routes are /24s, so this
+    /// is exact-match on the covering /24.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<&PrefixRecord> {
+        self.by_net
+            .get(&addr.slash24().network().0)
+            .map(|id| self.get(*id))
+    }
+
+    /// Find the record for an exact /24.
+    pub fn find(&self, net: Ipv4Net) -> Option<&PrefixRecord> {
+        if net.len() != 24 {
+            return None;
+        }
+        self.by_net.get(&net.network().0).map(|id| self.get(*id))
+    }
+
+    /// Ids of all prefixes of a given kind.
+    pub fn of_kind(&self, kind: PrefixKind) -> impl Iterator<Item = &PrefixRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+}
+
+/// Sequential /24 allocator walking the unicast space from `1.0.0.0`.
+///
+/// Real allocation is fragmented, but fragmentation is irrelevant to every
+/// experiment (techniques key on the prefix *set*, not its layout), so a
+/// linear plan keeps addresses readable in traces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Slash24Allocator {
+    next: u32,
+}
+
+impl Default for Slash24Allocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Slash24Allocator {
+    /// Start allocating at `1.0.0.0/24`.
+    pub fn new() -> Self {
+        Slash24Allocator {
+            next: Ipv4Addr::new(1, 0, 0, 0).0,
+        }
+    }
+
+    /// Allocate the next /24.
+    pub fn alloc(&mut self) -> Ipv4Net {
+        let net = Ipv4Addr(self.next).slash24();
+        self.next = self
+            .next
+            .checked_add(256)
+            .expect("exhausted IPv4 space — configuration far too large");
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(n: usize) -> PrefixTable {
+        let mut t = PrefixTable::new();
+        let mut alloc = Slash24Allocator::new();
+        for i in 0..n {
+            t.push(alloc.alloc(), Asn((i % 3) as u32), 0, PrefixKind::UserAccess);
+        }
+        t
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let t = table_with(5);
+        assert_eq!(t.len(), 5);
+        let r = t.get(PrefixId(0));
+        assert_eq!(r.net.to_string(), "1.0.0.0/24");
+        let hit = t.lookup("1.0.2.77".parse().unwrap()).unwrap();
+        assert_eq!(hit.id, PrefixId(2));
+        assert!(t.lookup("9.9.9.9".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn find_exact() {
+        let t = table_with(2);
+        assert!(t.find("1.0.1.0/24".parse().unwrap()).is_some());
+        assert!(t.find("1.0.9.0/24".parse().unwrap()).is_none());
+        assert!(t.find("1.0.0.0/23".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn ownership_index() {
+        let t = table_with(6);
+        assert_eq!(t.owned_by(Asn(0)), &[PrefixId(0), PrefixId(3)]);
+        assert_eq!(t.owned_by(Asn(99)), &[] as &[PrefixId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate allocation")]
+    fn double_allocation_panics() {
+        let mut t = PrefixTable::new();
+        let net: Ipv4Net = "1.0.0.0/24".parse().unwrap();
+        t.push(net, Asn(0), 0, PrefixKind::UserAccess);
+        t.push(net, Asn(1), 0, PrefixKind::UserAccess);
+    }
+
+    #[test]
+    #[should_panic(expected = "/24s only")]
+    fn non_slash24_panics() {
+        let mut t = PrefixTable::new();
+        t.push("1.0.0.0/23".parse().unwrap(), Asn(0), 0, PrefixKind::UserAccess);
+    }
+
+    #[test]
+    fn allocator_is_sequential_and_disjoint() {
+        let mut a = Slash24Allocator::new();
+        let x = a.alloc();
+        let y = a.alloc();
+        assert_eq!(x.to_string(), "1.0.0.0/24");
+        assert_eq!(y.to_string(), "1.0.1.0/24");
+        assert!(!x.covers(y) && !y.covers(x));
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let mut t = PrefixTable::new();
+        let mut a = Slash24Allocator::new();
+        t.push(a.alloc(), Asn(0), 0, PrefixKind::UserAccess);
+        t.push(a.alloc(), Asn(0), 0, PrefixKind::Infrastructure);
+        t.push(a.alloc(), Asn(0), 0, PrefixKind::UserAccess);
+        assert_eq!(t.of_kind(PrefixKind::UserAccess).count(), 2);
+        assert_eq!(t.of_kind(PrefixKind::Hosting).count(), 0);
+    }
+}

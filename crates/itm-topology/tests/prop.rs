@@ -1,0 +1,109 @@
+//! Property-based tests: the generator's invariants hold for every seed
+//! and across a range of configurations.
+
+use itm_topology::{generate, AsClass, TopologyConfig};
+use itm_types::geo::WorldConfig;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = TopologyConfig> {
+    (
+        2usize..6,    // tier1
+        2usize..12,   // transit
+        5usize..40,   // eyeball
+        0usize..30,   // stub
+        1usize..4,    // hypergiant
+        0usize..3,    // cloud
+        0.0f64..1.0,  // offnet reach
+        0.2f64..2.0,  // peering intensity
+    )
+        .prop_map(
+            |(t1, tr, eye, stub, hg, cloud, reach, intensity)| TopologyConfig {
+                world: WorldConfig {
+                    n_countries: 4,
+                    n_cities: 16,
+                    population_skew: 1.0,
+                },
+                n_tier1: t1,
+                n_transit: tr,
+                n_eyeball: eye,
+                n_stub: stub,
+                n_hypergiant: hg,
+                n_cloud: cloud,
+                max_facilities_per_city: 2,
+                ixp_city_fraction: 0.3,
+                mean_providers: 1.5,
+                peering_intensity: intensity,
+                offnet_reach: reach,
+                eyeball_mean_prefixes: 3.0,
+                stub_mean_prefixes: 1.0,
+                content_mean_prefixes: 4.0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn invariants_hold_for_all_configs_and_seeds(cfg in arb_config(), seed in any::<u64>()) {
+        let topo = generate(&cfg, seed).unwrap();
+        prop_assert_eq!(topo.check_invariants(), Ok(()));
+        prop_assert_eq!(topo.n_ases(), cfg.total_ases());
+    }
+
+    #[test]
+    fn offnet_reach_scales_deployments(seed in 0u64..50) {
+        let mut lo_cfg = TopologyConfig::small();
+        lo_cfg.offnet_reach = 0.1;
+        let mut hi_cfg = TopologyConfig::small();
+        hi_cfg.offnet_reach = 0.9;
+        let lo = generate(&lo_cfg, seed).unwrap();
+        let hi = generate(&hi_cfg, seed).unwrap();
+        prop_assert!(hi.offnets.len() >= lo.offnets.len());
+    }
+
+    #[test]
+    fn peering_intensity_scales_link_count(seed in 0u64..50) {
+        let mut lo_cfg = TopologyConfig::small();
+        lo_cfg.peering_intensity = 0.2;
+        let mut hi_cfg = TopologyConfig::small();
+        hi_cfg.peering_intensity = 1.5;
+        let lo = generate(&lo_cfg, seed).unwrap();
+        let hi = generate(&hi_cfg, seed).unwrap();
+        let peers = |t: &itm_topology::Topology| t.count_links(|l| l.is_peering());
+        prop_assert!(peers(&hi) > peers(&lo));
+    }
+
+    #[test]
+    fn determinism_across_configs(cfg in arb_config(), seed in any::<u64>()) {
+        let a = generate(&cfg, seed).unwrap();
+        let b = generate(&cfg, seed).unwrap();
+        prop_assert_eq!(a.links.len(), b.links.len());
+        prop_assert_eq!(a.prefixes.len(), b.prefixes.len());
+        prop_assert_eq!(a.offnets.len(), b.offnets.len());
+        for (x, y) in a.links.iter().zip(&b.links) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn cone_sizes_are_sane(cfg in arb_config(), seed in any::<u64>()) {
+        let topo = generate(&cfg, seed).unwrap();
+        let n = topo.n_ases();
+        for a in &topo.ases {
+            let cone = topo.cones.cone_size(a.asn);
+            prop_assert!(cone >= 1 && cone <= n);
+            // Stubs never sell transit.
+            if a.class == AsClass::Stub {
+                prop_assert_eq!(topo.cones.direct_customers(a.asn).len(), 0);
+            }
+        }
+        // Some tier-1 must have a big cone (it roots the hierarchy).
+        let max_t1_cone = topo
+            .ases_of_class(AsClass::Tier1)
+            .map(|a| topo.cones.cone_size(a.asn))
+            .max()
+            .unwrap();
+        prop_assert!(max_t1_cone > n / 4, "largest tier-1 cone {} of {}", max_t1_cone, n);
+    }
+}

@@ -1,0 +1,176 @@
+//! Content-object popularity model.
+//!
+//! §3.2.3 closes with a proposed validation: "it is critical to understand
+//! the efficacy of these caches. A community-driven project could host
+//! caches inside research networks/universities, to measure the cache hit
+//! rate under normal operation and during flash events." Cache efficacy is
+//! determined by *object-level* request statistics, which this module
+//! models: each service exposes a catalogue of objects with Zipf
+//! popularity, and a *flash event* concentrates a burst of extra requests
+//! on a handful of objects (a live event, a viral video).
+//!
+//! The module also implements the Che approximation for LRU hit rates —
+//! the standard analytical tool the simulated cache (in `itm-measure`) is
+//! validated against.
+
+use itm_types::rng::zipf_index;
+use itm_types::ServiceId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Object-popularity parameters of one service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectModel {
+    /// The service.
+    pub service: ServiceId,
+    /// Number of distinct objects in the catalogue.
+    pub n_objects: usize,
+    /// Zipf exponent of object popularity (video ≈ 0.8, web ≈ 1.0).
+    pub zipf_exponent: f64,
+}
+
+impl ObjectModel {
+    /// A typical catalogue for a service of a given popularity rank:
+    /// bigger services have (much) larger catalogues.
+    pub fn typical(service: ServiceId, rank: usize) -> ObjectModel {
+        ObjectModel {
+            service,
+            n_objects: (200_000 / (rank + 1)).clamp(2_000, 200_000),
+            zipf_exponent: 0.9,
+        }
+    }
+
+    /// Draw the object id of one request under normal operation.
+    pub fn draw_object<R: Rng>(&self, rng: &mut R) -> u32 {
+        zipf_index(rng, self.n_objects, self.zipf_exponent) as u32
+    }
+
+    /// Draw one request during a flash event: with probability
+    /// `flash_share`, the request targets one of `flash_objects` hot
+    /// objects; otherwise the normal catalogue.
+    pub fn draw_object_flash<R: Rng>(
+        &self,
+        rng: &mut R,
+        flash_share: f64,
+        flash_objects: u32,
+    ) -> u32 {
+        if rng.gen_bool(flash_share.clamp(0.0, 1.0)) {
+            // Hot set ids live beyond the normal catalogue so they are
+            // distinguishable (fresh content nobody has cached yet).
+            self.n_objects as u32 + rng.gen_range(0..flash_objects.max(1))
+        } else {
+            self.draw_object(rng)
+        }
+    }
+
+    /// The Che approximation of the stationary LRU hit rate for a cache of
+    /// `capacity` objects under this popularity law (IRM assumption).
+    ///
+    /// Solves `capacity = Σ_i (1 − exp(−q_i · t_C))` for the characteristic
+    /// time `t_C` by bisection, then returns
+    /// `hit = Σ_i q_i (1 − exp(−q_i · t_C))`.
+    pub fn che_hit_rate(&self, capacity: usize) -> f64 {
+        if capacity == 0 {
+            return 0.0;
+        }
+        if capacity >= self.n_objects {
+            return 1.0;
+        }
+        let n = self.n_objects;
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(self.zipf_exponent)).sum();
+        let q: Vec<f64> = (1..=n)
+            .map(|k| 1.0 / (k as f64).powf(self.zipf_exponent) / norm)
+            .collect();
+        let occupancy = |t: f64| -> f64 { q.iter().map(|&qi| 1.0 - (-qi * t).exp()).sum() };
+        // Bisection on t_C: occupancy is increasing in t.
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        while occupancy(hi) < capacity as f64 {
+            hi *= 2.0;
+            if hi > 1e18 {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if occupancy(mid) < capacity as f64 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t_c = 0.5 * (lo + hi);
+        q.iter().map(|&qi| qi * (1.0 - (-qi * t_c).exp())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itm_types::SeedDomain;
+
+    #[test]
+    fn typical_catalogues_shrink_with_rank() {
+        let top = ObjectModel::typical(ServiceId(0), 0);
+        let tail = ObjectModel::typical(ServiceId(99), 99);
+        assert!(top.n_objects > tail.n_objects);
+        assert!(tail.n_objects >= 2_000);
+    }
+
+    #[test]
+    fn draws_are_in_range_and_skewed() {
+        let m = ObjectModel {
+            service: ServiceId(0),
+            n_objects: 1000,
+            zipf_exponent: 1.0,
+        };
+        let mut rng = SeedDomain::new(5).rng("obj");
+        let mut head = 0;
+        for _ in 0..5000 {
+            let o = m.draw_object(&mut rng);
+            assert!((o as usize) < m.n_objects);
+            if o < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 objects of 1000 should draw far above uniform (1%).
+        assert!(head > 500, "head draws {head}");
+    }
+
+    #[test]
+    fn flash_draws_hit_the_hot_set() {
+        let m = ObjectModel {
+            service: ServiceId(0),
+            n_objects: 100,
+            zipf_exponent: 1.0,
+        };
+        let mut rng = SeedDomain::new(6).rng("flash");
+        let mut hot = 0;
+        let trials = 4000;
+        for _ in 0..trials {
+            let o = m.draw_object_flash(&mut rng, 0.6, 3);
+            if o >= 100 {
+                assert!(o < 103);
+                hot += 1;
+            }
+        }
+        let share = hot as f64 / trials as f64;
+        assert!((share - 0.6).abs() < 0.05, "hot share {share}");
+    }
+
+    #[test]
+    fn che_is_monotone_and_bounded() {
+        let m = ObjectModel {
+            service: ServiceId(0),
+            n_objects: 10_000,
+            zipf_exponent: 0.9,
+        };
+        let h100 = m.che_hit_rate(100);
+        let h1000 = m.che_hit_rate(1000);
+        let h5000 = m.che_hit_rate(5000);
+        assert!(h100 > 0.0 && h100 < h1000 && h1000 < h5000 && h5000 < 1.0);
+        assert_eq!(m.che_hit_rate(0), 0.0);
+        assert_eq!(m.che_hit_rate(10_000), 1.0);
+        // Zipf 0.9 with 10% capacity caches well above 10% of requests.
+        assert!(h1000 > 0.3, "h1000 {h1000}");
+    }
+}

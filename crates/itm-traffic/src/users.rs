@@ -1,0 +1,230 @@
+//! User populations: who is behind each prefix.
+//!
+//! Table 1's first component is "finding prefixes with users" at /24
+//! granularity; Figure 2's ground truth is ISP subscriber counts. Here
+//! every user-access /24 gets a heavy-tailed user count and an activity
+//! intensity; per-AS and per-country rollups are precomputed.
+
+use itm_topology::{PrefixKind, Topology};
+use itm_types::rng::{lognormal, pareto, SeedDomain};
+use itm_types::{Asn, Country, PrefixId};
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth user populations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserModel {
+    /// users[prefix] — 0 for non-user prefixes.
+    users: Vec<f64>,
+    /// Per-prefix activity intensity (mean 1.0): how heavily those users
+    /// use the Internet (per-user traffic varies by market).
+    intensity: Vec<f64>,
+    /// Per-AS totals.
+    by_as: Vec<f64>,
+    /// Per-country totals.
+    by_country: Vec<f64>,
+}
+
+impl UserModel {
+    /// Populate every user-access prefix of a topology.
+    ///
+    /// Per-prefix counts are Pareto (α = 1.3) scaled by the owner AS's
+    /// size factor — big incumbent ISPs have both more prefixes *and*
+    /// denser prefixes (CGN), which matches how subscriber counts
+    /// concentrate nationally.
+    pub fn generate(topo: &Topology, seeds: &SeedDomain) -> UserModel {
+        let seeds = seeds.child("users");
+        let n = topo.prefixes.len();
+        let mut users = vec![0.0; n];
+        let mut intensity = vec![1.0; n];
+        let mut by_as = vec![0.0; topo.n_ases()];
+        let mut by_country = vec![0.0; topo.world.countries.len()];
+
+        for r in topo.prefixes.iter() {
+            if r.kind != PrefixKind::UserAccess {
+                continue;
+            }
+            // Per-prefix stream: stable under prefix-table reordering.
+            let mut rng = seeds.rng_indexed("prefix", r.id.raw() as u64);
+            let owner = topo.as_info(r.owner);
+            let scale = owner.size_factor.sqrt();
+            // Floor of ~2 users per /24 with a heavy tail: most /24s are
+            // sparsely populated (which is why cache probing misses a
+            // quarter of them in [34]) while CGN-dense blocks in large
+            // incumbents front tens of thousands.
+            let u = (pareto(&mut rng, 2.0, 1.15) * scale).min(20_000.0);
+            users[r.id.index()] = u;
+            // Mean-one log-normal (mu = -sigma^2/2).
+            intensity[r.id.index()] = lognormal(&mut rng, -0.35 * 0.35 / 2.0, 0.35);
+            by_as[r.owner.index()] += u;
+            by_country[owner.home_country.0 as usize] += u;
+        }
+
+        UserModel {
+            users,
+            intensity,
+            by_as,
+            by_country,
+        }
+    }
+
+    /// Users behind one prefix (0 for infrastructure/hosting prefixes).
+    pub fn users_of(&self, p: PrefixId) -> f64 {
+        self.users[p.index()]
+    }
+
+    /// Activity intensity multiplier of a prefix.
+    pub fn intensity_of(&self, p: PrefixId) -> f64 {
+        self.intensity[p.index()]
+    }
+
+    /// Total users of an AS (its "subscriber count" — the ground truth on
+    /// Figure 2's y-axis).
+    pub fn subscribers(&self, asn: Asn) -> f64 {
+        self.by_as[asn.index()]
+    }
+
+    /// Total users of a country.
+    pub fn country_users(&self, c: Country) -> f64 {
+        self.by_country[c.0 as usize]
+    }
+
+    /// World total.
+    pub fn total(&self) -> f64 {
+        self.by_as.iter().sum()
+    }
+
+    /// The eyeball ASes of a country, with subscriber counts, descending —
+    /// the Figure 2 case-study input ("French ISPs").
+    pub fn eyeballs_of_country(&self, topo: &Topology, c: Country) -> Vec<(Asn, f64)> {
+        let mut v: Vec<(Asn, f64)> = topo
+            .ases
+            .iter()
+            .filter(|a| a.class.is_eyeball() && a.home_country == c)
+            .map(|a| (a.asn, self.subscribers(a.asn)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Apply `days` of multiplicative population drift: each prefix's
+    /// count random-walks with per-day log-σ `sigma` (so the cumulative
+    /// deviation scales with √days). The underlying Gaussian is keyed on
+    /// the prefix only, deliberately: evolving the same world to day 7 and
+    /// to day 30 samples the *same* Brownian path at two horizons, so the
+    /// drifts are consistent rather than independent redraws. Rollups are
+    /// recomputed. Used by the temporal-evolution machinery behind
+    /// Table 1's temporal axis.
+    pub fn apply_drift(&mut self, topo: &Topology, days: u64, sigma: f64, seeds: &SeedDomain) {
+        if days == 0 || sigma <= 0.0 {
+            return;
+        }
+        let walk_sigma = sigma * (days as f64).sqrt();
+        self.by_as.iter_mut().for_each(|x| *x = 0.0);
+        self.by_country.iter_mut().for_each(|x| *x = 0.0);
+        // The user vector may be shorter than an evolved prefix table
+        // (new off-net prefixes carry no users); extend with zeros.
+        self.users.resize(topo.prefixes.len(), 0.0);
+        self.intensity.resize(topo.prefixes.len(), 1.0);
+        for r in topo.prefixes.iter() {
+            let u = &mut self.users[r.id.index()];
+            if *u <= 0.0 {
+                continue;
+            }
+            let mut rng = seeds.rng_indexed("drift", r.id.raw() as u64);
+            *u *= lognormal(&mut rng, 0.0, walk_sigma);
+            self.by_as[r.owner.index()] += *u;
+            self.by_country[topo.as_info(r.owner).home_country.0 as usize] += *u;
+        }
+    }
+
+    /// Prefixes that genuinely host users (the ground-truth answer to
+    /// Table 1's "finding prefixes with users").
+    pub fn user_prefixes<'a>(&'a self, topo: &'a Topology) -> impl Iterator<Item = PrefixId> + 'a {
+        topo.prefixes
+            .iter()
+            .filter(move |r| self.users[r.id.index()] > 0.0)
+            .map(|r| r.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itm_topology::{generate, AsClass, TopologyConfig};
+
+    fn setup() -> (Topology, UserModel) {
+        let t = generate(&TopologyConfig::small(), 13).unwrap();
+        let u = UserModel::generate(&t, &SeedDomain::new(13));
+        (t, u)
+    }
+
+    #[test]
+    fn only_user_prefixes_have_users() {
+        let (t, u) = setup();
+        for r in t.prefixes.iter() {
+            let have = u.users_of(r.id) > 0.0;
+            assert_eq!(have, r.kind == PrefixKind::UserAccess, "{}", r.net);
+        }
+    }
+
+    #[test]
+    fn rollups_are_consistent() {
+        let (t, u) = setup();
+        let prefix_sum: f64 = t.prefixes.iter().map(|r| u.users_of(r.id)).sum();
+        let as_sum: f64 = t.ases.iter().map(|a| u.subscribers(a.asn)).sum();
+        let country_sum: f64 = t
+            .world
+            .countries
+            .iter()
+            .map(|c| u.country_users(c.country))
+            .sum();
+        assert!((prefix_sum - as_sum).abs() < 1e-6);
+        assert!((as_sum - country_sum).abs() < 1e-6);
+        assert!((u.total() - as_sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn population_is_heavy_tailed_across_ases() {
+        let (t, u) = setup();
+        let mut subs: Vec<f64> = t
+            .ases_of_class(AsClass::Eyeball)
+            .map(|a| u.subscribers(a.asn))
+            .collect();
+        subs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let total: f64 = subs.iter().sum();
+        let top10: f64 = subs.iter().take(subs.len() / 10 + 1).sum();
+        assert!(
+            top10 / total > 0.3,
+            "top decile holds only {:.0}%",
+            100.0 * top10 / total
+        );
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let t = generate(&TopologyConfig::small(), 13).unwrap();
+        let a = UserModel::generate(&t, &SeedDomain::new(1));
+        let b = UserModel::generate(&t, &SeedDomain::new(1));
+        let c = UserModel::generate(&t, &SeedDomain::new(2));
+        assert_eq!(a.total(), b.total());
+        assert_ne!(a.total(), c.total());
+    }
+
+    #[test]
+    fn country_case_study_is_sorted() {
+        let (t, u) = setup();
+        // Pick the country with the most eyeballs.
+        let c = t.world.countries[0].country;
+        let isps = u.eyeballs_of_country(&t, c);
+        for w in isps.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn user_prefix_iterator_matches_counts() {
+        let (t, u) = setup();
+        let n_user_kind = t.prefixes.of_kind(PrefixKind::UserAccess).count();
+        assert_eq!(u.user_prefixes(&t).count(), n_user_kind);
+    }
+}

@@ -1,0 +1,119 @@
+//! Workspace error type.
+//!
+//! The simulator is deterministic and mostly infallible; errors arise from
+//! malformed user input (prefix parsing, out-of-range configuration) and
+//! from queries against entities that do not exist in a given Internet
+//! instance. A single small enum keeps error handling uniform across crates
+//! without pulling in an error-handling dependency.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = ItmError> = std::result::Result<T, E>;
+
+/// Errors produced by the itm workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItmError {
+    /// A textual representation (prefix, address, id) failed to parse.
+    Parse {
+        /// What kind of entity was being parsed (e.g. `"Ipv4Net"`).
+        what: &'static str,
+        /// The offending input, truncated for display.
+        input: String,
+    },
+    /// A configuration value was outside its documented range.
+    InvalidConfig {
+        /// The configuration field at fault.
+        field: &'static str,
+        /// Human-readable description of the constraint violated.
+        reason: String,
+    },
+    /// A lookup referenced an entity absent from this Internet instance.
+    NotFound {
+        /// The entity kind (e.g. `"Asn"`).
+        what: &'static str,
+        /// Display form of the missing key.
+        key: String,
+    },
+    /// An operation required state that has not been produced yet
+    /// (e.g. querying routes before running route computation).
+    NotReady {
+        /// Description of the missing precondition.
+        need: &'static str,
+    },
+}
+
+impl ItmError {
+    /// Construct a [`ItmError::Parse`] error, truncating long inputs.
+    pub fn parse(what: &'static str, input: &str) -> Self {
+        let mut input = input.to_owned();
+        if input.len() > 64 {
+            input.truncate(64);
+            input.push('…');
+        }
+        ItmError::Parse { what, input }
+    }
+
+    /// Construct a [`ItmError::NotFound`] error.
+    pub fn not_found(what: &'static str, key: impl fmt::Display) -> Self {
+        ItmError::NotFound {
+            what,
+            key: key.to_string(),
+        }
+    }
+
+    /// Construct an [`ItmError::InvalidConfig`] error.
+    pub fn config(field: &'static str, reason: impl fmt::Display) -> Self {
+        ItmError::InvalidConfig {
+            field,
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ItmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItmError::Parse { what, input } => {
+                write!(f, "failed to parse {what} from {input:?}")
+            }
+            ItmError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for {field}: {reason}")
+            }
+            ItmError::NotFound { what, key } => write!(f, "{what} {key} not found"),
+            ItmError::NotReady { need } => write!(f, "operation not ready: {need}"),
+        }
+    }
+}
+
+impl std::error::Error for ItmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_informative() {
+        let e = ItmError::parse("Ipv4Net", "999.0.0.0/8");
+        assert_eq!(e.to_string(), "failed to parse Ipv4Net from \"999.0.0.0/8\"");
+        let e = ItmError::not_found("Asn", "AS65000");
+        assert_eq!(e.to_string(), "Asn AS65000 not found");
+        let e = ItmError::config("n_ases", "must be >= 10");
+        assert!(e.to_string().contains("n_ases"));
+        let e = ItmError::NotReady { need: "routes computed" };
+        assert!(e.to_string().contains("routes computed"));
+    }
+
+    #[test]
+    fn parse_error_truncates_long_input() {
+        let long = "x".repeat(500);
+        let e = ItmError::parse("Ipv4Net", &long);
+        match e {
+            ItmError::Parse { input, .. } => {
+                assert!(input.chars().count() <= 65);
+                assert!(input.ends_with('…'));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+}

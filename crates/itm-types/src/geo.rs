@@ -1,0 +1,334 @@
+//! Geography: coordinates, great-circle distance, countries, and cities.
+//!
+//! The paper's map components are geographic — Figure 1b shades countries by
+//! user coverage and dots server locations; §3.2 asks for city/facility
+//! granularity server locations; §2.1/§3.2.3 measure anycast optimality in
+//! kilometres. This module provides just enough geography to support those
+//! analyses: WGS84-ish points, haversine distance, an ISO-like country
+//! registry with longitude bands (which drive the diurnal clock), and a
+//! deterministic world-city generator used by the topology builder.
+
+use crate::rng::SeedDomain;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean Earth radius in kilometres (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A point on the Earth's surface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, positive east, in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point, clamping latitude and wrapping longitude into range.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = (lon + 180.0).rem_euclid(360.0) - 180.0;
+        if lon == -180.0 {
+            lon = 180.0;
+        }
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Local solar offset from UTC in hours, derived purely from longitude.
+    ///
+    /// The substrate does not model political time zones; solar time is the
+    /// right notion for diurnal traffic anyway (peaks follow the sun).
+    pub fn solar_offset_hours(self) -> f64 {
+        self.lon / 15.0
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.lat, self.lon)
+    }
+}
+
+/// A country in the synthetic world.
+///
+/// Countries partition user populations for Figure 1b-style rollups and give
+/// Fig. 2 its "French ISPs" case-study structure. The registry is synthetic
+/// but carries realistic skew: a few giant countries, a long tail of small
+/// ones, spread across longitude bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Country(pub u16);
+
+impl Country {
+    /// Display code, e.g. `C07`.
+    pub fn code(self) -> String {
+        format!("C{:02}", self.0)
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// Static description of one country in the world model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountryInfo {
+    /// The country id.
+    pub country: Country,
+    /// Centroid used to place cities.
+    pub centroid: GeoPoint,
+    /// Rough geographic radius (km) within which its cities scatter.
+    pub radius_km: f64,
+    /// Relative population weight (sums to ~1 across the world).
+    pub population_weight: f64,
+    /// Fraction of users whose ISPs adopt the open resolver
+    /// (Google-Public-DNS analogue). Varies by country, per §3.1.3's
+    /// observation that "Google Public DNS adoption … varies by country".
+    pub open_resolver_adoption: f64,
+}
+
+/// The synthetic world: a deterministic set of countries and cities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct World {
+    /// All countries, indexed by `Country.0`.
+    pub countries: Vec<CountryInfo>,
+    /// All cities.
+    pub cities: Vec<City>,
+}
+
+/// A city: the geographic anchor for routers, facilities, and user prefixes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct City {
+    /// Dense city index.
+    pub id: u32,
+    /// Location.
+    pub location: GeoPoint,
+    /// Owning country.
+    pub country: Country,
+    /// Relative size weight within its country.
+    pub size_weight: f64,
+}
+
+/// Configuration for [`World::generate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Number of countries to generate (>= 1).
+    pub n_countries: usize,
+    /// Number of cities to scatter across countries (>= n_countries).
+    pub n_cities: usize,
+    /// Zipf-ish skew of country population weights (1.0 ≈ realistic).
+    pub population_skew: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            n_countries: 24,
+            n_cities: 180,
+            population_skew: 1.0,
+        }
+    }
+}
+
+impl World {
+    /// Deterministically generate a world from a seed domain.
+    ///
+    /// Countries get centroids spread around the populated latitudes,
+    /// population weights follow a Zipf law with exponent
+    /// `population_skew`, and cities scatter around their country centroid
+    /// with intra-country size weights that are themselves Zipf (a primate
+    /// city plus a tail, as in real national city-size distributions).
+    pub fn generate(cfg: &WorldConfig, seeds: &SeedDomain) -> World {
+        assert!(cfg.n_countries >= 1, "need at least one country");
+        assert!(
+            cfg.n_cities >= cfg.n_countries,
+            "need at least one city per country"
+        );
+        let mut rng = seeds.rng("world");
+
+        // Country centroids: spread longitudes uniformly, latitudes in the
+        // inhabited band, with jitter so runs differ across seeds.
+        let mut countries = Vec::with_capacity(cfg.n_countries);
+        let mut weight_sum = 0.0;
+        for i in 0..cfg.n_countries {
+            let lon = -180.0 + 360.0 * (i as f64 + rng.gen::<f64>() * 0.8) / cfg.n_countries as f64;
+            let lat = rng.gen_range(-40.0..60.0);
+            let weight = 1.0 / ((i + 1) as f64).powf(cfg.population_skew);
+            weight_sum += weight;
+            countries.push(CountryInfo {
+                country: Country(i as u16),
+                centroid: GeoPoint::new(lat, lon),
+                radius_km: rng.gen_range(200.0..1200.0),
+                population_weight: weight,
+                open_resolver_adoption: rng.gen_range(0.10..0.65),
+            });
+        }
+        for c in &mut countries {
+            c.population_weight /= weight_sum;
+        }
+
+        // Cities: every country gets at least one; the rest are assigned
+        // proportionally to population weight.
+        let mut cities = Vec::with_capacity(cfg.n_cities);
+        let mut assignments: Vec<usize> = (0..cfg.n_countries).collect();
+        while assignments.len() < cfg.n_cities {
+            let r: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut chosen = cfg.n_countries - 1;
+            for c in &countries {
+                acc += c.population_weight;
+                if r < acc {
+                    chosen = c.country.0 as usize;
+                    break;
+                }
+            }
+            assignments.push(chosen);
+        }
+        let mut per_country_rank = vec![0usize; cfg.n_countries];
+        for (id, &ci) in assignments.iter().enumerate() {
+            let c = &countries[ci];
+            let rank = per_country_rank[ci];
+            per_country_rank[ci] += 1;
+            // Scatter around the centroid; convert km offsets to degrees.
+            let dist = c.radius_km * rng.gen::<f64>().sqrt();
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let dlat = dist * theta.sin() / 111.0;
+            let coslat = c.centroid.lat.to_radians().cos().max(0.2);
+            let dlon = dist * theta.cos() / (111.0 * coslat);
+            cities.push(City {
+                id: id as u32,
+                location: GeoPoint::new(c.centroid.lat + dlat, c.centroid.lon + dlon),
+                country: c.country,
+                size_weight: 1.0 / (rank as f64 + 1.0),
+            });
+        }
+
+        World { countries, cities }
+    }
+
+    /// Look up a country's static info.
+    pub fn country(&self, c: Country) -> &CountryInfo {
+        &self.countries[c.0 as usize]
+    }
+
+    /// Cities belonging to a country, in id order.
+    pub fn cities_of(&self, c: Country) -> impl Iterator<Item = &City> {
+        self.cities.iter().filter(move |city| city.country == c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distances() {
+        // London <-> New York is ~5570 km.
+        let london = GeoPoint::new(51.5074, -0.1278);
+        let nyc = GeoPoint::new(40.7128, -74.0060);
+        let d = london.distance_km(nyc);
+        assert!((d - 5570.0).abs() < 30.0, "got {d}");
+        // Antipodal points are half the circumference.
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((a.distance_km(b) - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let p = GeoPoint::new(35.0, 139.0);
+        let q = GeoPoint::new(-33.9, 151.2);
+        assert!((p.distance_km(q) - q.distance_km(p)).abs() < 1e-9);
+        assert_eq!(p.distance_km(p), 0.0);
+    }
+
+    #[test]
+    fn new_clamps_and_wraps() {
+        let p = GeoPoint::new(99.0, 190.0);
+        assert_eq!(p.lat, 90.0);
+        assert!((p.lon - -170.0).abs() < 1e-9);
+        let q = GeoPoint::new(0.0, -180.0);
+        assert_eq!(q.lon, 180.0);
+    }
+
+    #[test]
+    fn solar_offset_tracks_longitude() {
+        assert_eq!(GeoPoint::new(0.0, 0.0).solar_offset_hours(), 0.0);
+        assert_eq!(GeoPoint::new(0.0, 90.0).solar_offset_hours(), 6.0);
+        assert_eq!(GeoPoint::new(0.0, -75.0).solar_offset_hours(), -5.0);
+    }
+
+    #[test]
+    fn world_generation_is_deterministic() {
+        let cfg = WorldConfig::default();
+        let w1 = World::generate(&cfg, &SeedDomain::new(7));
+        let w2 = World::generate(&cfg, &SeedDomain::new(7));
+        assert_eq!(w1.cities.len(), w2.cities.len());
+        for (a, b) in w1.cities.iter().zip(&w2.cities) {
+            assert_eq!(a.location.lat, b.location.lat);
+            assert_eq!(a.country, b.country);
+        }
+        let w3 = World::generate(&cfg, &SeedDomain::new(8));
+        let same = w1
+            .cities
+            .iter()
+            .zip(&w3.cities)
+            .all(|(a, b)| a.location.lat == b.location.lat);
+        assert!(!same, "different seeds must differ");
+    }
+
+    #[test]
+    fn world_population_weights_normalized_and_skewed() {
+        let w = World::generate(&WorldConfig::default(), &SeedDomain::new(1));
+        let sum: f64 = w.countries.iter().map(|c| c.population_weight).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Zipf: first country strictly dominates the last.
+        assert!(
+            w.countries.first().unwrap().population_weight
+                > 3.0 * w.countries.last().unwrap().population_weight
+        );
+    }
+
+    #[test]
+    fn every_country_has_a_city() {
+        let w = World::generate(&WorldConfig::default(), &SeedDomain::new(3));
+        for c in &w.countries {
+            assert!(
+                w.cities_of(c.country).next().is_some(),
+                "{} has no city",
+                c.country
+            );
+        }
+    }
+
+    #[test]
+    fn cities_stay_reasonably_near_their_centroid() {
+        let w = World::generate(&WorldConfig::default(), &SeedDomain::new(5));
+        for city in &w.cities {
+            let c = w.country(city.country);
+            // Allow slack for the km→degree conversion distortion at
+            // extreme latitudes; cities must still be country-scale close.
+            assert!(
+                city.location.distance_km(c.centroid) < c.radius_km * 3.0 + 50.0,
+                "city {} too far from centroid of {}",
+                city.id,
+                city.country
+            );
+        }
+    }
+}

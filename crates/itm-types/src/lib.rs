@@ -1,0 +1,33 @@
+//! # itm-types — core vocabulary for the Internet Traffic Map workspace
+//!
+//! This crate defines the small, dependency-light types shared by every other
+//! crate in the workspace: identifiers for Internet entities (ASes, prefixes,
+//! routers, facilities, services), IPv4 prefix arithmetic, geographic
+//! coordinates and distance, simulated time with diurnal activity curves,
+//! deterministic seed derivation, statistical helpers, and the workspace
+//! error type.
+//!
+//! Everything here is plain data: no I/O, no global state, no threads.
+//! Determinism is a workspace-wide invariant — all randomness flows from a
+//! single master seed through [`rng::SeedDomain`], so two runs with the same
+//! seed produce bit-identical Internets, measurements, and reports.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod error;
+pub mod geo;
+pub mod ids;
+pub mod net;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use error::{ItmError, Result};
+pub use geo::{Country, GeoPoint};
+pub use ids::{Asn, FacilityId, IxpId, PopId, PrefixId, RouterId, ServiceId};
+pub use net::{Ipv4Addr, Ipv4Net};
+pub use rng::SeedDomain;
+pub use time::{DiurnalCurve, SimDuration, SimTime};
+pub use units::Bps;

@@ -1,0 +1,252 @@
+//! Deterministic randomness plumbing and distribution sampling.
+//!
+//! Reproducibility is a first-class requirement: the paper's entire argument
+//! is about replicable measurement, so the reproduction must itself be
+//! bit-reproducible. A [`SeedDomain`] derives independent named sub-seeds
+//! from one master seed via the SplitMix64 mix function. Because sub-seeds
+//! are keyed by *name*, adding a new consumer of randomness in one subsystem
+//! never perturbs the streams seen by others — the classic "one extra
+//! `gen()` call reshuffles the whole world" failure mode is designed out.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives independent, named RNG streams from a master seed.
+#[derive(Debug, Clone)]
+pub struct SeedDomain {
+    master: u64,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix used to turn
+/// (master, name-hash, index) tuples into statistically independent seeds.
+/// Public because several crates derive deterministic per-entity draws
+/// from hashed keys with it.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the name bytes; stable across platforms and Rust versions
+/// (unlike `std::hash`, whose output is unspecified across releases).
+#[inline]
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl SeedDomain {
+    /// Create a domain from a master seed.
+    pub fn new(master: u64) -> Self {
+        SeedDomain { master }
+    }
+
+    /// The master seed this domain was created from.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derive the raw 64-bit sub-seed for `name`.
+    pub fn seed(&self, name: &str) -> u64 {
+        mix64(self.master ^ mix64(fnv1a(name)))
+    }
+
+    /// A deterministic RNG for the stream `name`.
+    pub fn rng(&self, name: &str) -> StdRng {
+        StdRng::seed_from_u64(self.seed(name))
+    }
+
+    /// A deterministic RNG for the `i`-th element of stream `name`,
+    /// letting per-entity draws stay independent of iteration order.
+    pub fn rng_indexed(&self, name: &str, i: u64) -> StdRng {
+        StdRng::seed_from_u64(mix64(self.seed(name) ^ mix64(i)))
+    }
+
+    /// A child domain, namespacing a whole subsystem.
+    pub fn child(&self, name: &str) -> SeedDomain {
+        SeedDomain {
+            master: self.seed(name),
+        }
+    }
+}
+
+/// Sample from a bounded Zipf distribution over ranks `1..=n`.
+///
+/// Returns a 0-based index. `exponent` near 1.0 matches the skew of service
+/// popularity and flow sizes reported in traffic studies.
+pub fn zipf_index<R: Rng>(rng: &mut R, n: usize, exponent: f64) -> usize {
+    debug_assert!(n >= 1);
+    // Inverse-CDF on the harmonic partial sums would need a table; for the
+    // sizes we use (n ≤ a few thousand draws per call site are rare) a
+    // rejection-free cumulative walk with cached normalizer is fine. To stay
+    // allocation-free we use the standard approximate inverse:
+    //   F(k) ≈ H_k / H_n with H_k ≈ (k^(1-s) - 1)/(1-s)  (s != 1)
+    let s = exponent;
+    let u: f64 = rng.gen_range(0.0..1.0);
+    if (s - 1.0).abs() < 1e-9 {
+        // H_k ≈ ln(k+1); invert ln-scaled uniform.
+        let hn = ((n + 1) as f64).ln();
+        let k = (u * hn).exp() - 1.0;
+        (k.floor() as usize).min(n - 1)
+    } else {
+        let hn = ((n as f64 + 1.0).powf(1.0 - s) - 1.0) / (1.0 - s);
+        let k = (u * hn * (1.0 - s) + 1.0).powf(1.0 / (1.0 - s)) - 1.0;
+        (k.floor() as usize).min(n - 1)
+    }
+}
+
+/// Zipf *weights* for ranks `1..=n` (normalized to sum to 1).
+pub fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(exponent)).collect();
+    let sum: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= sum;
+    }
+    w
+}
+
+/// Sample a log-normal variate with the given parameters of the underlying
+/// normal (mu, sigma). Uses Box–Muller on two uniforms for independence
+/// from rand's distribution internals (keeps outputs stable if rand's own
+/// samplers change between releases).
+pub fn lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// Sample a Pareto (power-law) variate with scale `x_min` and shape `alpha`.
+///
+/// Heavy tails with `alpha` in (1, 2] reproduce the extreme skew of
+/// per-prefix user counts and per-service traffic volumes.
+pub fn pareto<R: Rng>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Choose an index proportionally to `weights` (need not be normalized).
+/// Returns `None` for empty or all-zero weights.
+pub fn weighted_choice<R: Rng>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if !(total > 0.0) {
+        return None;
+    }
+    let mut r = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if r < *w {
+            return Some(i);
+        }
+        r -= w;
+    }
+    // Floating-point slop: return the last positive-weight index.
+    weights.iter().rposition(|w| *w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let d = SeedDomain::new(42);
+        let a: Vec<u32> = d.rng("topology").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u32> = d.rng("topology").sample_iter(rand::distributions::Standard).take(8).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_names_different_streams() {
+        let d = SeedDomain::new(42);
+        assert_ne!(d.seed("topology"), d.seed("traffic"));
+        assert_ne!(d.seed("a"), d.seed("b"));
+    }
+
+    #[test]
+    fn different_masters_different_streams() {
+        assert_ne!(SeedDomain::new(1).seed("x"), SeedDomain::new(2).seed("x"));
+    }
+
+    #[test]
+    fn child_domains_namespace() {
+        let d = SeedDomain::new(9);
+        let c1 = d.child("dns");
+        let c2 = d.child("tls");
+        assert_ne!(c1.seed("scan"), c2.seed("scan"));
+        // Child derivation is stable.
+        assert_eq!(d.child("dns").seed("scan"), c1.seed("scan"));
+    }
+
+    #[test]
+    fn indexed_rngs_are_independent_of_order() {
+        let d = SeedDomain::new(3);
+        let v5: u64 = d.rng_indexed("as", 5).gen();
+        let _ = d.rng_indexed("as", 4); // consuming 4 first must not matter
+        assert_eq!(v5, d.rng_indexed("as", 5).gen::<u64>());
+        assert_ne!(v5, d.rng_indexed("as", 6).gen::<u64>());
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = SeedDomain::new(1).rng("zipf");
+        let n = 100;
+        let mut counts = vec![0usize; n];
+        for _ in 0..20_000 {
+            let i = zipf_index(&mut rng, n, 1.0);
+            assert!(i < n);
+            counts[i] += 1;
+        }
+        // Rank 1 should dominate rank 10 by roughly 10x under s=1.
+        assert!(counts[0] > 4 * counts[9], "{} vs {}", counts[0], counts[9]);
+        assert!(counts[0] > 50 * counts[90].max(1) / 2);
+    }
+
+    #[test]
+    fn zipf_weights_normalized_and_monotone() {
+        let w = zipf_weights(50, 1.1);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_close_to_exp_mu() {
+        let mut rng = SeedDomain::new(2).rng("ln");
+        let mut v: Vec<f64> = (0..9999).map(|_| lognormal(&mut rng, 2.0, 0.7)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        let expect = 2.0f64.exp();
+        assert!((median / expect - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_is_heavy_tailed() {
+        let mut rng = SeedDomain::new(4).rng("pareto");
+        let xs: Vec<f64> = (0..10_000).map(|_| pareto(&mut rng, 1.0, 1.2)).collect();
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 100.0, "tail too light: max {max}");
+    }
+
+    #[test]
+    fn weighted_choice_matches_weights() {
+        let mut rng = SeedDomain::new(5).rng("wc");
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8000 {
+            counts[weighted_choice(&mut rng, &w).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+        assert_eq!(weighted_choice(&mut rng, &[]), None);
+        assert_eq!(weighted_choice(&mut rng, &[0.0, 0.0]), None);
+    }
+}

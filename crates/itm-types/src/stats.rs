@@ -1,0 +1,323 @@
+//! Statistical helpers used across the evaluation harness.
+//!
+//! The paper's headline methodological point is the difference between
+//! *unweighted* and *traffic-weighted* CDFs (§1, §2.1); [`Ecdf`] supports
+//! both. Figure 2 needs least-squares fits and rank correlations
+//! ([`linear_fit`], [`spearman`], [`kendall_tau`]); coverage scoring uses
+//! [`gini`] to report skew.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over weighted samples.
+///
+/// Construct with [`Ecdf::unweighted`] (every sample weight 1 — the practice
+/// the paper wants "banished to the dustbins of SIGCOMM history") or
+/// [`Ecdf::weighted`] (the traffic-map way).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecdf {
+    /// (value, cumulative fraction) points, sorted by value, cumulative
+    /// fraction reaching 1.0 at the last point.
+    points: Vec<(f64, f64)>,
+}
+
+impl Ecdf {
+    /// Build an ECDF giving every sample equal weight.
+    pub fn unweighted(values: impl IntoIterator<Item = f64>) -> Ecdf {
+        Self::weighted(values.into_iter().map(|v| (v, 1.0)))
+    }
+
+    /// Build an ECDF over `(value, weight)` samples. Non-positive and
+    /// non-finite weights are dropped.
+    pub fn weighted(samples: impl IntoIterator<Item = (f64, f64)>) -> Ecdf {
+        let mut s: Vec<(f64, f64)> = samples
+            .into_iter()
+            .filter(|(v, w)| v.is_finite() && w.is_finite() && *w > 0.0)
+            .collect();
+        s.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let total: f64 = s.iter().map(|(_, w)| w).sum();
+        let mut points = Vec::with_capacity(s.len());
+        let mut acc = 0.0;
+        for (v, w) in s {
+            acc += w;
+            // Merge duplicate values so the CDF is a function.
+            match points.last_mut() {
+                Some((lv, lf)) if *lv == v => *lf = acc / total,
+                _ => points.push((v, acc / total)),
+            }
+        }
+        Ecdf { points }
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        match self
+            .points
+            .binary_search_by(|(v, _)| v.partial_cmp(&x).unwrap())
+        {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// The `q`-quantile (`q` in \[0, 1\]); `None` on an empty ECDF.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = self
+            .points
+            .iter()
+            .position(|&(_, f)| f >= q - 1e-12)
+            .unwrap_or(self.points.len() - 1);
+        Some(self.points[idx].0)
+    }
+
+    /// The median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The underlying (value, cumulative-fraction) points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// Ordinary least-squares fit `y = slope * x + intercept`.
+///
+/// Returns `(slope, intercept, r2)`, or `None` with fewer than two distinct
+/// x values.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some((slope, intercept, r2))
+}
+
+/// Pearson product-moment correlation, `None` if either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Average ranks, assigning tied values the mean of their rank range.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap());
+    let mut r = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            r[idx[k]] = mean_rank;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// Spearman rank correlation (Pearson over average ranks).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Kendall's tau-a rank correlation (concordant minus discordant pairs,
+/// over all pairs; ties count as neither).
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mut conc = 0i64;
+    let mut disc = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            let s = dx * dy;
+            if s > 0.0 {
+                conc += 1;
+            } else if s < 0.0 {
+                disc += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    Some((conc - disc) as f64 / pairs)
+}
+
+/// Gini coefficient of a set of non-negative values (0 = perfectly equal,
+/// → 1 = maximally concentrated). Used to report traffic-share skew.
+pub fn gini(values: &[f64]) -> f64 {
+    let mut v: Vec<f64> = values.iter().cloned().filter(|x| *x >= 0.0).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len() as f64;
+    let sum: f64 = v.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+/// Smallest number of top items (by value, descending) whose sum reaches
+/// `fraction` of the total. The paper's consolidation claims are of this
+/// form ("a handful of providers carry 90% of traffic").
+pub fn top_k_for_share(values: &[f64], fraction: f64) -> usize {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let total: f64 = v.iter().sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut acc = 0.0;
+    for (i, x) in v.iter().enumerate() {
+        acc += x;
+        if acc >= fraction * total {
+            return i + 1;
+        }
+    }
+    v.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_unweighted_basics() {
+        let e = Ecdf::unweighted([3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.fraction_at(0.5), 0.0);
+        assert_eq!(e.fraction_at(1.0), 0.25);
+        assert_eq!(e.fraction_at(2.0), 0.75);
+        assert_eq!(e.fraction_at(10.0), 1.0);
+        assert_eq!(e.median(), Some(2.0));
+    }
+
+    #[test]
+    fn ecdf_weighting_changes_the_story() {
+        // The paper's core point: 3 paths of length 4 and 1 path of
+        // length 1, but the short path carries 97% of traffic.
+        let lengths_weights = [(4.0, 1.0), (4.0, 1.0), (4.0, 1.0), (1.0, 97.0)];
+        let unweighted = Ecdf::unweighted(lengths_weights.iter().map(|(v, _)| *v));
+        let weighted = Ecdf::weighted(lengths_weights);
+        assert_eq!(unweighted.fraction_at(1.0), 0.25);
+        assert_eq!(weighted.fraction_at(1.0), 0.97);
+    }
+
+    #[test]
+    fn ecdf_handles_empty_and_bad_weights() {
+        let e = Ecdf::weighted([(1.0, 0.0), (2.0, -1.0), (f64::NAN, 1.0)]);
+        assert!(e.is_empty());
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.fraction_at(5.0), 0.0);
+    }
+
+    #[test]
+    fn ecdf_quantiles() {
+        let e = Ecdf::unweighted((1..=100).map(|i| i as f64));
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(100.0));
+        assert_eq!(e.quantile(0.9), Some(90.0));
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+        let (m, b, r2) = linear_fit(&xs, &ys).unwrap();
+        assert!((m - 3.0).abs() < 1e-9);
+        assert!((b - 7.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-12);
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn correlations_on_monotone_data() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 8.0, 16.0, 32.0]; // monotone but nonlinear
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let p = pearson(&xs, &ys).unwrap();
+        assert!(p > 0.8 && p < 1.0);
+        let rev: Vec<f64> = ys.iter().rev().cloned().collect();
+        assert!((spearman(&xs, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlations_handle_degenerate_input() {
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+        assert!(spearman(&[], &[]).is_none());
+        assert!(kendall_tau(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini(&[1.0, 1.0, 1.0, 1.0]).abs() < 1e-12);
+        let concentrated = gini(&[0.0, 0.0, 0.0, 100.0]);
+        assert!(concentrated > 0.7, "{concentrated}");
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn top_k_share() {
+        let v = [50.0, 30.0, 10.0, 5.0, 5.0];
+        assert_eq!(top_k_for_share(&v, 0.5), 1);
+        assert_eq!(top_k_for_share(&v, 0.8), 2);
+        assert_eq!(top_k_for_share(&v, 0.9), 3);
+        assert_eq!(top_k_for_share(&v, 1.0), 5);
+        assert_eq!(top_k_for_share(&[], 0.5), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the core data structures.
+
+use itm_types::rng::{lognormal, pareto, weighted_choice, zipf_index};
+use itm_types::stats::{gini, kendall_tau, pearson, spearman, top_k_for_share, Ecdf};
+use itm_types::{Ipv4Addr, Ipv4Net, SeedDomain, SimDuration, SimTime};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    // ---------- prefix arithmetic ----------
+
+    #[test]
+    fn addr_display_parse_round_trip(raw in any::<u32>()) {
+        let a = Ipv4Addr(raw);
+        let s = a.to_string();
+        let b: Ipv4Addr = s.parse().unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn net_display_parse_round_trip(raw in any::<u32>(), len in 0u8..=32) {
+        let n = Ipv4Net::new(Ipv4Addr(raw), len).unwrap();
+        let s = n.to_string();
+        let m: Ipv4Net = s.parse().unwrap();
+        prop_assert_eq!(n, m);
+    }
+
+    #[test]
+    fn net_contains_its_own_addresses(raw in any::<u32>(), len in 0u8..=32, i in any::<u32>()) {
+        let n = Ipv4Net::new(Ipv4Addr(raw), len).unwrap();
+        prop_assert!(n.contains(n.addr(i)));
+        prop_assert!(n.contains(n.network()));
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_antisymmetric_up_to_equality(
+        a in any::<u32>(), la in 0u8..=32,
+        b in any::<u32>(), lb in 0u8..=32,
+    ) {
+        let x = Ipv4Net::new(Ipv4Addr(a), la).unwrap();
+        let y = Ipv4Net::new(Ipv4Addr(b), lb).unwrap();
+        prop_assert!(x.covers(x));
+        if x.covers(y) && y.covers(x) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn supernet_covers_and_split_partitions(raw in any::<u32>(), len in 1u8..=31) {
+        let n = Ipv4Net::new(Ipv4Addr(raw), len).unwrap();
+        let sup = n.supernet().unwrap();
+        prop_assert!(sup.covers(n));
+        let (lo, hi) = n.split().unwrap();
+        prop_assert!(n.covers(lo) && n.covers(hi));
+        prop_assert_eq!(lo.size() as u64 + hi.size() as u64, n.size() as u64);
+        // The halves are disjoint.
+        prop_assert!(!lo.covers(hi) && !hi.covers(lo));
+    }
+
+    #[test]
+    fn slash24_enumeration_is_exact(raw in any::<u32>(), len in 8u8..=24) {
+        let n = Ipv4Net::new(Ipv4Addr(raw), len).unwrap();
+        let subs: Vec<Ipv4Net> = n.slash24s().collect();
+        prop_assert_eq!(subs.len() as u64, 1u64 << (24 - len.min(24)));
+        for s in &subs {
+            prop_assert_eq!(s.len(), 24);
+            prop_assert!(n.covers(*s));
+        }
+        // Consecutive and non-overlapping.
+        for w in subs.windows(2) {
+            prop_assert_eq!(w[1].network().0 - w[0].network().0, 256);
+        }
+    }
+
+    // ---------- deterministic seeding ----------
+
+    #[test]
+    fn seed_domain_is_pure(master in any::<u64>(), name in "[a-z]{1,12}") {
+        let d = SeedDomain::new(master);
+        prop_assert_eq!(d.seed(&name), d.seed(&name));
+        prop_assert_eq!(d.child(&name).master(), d.child(&name).master());
+    }
+
+    #[test]
+    fn indexed_rngs_differ_across_indices(master in any::<u64>(), i in 0u64..1000) {
+        use rand::RngCore;
+        let d = SeedDomain::new(master);
+        let a = d.rng_indexed("x", i).next_u64();
+        let b = d.rng_indexed("x", i + 1).next_u64();
+        prop_assert_ne!(a, b);
+    }
+
+    // ---------- distributions ----------
+
+    #[test]
+    fn zipf_index_in_range(seed in any::<u64>(), n in 1usize..500, s in 0.5f64..2.0) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(zipf_index(&mut rng, n, s) < n);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_floor(seed in any::<u64>(), xmin in 0.1f64..100.0, alpha in 0.5f64..3.0) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(pareto(&mut rng, xmin, alpha) >= xmin);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive(seed in any::<u64>(), mu in -3.0f64..3.0, sigma in 0.0f64..2.0) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(lognormal(&mut rng, mu, sigma) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_choice_picks_positive_weight(
+        seed in any::<u64>(),
+        weights in proptest::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        match weighted_choice(&mut rng, &weights) {
+            Some(i) => prop_assert!(weights[i] > 0.0),
+            None => prop_assert!(weights.iter().all(|w| *w <= 0.0)),
+        }
+    }
+
+    // ---------- statistics ----------
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let e = Ecdf::unweighted(values.clone());
+        let mut prev = 0.0;
+        for &(v, f) in e.points() {
+            prop_assert!(f >= prev - 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+            prop_assert!(v.is_finite());
+            prev = f;
+        }
+        prop_assert!((e.points().last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_quantile_is_inverse_of_fraction(
+        values in proptest::collection::vec(-100f64..100.0, 2..50),
+        q in 0.0f64..1.0,
+    ) {
+        let e = Ecdf::unweighted(values);
+        let x = e.quantile(q).unwrap();
+        prop_assert!(e.fraction_at(x) >= q - 1e-9);
+    }
+
+    #[test]
+    fn correlations_are_bounded(
+        pairs in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..40),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+        if let Some(r) = spearman(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+        if let Some(r) = kendall_tau(&xs, &ys) {
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn correlation_with_self_is_one(values in proptest::collection::vec(-100f64..100.0, 3..40)) {
+        // Need non-constant input.
+        prop_assume!(values.windows(2).any(|w| w[0] != w[1]));
+        let r = pearson(&values, &values).unwrap();
+        prop_assert!((r - 1.0).abs() < 1e-9);
+        let s = spearman(&values, &values).unwrap();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_bounded(values in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        let g = gini(&values);
+        prop_assert!((0.0..1.0).contains(&g) || g.abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_monotone_in_fraction(values in proptest::collection::vec(0.01f64..1e3, 1..50)) {
+        let k50 = top_k_for_share(&values, 0.5);
+        let k90 = top_k_for_share(&values, 0.9);
+        prop_assert!(k50 <= k90);
+        prop_assert!(k90 <= values.len());
+        prop_assert!(k50 >= 1);
+    }
+
+    // ---------- time ----------
+
+    #[test]
+    fn sim_time_addition_is_consistent(t in 0u64..1_000_000_000, d in 0u64..1_000_000) {
+        let t0 = SimTime(t);
+        let t1 = t0 + SimDuration(d);
+        prop_assert_eq!((t1 - t0).as_secs(), d);
+        prop_assert!(t1.utc_hour() >= 0.0 && t1.utc_hour() < 24.0);
+        prop_assert!(t1.local_hour(13.5) >= 0.0 && t1.local_hour(13.5) < 24.0);
+    }
+}

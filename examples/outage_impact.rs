@@ -1,0 +1,80 @@
+//! Outage impact analysis — the paper's §2.1 flagship use case.
+//!
+//! "To assess the impact of an outage in a ⟨region, AS⟩, the map can tell
+//! us which popular services are affected, which prefixes are affected
+//! for those services, what fraction of traffic or users are affected,
+//! and where the prefixes may be routed instead."
+//!
+//! ```sh
+//! cargo run --release --example outage_impact
+//! ```
+
+use itm::core::{MapConfig, OutageImpact, OutageScenario, TrafficMap};
+use itm::measure::{Substrate, SubstrateConfig};
+
+fn main() {
+    let s = Substrate::build(SubstrateConfig::small(), 7).expect("valid config");
+    let map = TrafficMap::build(&s, &MapConfig::default());
+
+    // Scenario 1: the largest hypergiant's own network goes dark.
+    let hg = s.topo.hypergiants()[0];
+    banner(&format!("scenario: {hg} (largest hypergiant) fails entirely"));
+    report(&s, OutageImpact::assess(&s, &map, OutageScenario::WholeAs(hg)));
+
+    // Scenario 2: the same AS fails in one country only.
+    let country = s.topo.world.countries[0].country;
+    banner(&format!("scenario: {hg} fails in {country} only"));
+    report(
+        &s,
+        OutageImpact::assess(&s, &map, OutageScenario::RegionAs(hg, country)),
+    );
+
+    // Scenario 3: the biggest eyeball ISP fails — its users lose their
+    // off-net caches, but the map shows traffic shifting on-net.
+    let eyeball = s
+        .topo
+        .ases_of_class(itm::topology::AsClass::Eyeball)
+        .max_by(|a, b| {
+            s.users
+                .subscribers(a.asn)
+                .partial_cmp(&s.users.subscribers(b.asn))
+                .unwrap()
+        })
+        .unwrap()
+        .asn;
+    banner(&format!("scenario: {eyeball} (largest eyeball ISP) fails"));
+    report(
+        &s,
+        OutageImpact::assess(&s, &map, OutageScenario::WholeAs(eyeball)),
+    );
+}
+
+fn banner(msg: &str) {
+    println!("\n=== {msg} ===");
+}
+
+fn report(s: &Substrate, impact: OutageImpact) {
+    println!("affected services:        {}", impact.affected_services.len());
+    println!("affected (svc,prefix):    {}", impact.affected_cells.len());
+    println!(
+        "users affected (map est): {:.0}   (truth: {:.0})",
+        impact.estimated_users_affected, impact.true_users_affected
+    );
+    println!(
+        "traffic affected:         {:.2}% of all popular-service traffic",
+        100.0 * impact.traffic_share(s)
+    );
+    let rerouted = impact.reroutes.values().filter(|r| r.is_some()).count();
+    let stranded = impact.reroutes.values().filter(|r| r.is_none()).count();
+    println!("reroutable cells:         {rerouted}   (stranded: {stranded})");
+    // Show a few example reroutes.
+    for (k, v) in impact.reroutes.iter().take(3) {
+        let (svc, p) = k;
+        let domain = &s.catalog.get(*svc).domain;
+        let net = s.topo.prefixes.get(*p).net;
+        match v {
+            Some(addr) => println!("  e.g. {net} × {domain} → now served from {addr}"),
+            None => println!("  e.g. {net} × {domain} → NO surviving front-end"),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The §3.3.3 peering recommender: predicting invisible links.
+//!
+//! "Given two networks are both present in a facility, it may be possible
+//! to develop techniques to predict how likely it is that two networks
+//! interconnect at that facility … one could formulate the problem as a
+//! recommendation system."
+//!
+//! ```sh
+//! cargo run --release --example peering_prediction
+//! ```
+
+use itm::core::{PeeringRecommender, RecommendationEval};
+use itm::core::recommend::RecommenderWeights;
+use itm::measure::{Substrate, SubstrateConfig};
+use itm::routing::CollectorSet;
+
+fn main() {
+    let s = Substrate::build(SubstrateConfig::small(), 13).expect("valid config");
+
+    // What the public sees.
+    let collectors = CollectorSet::typical(&s.topo, &s.seeds);
+    let (public, visibility) = collectors.public_view(&s.topo);
+    println!("=== visibility (E12) ===");
+    for (label, total, vis) in &visibility.by_class {
+        if *total > 0 {
+            println!(
+                "{label:>16}: {vis:>5}/{total:<5} visible ({:.0}% invisible)",
+                100.0 * (1.0 - *vis as f64 / *total as f64)
+            );
+        }
+    }
+
+    // Recommend links for the invisible remainder.
+    let rec = PeeringRecommender::new(&s, &public, RecommenderWeights::default());
+    let recs = rec.recommend();
+    let eval = RecommendationEval::evaluate(&s, &recs);
+    println!("\n=== recommendation quality (E10) ===");
+    println!("candidate co-located pairs: {}", eval.candidates);
+    println!("real invisible links among them: {}", eval.positives);
+    println!("base rate (random ranking): {:.3}", eval.base_rate);
+    println!("\n  k     precision@k   recall@k");
+    for (k, p, r) in &eval.at_k {
+        println!("  {k:<6} {p:>9.3}   {r:>8.3}");
+    }
+
+    println!("\ntop 10 recommendations (✓ = really peer):");
+    let truth: std::collections::HashSet<_> = s.topo.links.iter().map(|l| l.key()).collect();
+    for r in recs.iter().take(10) {
+        let (a, b) = r.pair;
+        let mark = if truth.contains(&r.pair) { "✓" } else { "✗" };
+        let (ca, cb) = (
+            s.topo.as_info(a).class.label(),
+            s.topo.as_info(b).class.label(),
+        );
+        println!("  {mark} {a} ({ca}) — {b} ({cb})   score {:.3}", r.score);
+    }
+}

@@ -1,0 +1,52 @@
+//! # itm — an Internet Traffic Map toolkit
+//!
+//! A from-scratch Rust reproduction of *"Towards a traffic map of the
+//! Internet: Connecting the dots between popular services and users"*
+//! (Koch et al., HotNets '21). The paper envisions a map with three
+//! components — where users are and how active they are, where popular
+//! services are hosted and which hosts serve which users, and what routes
+//! connect them — built from public measurements only.
+//!
+//! The real measurements need Google Public DNS, root-server logs, and
+//! Internet-wide scans; this workspace substitutes a complete generative
+//! model of the Internet (the *substrate*) with full ground truth, then
+//! runs every measurement technique the paper sketches against it and
+//! scores the results exactly the way the paper does. See `DESIGN.md` for
+//! the substitution table and the experiment index, and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+//!
+//! ## Crate tour
+//!
+//! * [`types`] — ids, prefixes, geography, time, stats, seeds.
+//! * [`topology`] — the Internet generator (ASes, peering, off-nets).
+//! * [`routing`] — valley-free BGP, anycast, collectors, traceroute, IP ID.
+//! * [`traffic`] — users, services, the ground-truth traffic matrix.
+//! * [`dns`] — resolvers, ECS authoritative DNS, the probeable open
+//!   resolver, Chromium probes, root logs.
+//! * [`tls`] — certificates, scanning, off-net detection.
+//! * [`measure`] — the §3 measurement techniques.
+//! * [`core`] — the assembled [`core::TrafficMap`] and every analysis.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use itm::measure::{Substrate, SubstrateConfig};
+//! use itm::core::{MapConfig, TrafficMap, CoverageReport};
+//!
+//! // A small synthetic Internet (≈120 ASes), fully deterministic.
+//! let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
+//! // Run the full measurement pipeline and assemble the map.
+//! let map = TrafficMap::build(&s, &MapConfig::default());
+//! // Score it the way the paper scores its techniques.
+//! let report = CoverageReport::score(&s, &map, None);
+//! assert!(report.cache_probe_traffic > report.root_logs_traffic);
+//! ```
+
+pub use itm_core as core;
+pub use itm_dns as dns;
+pub use itm_measure as measure;
+pub use itm_routing as routing;
+pub use itm_tls as tls;
+pub use itm_topology as topology;
+pub use itm_traffic as traffic;
+pub use itm_types as types;

@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: build a full synthetic Internet, run the
+//! complete measurement pipeline, and check end-to-end invariants that no
+//! single crate can check alone.
+
+use itm::core::{coverage, CoverageReport, MapConfig, TrafficMap};
+use itm::measure::{Substrate, SubstrateConfig};
+use itm::routing::RoutingTree;
+use itm::types::Asn;
+use std::collections::HashSet;
+
+fn substrate(seed: u64) -> Substrate {
+    Substrate::build(SubstrateConfig::small(), seed).expect("valid config")
+}
+
+/// Most tests only need *a* built map; share one (the map build dominates
+/// test time). Tests exercising determinism or specific seeds build their
+/// own.
+fn shared() -> &'static (Substrate, TrafficMap) {
+    static FIXTURE: std::sync::OnceLock<(Substrate, TrafficMap)> =
+        std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let s = substrate(1001);
+        let map = TrafficMap::build(&s, &MapConfig::default());
+        (s, map)
+    })
+}
+
+#[test]
+fn full_pipeline_end_to_end() {
+    let (s, map) = shared();
+    let report = CoverageReport::score(s, map, None);
+
+    // The paper's coverage ordering and magnitudes (shape, not absolute).
+    assert!(report.cache_probe_traffic > 0.75);
+    assert!(report.root_logs_traffic > 0.2);
+    assert!(report.union_traffic >= report.cache_probe_traffic);
+    assert!(report.false_discovery_rate < 0.02);
+
+    // Table 1 rows exist for all five components.
+    let t1 = coverage::table1(s, map, &report);
+    assert_eq!(t1.len(), 5);
+}
+
+#[test]
+fn map_is_reproducible_across_runs() {
+    let s1 = substrate(1002);
+    let s2 = substrate(1002);
+    let m1 = TrafficMap::build(&s1, &MapConfig::default());
+    let m2 = TrafficMap::build(&s2, &MapConfig::default());
+    assert_eq!(m1.user_prefixes, m2.user_prefixes);
+    assert_eq!(m1.known_server_count(), m2.known_server_count());
+    assert_eq!(m1.user_mapping.mapping.len(), m2.user_mapping.mapping.len());
+    let r1 = CoverageReport::score(&s1, &m1, None);
+    let r2 = CoverageReport::score(&s2, &m2, None);
+    assert_eq!(r1.cache_probe_traffic, r2.cache_probe_traffic);
+    assert_eq!(r1.union_traffic, r2.union_traffic);
+}
+
+#[test]
+fn measured_mapping_agrees_with_dns_ground_truth() {
+    // The ECS mapping measured through the open resolver must equal the
+    // redirection the authoritative DNS would compute directly — two
+    // different code paths through two crates.
+    let (s, map) = shared();
+    let auth = s.authoritative();
+    let resolver = s.open_resolver();
+    let mut checked = 0;
+    for (&(svc, p), &addr) in map.user_mapping.mapping.iter().take(200) {
+        let rec = s.topo.prefixes.get(p);
+        let pop_city = resolver.pops()[resolver.pop_of(p).index()].city;
+        let direct = auth.resolve(svc, pop_city, Some(rec.net));
+        assert_eq!(direct.addr, addr, "{} × {}", rec.net, svc);
+        checked += 1;
+    }
+    assert!(checked > 50);
+}
+
+#[test]
+fn tls_scan_and_dns_mapping_see_the_same_servers() {
+    // Addresses learned from the DNS mapping must be known to the TLS
+    // layer, and hypergiant front-ends must present covering certs.
+    let (s, map) = shared();
+    let mut checked = 0;
+    for (&(svc, _), &addr) in map.user_mapping.mapping.iter().take(100) {
+        let domain = &s.catalog.get(svc).domain;
+        let cert = s
+            .tls
+            .handshake(addr, Some(domain))
+            .expect("mapped server must speak TLS");
+        assert!(cert.covers(domain), "{addr} cert does not cover {domain}");
+        checked += 1;
+    }
+    assert!(checked > 20);
+}
+
+#[test]
+fn routes_exist_between_all_users_and_all_services() {
+    // The ground-truth Internet is fully connected at the BGP level:
+    // every user AS reaches every serving AS.
+    let s = substrate(1005);
+    let view = s.full_view();
+    let mut serving: HashSet<Asn> = HashSet::new();
+    for svc in &s.catalog.services {
+        serving.insert(svc.owner.serving_as());
+    }
+    for &dst in &serving {
+        let tree = RoutingTree::compute(&view, dst);
+        assert_eq!(
+            tree.reachable_count(),
+            s.topo.n_ases(),
+            "{dst} not fully reachable"
+        );
+    }
+}
+
+#[test]
+fn offnet_detection_matches_topology_ground_truth() {
+    let (s, map) = shared();
+    // Every detected off-net exists in the topology's deployment table.
+    for f in &map.offnet_servers {
+        assert!(
+            s.topo.offnets.find(f.hypergiant, f.host).is_some(),
+            "phantom off-net detection {f:?}"
+        );
+    }
+    // Detection covers most deployments of hypergiants with services.
+    let serving_hgs: HashSet<Asn> = s
+        .catalog
+        .services
+        .iter()
+        .filter_map(|svc| match svc.owner {
+            itm::traffic::ServiceOwner::Hypergiant(hg) => Some(hg),
+            _ => None,
+        })
+        .collect();
+    let detected: HashSet<(Asn, Asn)> = map
+        .offnet_servers
+        .iter()
+        .map(|f| (f.hypergiant, f.host))
+        .collect();
+    let mut total = 0;
+    let mut found = 0;
+    for d in s.topo.offnets.iter() {
+        if serving_hgs.contains(&d.hypergiant) {
+            total += 1;
+            if detected.contains(&(d.hypergiant, d.host)) {
+                found += 1;
+            }
+        }
+    }
+    assert!(total > 0);
+    assert!(
+        found as f64 / total as f64 > 0.85,
+        "off-net recall {found}/{total}"
+    );
+}
+
+#[test]
+fn activity_component_is_consistent_with_user_component() {
+    // ASes with strong fused activity must be ASes the user-discovery
+    // component found — the map's components cannot contradict each other.
+    let (s, map) = shared();
+    let discovered = map.cache_result.discovered_ases(&s);
+    let mut strong: Vec<Asn> = map
+        .activity
+        .iter()
+        .filter(|(_, e)| e.fused > 0.5)
+        .map(|(&a, _)| a)
+        .collect();
+    strong.sort_unstable();
+    for a in strong {
+        let class = s.topo.as_info(a).class;
+        if class.is_eyeball() {
+            assert!(
+                discovered.contains(&a),
+                "{a} very active but never discovered"
+            );
+        }
+    }
+}
