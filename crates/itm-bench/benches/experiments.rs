@@ -29,7 +29,9 @@ fn bench_table_figures(c: &mut Criterion) {
     g.bench_function("fig1a", |b| b.iter(|| experiments::fig1a(&s, &map)));
     g.bench_function("fig1b", |b| b.iter(|| experiments::fig1b(&s, &map)));
     g.bench_function("fig2", |b| b.iter(|| experiments::fig2(&s, &map)));
-    g.bench_function("coverage", |b| b.iter(|| experiments::coverage_claims(&s, &map)));
+    g.bench_function("coverage", |b| {
+        b.iter(|| experiments::coverage_claims(&s, &map))
+    });
     g.bench_function("ecs", |b| b.iter(|| experiments::ecs(&s, &map)));
     g.finish();
 }
@@ -44,9 +46,16 @@ fn bench_analyses(c: &mut Criterion) {
     g.bench_function("recommend", |b| b.iter(|| experiments::recommend(&s)));
     g.bench_function("ipid", |b| b.iter(|| experiments::ipid(&s)));
     g.bench_function("visibility", |b| b.iter(|| experiments::visibility(&s)));
-    g.bench_function("consolidation", |b| b.iter(|| experiments::consolidation(&s)));
+    g.bench_function("consolidation", |b| {
+        b.iter(|| experiments::consolidation(&s))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_map_pipeline, bench_table_figures, bench_analyses);
+criterion_group!(
+    benches,
+    bench_map_pipeline,
+    bench_table_figures,
+    bench_analyses
+);
 criterion_main!(benches);

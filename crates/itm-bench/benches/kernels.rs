@@ -93,6 +93,44 @@ fn bench_dns_probing(c: &mut Criterion) {
     g.finish();
 }
 
+/// Instrumentation overhead on the hottest instrumented kernel: the
+/// open-resolver cache lookup (`dns.cache.*` counters fire per probe).
+/// The two functions run the identical workload; the only difference is
+/// the global registry's enabled flag. Budget: <2% delta.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
+    let resolver = s.open_resolver();
+    let nets: Vec<_> = s.topo.prefixes.iter().map(|r| r.net).collect();
+    let probe_1k = |start: &mut usize| {
+        let mut hits = 0usize;
+        for _ in 0..1000 {
+            let net = nets[*start % nets.len()];
+            *start += 1;
+            if matches!(
+                resolver.probe(net, "svc0.example", SimTime(3600)),
+                itm_dns::ProbeResult::Hit(_)
+            ) {
+                hits += 1;
+            }
+        }
+        hits
+    };
+    let mut g = c.benchmark_group("obs");
+    g.bench_function("cache_lookup_1k_metrics_off", |b| {
+        itm_obs::set_enabled(false);
+        let mut i = 0usize;
+        b.iter(|| probe_1k(&mut i))
+    });
+    g.bench_function("cache_lookup_1k_metrics_on", |b| {
+        itm_obs::set_enabled(true);
+        itm_obs::reset();
+        let mut i = 0usize;
+        b.iter(|| probe_1k(&mut i))
+    });
+    itm_obs::set_enabled(false);
+    g.finish();
+}
+
 fn bench_traffic(c: &mut Criterion) {
     let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
     let prefixes: Vec<_> = s.users.user_prefixes(&s.topo).collect();
@@ -103,7 +141,10 @@ fn bench_traffic(c: &mut Criterion) {
             for i in 0..10_000usize {
                 let p = prefixes[i % prefixes.len()];
                 let svc = s.catalog.services[i % s.catalog.len()].id;
-                acc += s.traffic.demand(&s.topo, &s.users, &s.catalog, p, svc).raw();
+                acc += s
+                    .traffic
+                    .demand(&s.topo, &s.users, &s.catalog, p, svc)
+                    .raw();
             }
             acc
         })
@@ -117,6 +158,7 @@ criterion_group!(
     bench_routing,
     bench_substrate,
     bench_dns_probing,
+    bench_obs_overhead,
     bench_traffic
 );
 criterion_main!(benches);

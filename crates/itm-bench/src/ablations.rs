@@ -20,13 +20,9 @@ pub fn ab_ecs_scope(s: &Substrate) -> ExperimentResult {
     // ECS campaign (the default picks ECS-supporting domains).
     let ecs_result = CacheProbeCampaign::default().run(s, &resolver);
     let ecs_fdr = ecs_result.false_discovery_rate(s);
-    let ecs_cov = s.traffic.provider_coverage(
-        &s.topo,
-        &s.users,
-        &s.catalog,
-        &ecs_result.discovered,
-        None,
-    );
+    let ecs_cov =
+        s.traffic
+            .provider_coverage(&s.topo, &s.users, &s.catalog, &ecs_result.discovered, None);
 
     // Non-ECS probing: every prefix behind a PoP reports hit/miss
     // identically, so "discoveries" include userless prefixes behind busy
@@ -44,10 +40,7 @@ pub fn ab_ecs_scope(s: &Substrate) -> ExperimentResult {
         for d in &non_ecs_domains {
             for round in 0..8u64 {
                 let t = itm_types::SimTime(round * 10_800);
-                if matches!(
-                    resolver.probe(rec.net, d, t),
-                    itm_dns::ProbeResult::Hit(_)
-                ) {
+                if matches!(resolver.probe(rec.net, d, t), itm_dns::ProbeResult::Hit(_)) {
                     discovered.insert(rec.id);
                 }
             }
@@ -62,9 +55,9 @@ pub fn ab_ecs_scope(s: &Substrate) -> ExperimentResult {
             .count() as f64
             / discovered.len() as f64
     };
-    let non_cov =
-        s.traffic
-            .provider_coverage(&s.topo, &s.users, &s.catalog, &discovered, None);
+    let non_cov = s
+        .traffic
+        .provider_coverage(&s.topo, &s.users, &s.catalog, &discovered, None);
 
     ExperimentResult {
         id: "ab_ecs_scope",
@@ -82,7 +75,10 @@ pub fn ab_ecs_scope(s: &Substrate) -> ExperimentResult {
             ("PoP-wide false-discovery rate".into(), pct(non_fdr)),
             (
                 "precision collapse without ECS".into(),
-                format!("{:.0}x more false positives", (non_fdr / ecs_fdr.max(1e-6)).max(1.0)),
+                format!(
+                    "{:.0}x more false positives",
+                    (non_fdr / ecs_fdr.max(1e-6)).max(1.0)
+                ),
             ),
         ],
     }
@@ -242,13 +238,9 @@ pub fn ab_probe_budget(s: &Substrate) -> ExperimentResult {
             ..Default::default()
         };
         let result = campaign.run(s, &resolver);
-        let cov = s.traffic.provider_coverage(
-            &s.topo,
-            &s.users,
-            &s.catalog,
-            &result.discovered,
-            None,
-        );
+        let cov =
+            s.traffic
+                .provider_coverage(&s.topo, &s.users, &s.catalog, &result.discovered, None);
         let probes = result.probes_per_prefix as u64 * s.topo.prefixes.len() as u64;
         rows.push(format!(
             "{rounds},{probes},{},{cov:.4}",

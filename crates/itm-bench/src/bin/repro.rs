@@ -5,10 +5,13 @@
 //! cargo run --release -p itm-bench --bin repro -- --exp fig2   # one artifact
 //! cargo run --release -p itm-bench --bin repro -- --size small --seed 7
 //! cargo run --release -p itm-bench --bin repro -- --ablations  # D1–D5 too
+//! cargo run --release -p itm-bench --bin repro -- --exp coverage --metrics
 //! ```
 //!
 //! Results land in `results/<id>.csv` plus a combined
-//! `results/summary.txt`.
+//! `results/summary.txt`; `--metrics` additionally records pipeline
+//! instrumentation (phase timings, probe budgets) to
+//! `results/metrics.json`.
 
 use itm_bench::{ablations, experiments, ExperimentResult};
 use itm_core::{MapConfig, TrafficMap};
@@ -17,12 +20,53 @@ use itm_topology::TopologyConfig;
 use std::io::Write;
 use std::time::Instant;
 
+/// Experiment ids, in run order.
+const EXPERIMENT_IDS: &[&str] = &[
+    "table1",
+    "fig1a",
+    "fig1b",
+    "fig2",
+    "pathlen",
+    "anycast",
+    "coverage",
+    "ecs",
+    "pathpred",
+    "recommend",
+    "ipid",
+    "visibility",
+    "consolidation",
+    "cachehost",
+    "assoc",
+    "staleness",
+];
+
+/// Ablation ids (run with `--ablations`, or singly via `--exp ab_*`).
+const ABLATION_IDS: &[&str] = &[
+    "ab_ecs_scope",
+    "ab_resolver_assumption",
+    "ab_collectors",
+    "ab_recommend_features",
+    "ab_probe_budget",
+];
+
 struct Args {
     exp: Option<String>,
     seed: u64,
     size: String,
     ablations: bool,
     out_dir: String,
+    metrics: bool,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--exp <id>] [--seed N] [--size small|default|large] \
+         [--ablations] [--metrics] [--out DIR]\n\
+         experiment ids: {}\n\
+         ablation ids (with --exp): {}",
+        EXPERIMENT_IDS.join(" "),
+        ABLATION_IDS.join(" ")
+    )
 }
 
 fn parse_args() -> Args {
@@ -32,6 +76,7 @@ fn parse_args() -> Args {
         size: "default".into(),
         ablations: false,
         out_dir: "results".into(),
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -46,22 +91,24 @@ fn parse_args() -> Args {
             }
             "--size" => args.size = it.next().unwrap_or_else(|| "default".into()),
             "--ablations" => args.ablations = true,
+            "--metrics" => args.metrics = true,
             "--out" => args.out_dir = it.next().unwrap_or_else(|| "results".into()),
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: repro [--exp <id>] [--seed N] [--size small|default|large] \
-                     [--ablations] [--out DIR]\n\
-                     experiment ids: table1 fig1a fig1b fig2 pathlen anycast coverage \
-                     ecs pathpred recommend ipid visibility consolidation cachehost assoc staleness\n\
-                     ablation ids (with --exp): ab_ecs_scope ab_resolver_assumption \
-                     ab_collectors ab_recommend_features ab_probe_budget"
-                );
+                eprintln!("{}", usage());
                 std::process::exit(0);
             }
             other => {
                 eprintln!("unknown argument {other}; try --help");
                 std::process::exit(2);
             }
+        }
+    }
+    // Reject unknown experiment ids up front, before the (expensive)
+    // substrate build.
+    if let Some(exp) = args.exp.as_deref() {
+        if !EXPERIMENT_IDS.contains(&exp) && !ABLATION_IDS.contains(&exp) {
+            eprintln!("unknown experiment id {exp:?}\n{}", usage());
+            std::process::exit(2);
         }
     }
     args
@@ -82,9 +129,25 @@ fn main() {
     let args = parse_args();
     std::fs::create_dir_all(&args.out_dir).expect("create output dir");
 
+    if args.metrics {
+        itm_obs::set_enabled(true);
+        itm_obs::reset();
+        // Pre-register the headline probe counters so metrics.json always
+        // carries them (at zero) even when a run skips a technique.
+        itm_obs::counter_with("probe.queries", &[("technique", "cache_probe")]);
+        itm_obs::counter_with("probe.queries", &[("technique", "ecs_mapping")]);
+        itm_obs::counter_with("probe.log_lines", &[("technique", "root_crawl")]);
+        itm_obs::counter_with("probe.pings", &[("technique", "ipid_probe")]);
+        itm_obs::counter_with("probe.connects", &[("technique", "tls_scan")]);
+        itm_obs::counter_with("probe.connects", &[("technique", "sni_scan")]);
+    }
+
     let cfg = config_for(&args.size);
     let t0 = Instant::now();
-    eprintln!("building substrate (size={}, seed={})…", args.size, args.seed);
+    eprintln!(
+        "building substrate (size={}, seed={})…",
+        args.size, args.seed
+    );
     let s = Substrate::build(cfg.clone(), args.seed).expect("valid config");
     eprintln!(
         "  {} ASes, {} links, {} /24s, {} services [{:.1?}]",
@@ -96,7 +159,12 @@ fn main() {
     );
 
     // Experiments that need the full map share one build.
-    let needs_map = |id: &str| matches!(id, "table1" | "fig1a" | "fig1b" | "fig2" | "coverage" | "ecs");
+    let needs_map = |id: &str| {
+        matches!(
+            id,
+            "table1" | "fig1a" | "fig1b" | "fig2" | "coverage" | "ecs"
+        )
+    };
     let want = |id: &str| args.exp.as_deref().map(|e| e == id).unwrap_or(true);
 
     let map = if ["table1", "fig1a", "fig1b", "fig2", "coverage", "ecs"]
@@ -142,7 +210,13 @@ fn main() {
     run("assoc", &mut || experiments::assoc(&s));
     run("staleness", &mut || experiments::staleness(&s));
 
-    if args.ablations || args.exp.as_deref().map(|e| e.starts_with("ab_")).unwrap_or(false) {
+    if args.ablations
+        || args
+            .exp
+            .as_deref()
+            .map(|e| e.starts_with("ab_"))
+            .unwrap_or(false)
+    {
         run("ab_ecs_scope", &mut || ablations::ab_ecs_scope(&s));
         run("ab_resolver_assumption", &mut || {
             ablations::ab_resolver_assumption(&cfg, args.seed)
@@ -155,11 +229,22 @@ fn main() {
     }
 
     if results.is_empty() {
+        // `--exp ab_*` without --ablations still runs (handled above), so
+        // the only way here is an ablation id filtered out by a logic bug.
         eprintln!(
-            "no experiment matched {:?}; try --help for the list of ids",
-            args.exp.as_deref().unwrap_or("")
+            "no experiment matched {:?}\n{}",
+            args.exp.as_deref().unwrap_or(""),
+            usage()
         );
         std::process::exit(2);
+    }
+
+    if args.metrics {
+        let report = itm_obs::snapshot();
+        let path = format!("{}/metrics.json", args.out_dir);
+        let text = serde_json::to_string_pretty(&report.to_json()).expect("serializable");
+        std::fs::write(&path, text).expect("write metrics");
+        eprintln!("wrote {path}");
     }
 
     // Emit.
@@ -172,8 +257,8 @@ fn main() {
         summary.push('\n');
         summary.push_str(&text);
     }
-    let mut f = std::fs::File::create(format!("{}/summary.txt", args.out_dir))
-        .expect("create summary");
+    let mut f =
+        std::fs::File::create(format!("{}/summary.txt", args.out_dir)).expect("create summary");
     writeln!(
         f,
         "itm repro — size={}, seed={}, total {:.1?}",

@@ -81,7 +81,12 @@ pub fn fig1b(s: &Substrate, map: &TrafficMap) -> ExperimentResult {
         csv_header: "country,user_coverage_pct,server_sites".into(),
         csv_rows: rows
             .iter()
-            .map(|r| format!("{},{:.1},{}", r.country, r.user_coverage_pct, r.server_sites))
+            .map(|r| {
+                format!(
+                    "{},{:.1},{}",
+                    r.country, r.user_coverage_pct, r.server_sites
+                )
+            })
             .collect(),
         headline: vec![
             (
@@ -94,7 +99,10 @@ pub fn fig1b(s: &Substrate, map: &TrafficMap) -> ExperimentResult {
             ),
             (
                 "total detected server sites".into(),
-                rows.iter().map(|r| r.server_sites).sum::<usize>().to_string(),
+                rows.iter()
+                    .map(|r| r.server_sites)
+                    .sum::<usize>()
+                    .to_string(),
             ),
         ],
     }
@@ -108,7 +116,11 @@ pub fn fig2(s: &Substrate, map: &TrafficMap) -> ExperimentResult {
         .world
         .countries
         .iter()
-        .max_by(|a, b| a.population_weight.partial_cmp(&b.population_weight).unwrap())
+        .max_by(|a, b| {
+            a.population_weight
+                .partial_cmp(&b.population_weight)
+                .unwrap()
+        })
         .unwrap()
         .country;
     let f = Fig2Analysis::run(s, &map.cache_result, country, 6);
@@ -255,10 +267,16 @@ pub fn coverage_claims(s: &Substrate, map: &TrafficMap) -> ExperimentResult {
             ),
         ],
         headline: vec![
-            ("cache probing (paper: 95%)".into(), pct(all.cache_probe_traffic)),
+            (
+                "cache probing (paper: 95%)".into(),
+                pct(all.cache_probe_traffic),
+            ),
             ("root logs (paper: 60%)".into(), pct(all.root_logs_traffic)),
             ("union (paper: 99%)".into(), pct(all.union_traffic)),
-            ("false discovery (paper: <1%)".into(), pct(all.false_discovery_rate)),
+            (
+                "false discovery (paper: <1%)".into(),
+                pct(all.false_discovery_rate),
+            ),
             ("APNIC users (paper: 98%)".into(), pct(all.apnic_user_share)),
         ],
     }
@@ -311,10 +329,7 @@ pub fn ecs(s: &Substrate, map: &TrafficMap) -> ExperimentResult {
                 "ECS share of top-20 traffic (paper: 91%)".into(),
                 pct(top_ecs_traffic / top_traffic),
             ),
-            (
-                "traffic measurable via ECS mapping".into(),
-                pct(measurable),
-            ),
+            ("traffic measurable via ECS mapping".into(), pct(measurable)),
         ],
     }
 }
@@ -364,10 +379,7 @@ pub fn pathpred(s: &Substrate) -> ExperimentResult {
                 "not exactly predicted on public view (paper: >50% unpredictable)".into(),
                 pct(1.0 - pub_rep.exact_fraction()),
             ),
-            (
-                "exact on public view".into(),
-                pct(pub_rep.exact_fraction()),
-            ),
+            ("exact on public view".into(), pct(pub_rep.exact_fraction())),
             (
                 "exact on public+cloud view".into(),
                 pct(aug_rep.exact_fraction()),
@@ -450,15 +462,15 @@ pub fn ipid(s: &Substrate) -> ExperimentResult {
         csv_header: "router,asn,mean_velocity,peak_trough_ratio".into(),
         csv_rows: rows,
         headline: vec![
-            ("routers probed".into(), result.observations.len().to_string()),
+            (
+                "routers probed".into(),
+                result.observations.len().to_string(),
+            ),
             (
                 "velocity–load Spearman (proposal: positive)".into(),
                 format!("{rho:.3}"),
             ),
-            (
-                "diurnal routers (paper: 'most')".into(),
-                pct(diurnal),
-            ),
+            ("diurnal routers (paper: 'most')".into(), pct(diurnal)),
         ],
     }
 }
@@ -587,18 +599,14 @@ pub fn cachehost(s: &Substrate) -> ExperimentResult {
                 "flash hit rate (intuition: rises)".into(),
                 pct(r.flash_hit_rate),
             ));
-            headline.push((
-                "hit rate on flash set".into(),
-                pct(r.flash_set_hit_rate),
-            ));
+            headline.push(("hit rate on flash set".into(), pct(r.flash_set_hit_rate)));
         }
     }
     ExperimentResult {
         id: "cachehost",
         title: "hosted edge cache: normal vs flash hit rates (§3.2.3)".into(),
-        csv_header:
-            "scenario,capacity,n_objects,normal_hit,che_prediction,flash_hit,flash_set_hit"
-                .into(),
+        csv_header: "scenario,capacity,n_objects,normal_hit,che_prediction,flash_hit,flash_set_hit"
+            .into(),
         csv_rows: rows,
         headline,
     }
@@ -608,8 +616,8 @@ pub fn cachehost(s: &Substrate) -> ExperimentResult {
 /// root-log attribution with instrumented-page observations.
 pub fn assoc(s: &Substrate) -> ExperimentResult {
     use itm_measure::{ResolverAssociation, RootCrawler};
-    use std::collections::HashSet;
     use itm_types::Asn;
+    use std::collections::HashSet;
 
     let resolver = s.open_resolver();
     let crawler = RootCrawler::default();
@@ -628,12 +636,7 @@ pub fn assoc(s: &Substrate) -> ExperimentResult {
     let mut rows = vec![format!("naive,0,{n_naive},{c_naive:.4}")];
     let mut headline = vec![("naive root-log coverage".into(), pct(c_naive))];
     for reach in [0.5, 2.0, 8.0] {
-        let a = ResolverAssociation::measure(
-            s,
-            &resolver,
-            reach,
-            &SeedDomain::new(s.seed ^ 0xE15),
-        );
+        let a = ResolverAssociation::measure(s, &resolver, reach, &SeedDomain::new(s.seed ^ 0xE15));
         let logs = itm_dns::RootLogs::collect(
             &s.topo,
             &s.resolvers,
@@ -645,7 +648,10 @@ pub fn assoc(s: &Substrate) -> ExperimentResult {
         );
         let corrected = a.correct_attribution(s, &logs);
         let (n_c, c_c) = cov(&corrected);
-        rows.push(format!("assoc_reach_{reach},{},{n_c},{c_c:.4}", a.prefixes_observed));
+        rows.push(format!(
+            "assoc_reach_{reach},{},{n_c},{c_c:.4}",
+            a.prefixes_observed
+        ));
         if reach == 8.0 {
             headline.push((
                 "corrected coverage (reach=8)".into(),
@@ -655,8 +661,7 @@ pub fn assoc(s: &Substrate) -> ExperimentResult {
     }
     ExperimentResult {
         id: "assoc",
-        title: "resolver↔client association corrects root-log attribution (§3.1.3, [43])"
-            .into(),
+        title: "resolver↔client association corrects root-log attribution (§3.1.3, [43])".into(),
         csv_header: "variant,prefixes_observed,client_ases,traffic_coverage".into(),
         csv_rows: rows,
         headline,

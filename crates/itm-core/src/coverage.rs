@@ -42,9 +42,9 @@ impl CoverageReport {
             provider,
         );
         let root_ases: HashSet<Asn> = map.root_result.client_ases(s).into_iter().collect();
-        let root_logs_traffic =
-            s.traffic
-                .provider_coverage_as(&s.topo, &s.users, &s.catalog, &root_ases, provider);
+        let root_logs_traffic = s
+            .traffic
+            .provider_coverage_as(&s.topo, &s.users, &s.catalog, &root_ases, provider);
 
         // Union at prefix granularity: cache-probed prefixes plus all
         // prefixes of root-identified ASes.
@@ -54,9 +54,9 @@ impl CoverageReport {
                 union.insert(r.id);
             }
         }
-        let union_traffic =
-            s.traffic
-                .provider_coverage(&s.topo, &s.users, &s.catalog, &union, provider);
+        let union_traffic = s
+            .traffic
+            .provider_coverage(&s.topo, &s.users, &s.catalog, &union, provider);
 
         // APNIC user share: users (per APNIC) in identified ASes over all
         // APNIC-estimated users.
@@ -140,7 +140,11 @@ pub fn fig1b_rows(s: &Substrate, map: &TrafficMap) -> Vec<Fig1bRow> {
         }
         rows.push(Fig1bRow {
             country: c.country,
-            user_coverage_pct: if total > 0.0 { 100.0 * covered / total } else { 0.0 },
+            user_coverage_pct: if total > 0.0 {
+                100.0 * covered / total
+            } else {
+                0.0
+            },
             server_sites: sites.len(),
         });
     }
@@ -255,7 +259,11 @@ mod tests {
         assert!(r.cache_probe_traffic > 0.75);
         assert!(r.union_traffic > 0.85);
         assert!(r.false_discovery_rate < 0.02);
-        assert!(r.apnic_user_share > 0.7, "APNIC share {:.3}", r.apnic_user_share);
+        assert!(
+            r.apnic_user_share > 0.7,
+            "APNIC share {:.3}",
+            r.apnic_user_share
+        );
     }
 
     #[test]
@@ -286,7 +294,11 @@ mod tests {
         // Most countries should be well covered (the paper reports 98%
         // globally).
         let well = rows.iter().filter(|r| r.user_coverage_pct > 70.0).count();
-        assert!(well * 2 > rows.len(), "only {well}/{} countries covered", rows.len());
+        assert!(
+            well * 2 > rows.len(),
+            "only {well}/{} countries covered",
+            rows.len()
+        );
         // And servers are detected somewhere.
         assert!(rows.iter().any(|r| r.server_sites > 0));
     }

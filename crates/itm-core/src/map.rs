@@ -17,7 +17,9 @@ use itm_measure::{
     ActivityEstimator, CacheProbeCampaign, CacheProbeResult, CloudProbeResult, RootCrawlResult,
     RootCrawler, Substrate, UserMapping,
 };
-use itm_routing::{AnycastDeployment, Catchments, CollectorSet, GraphView, RoutingTree, VisibilityReport};
+use itm_routing::{
+    AnycastDeployment, Catchments, CollectorSet, GraphView, RoutingTree, VisibilityReport,
+};
 use itm_tls::{detect_offnets, OffnetFinding, ScanConfig, SniScan, TlsScan};
 use itm_traffic::DeliveryMode;
 use itm_types::{Asn, Ipv4Addr, PrefixId, ServiceId};
@@ -80,14 +82,19 @@ pub struct TrafficMap {
 impl TrafficMap {
     /// Run the full pipeline.
     pub fn build(s: &Substrate, cfg: &MapConfig) -> TrafficMap {
+        let _span = itm_obs::span("map.build");
+
         // ---- Component 1: users + activity ----
+        let users_span = itm_obs::span("users.activity");
         let resolver = s.open_resolver();
         let cache_result = cfg.cache_probe.run(s, &resolver);
         let root_result = cfg.root_crawl.run(s, &resolver);
         let activity = ActivityEstimator::fuse(s, &cache_result, &root_result);
         let user_prefixes = cache_result.discovered.clone();
+        drop(users_span);
 
         // ---- Component 2: services ----
+        let services_span = itm_obs::span("services.scan");
         let scan = TlsScan::run(&s.topo, &s.tls, &cfg.scan, &s.seeds);
         let (onnet_servers, offnet_servers) = detect_offnets(&s.topo, &s.tls, &scan);
         let candidates: Vec<Ipv4Addr> = scan.observations.iter().map(|o| o.addr).collect();
@@ -105,8 +112,10 @@ impl TrafficMap {
             .map(|svc| (svc.id, sni.addresses_of(&svc.domain).to_vec()))
             .collect();
         let user_mapping = UserMapping::measure(s, &resolver);
+        drop(services_span);
 
         // Anycast catchments for anycast services.
+        let anycast_span = itm_obs::span("services.anycast");
         let full = s.full_view();
         let mut catchments = HashMap::new();
         for svc in &s.catalog.services {
@@ -128,13 +137,16 @@ impl TrafficMap {
                 Catchments::compute(&s.topo, &full, &dep, &s.seeds.child("map-anycast")),
             );
         }
+        drop(anycast_span);
 
         // ---- Component 3: routes ----
+        let routes_span = itm_obs::span("routes.assemble");
         let collectors = CollectorSet::typical(&s.topo, &s.seeds);
         let (public_view, visibility) = collectors.public_view(&s.topo);
         let cloud_result = CloudProbeResult::run(s, &full, &s.seeds);
         let extra = cloud_result.as_links(s);
         let route_view = public_view.with_extra_links(extra.iter());
+        drop(routes_span);
 
         TrafficMap {
             user_prefixes,

@@ -101,8 +101,7 @@ impl PredictionExperiment {
                         {
                             first_hop += 1;
                         }
-                        len_err_sum +=
-                            ((pred_path.len() as f64) - (true_path.len() as f64)).abs();
+                        len_err_sum += ((pred_path.len() as f64) - (true_path.len() as f64)).abs();
                         len_err_n += 1;
                     }
                 }

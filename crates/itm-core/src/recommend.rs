@@ -94,9 +94,9 @@ impl<'a> PeeringRecommender<'a> {
     ) -> PeeringRecommender<'a> {
         let n = s.topo.n_ases();
         let mut peer_sets: Vec<HashSet<Asn>> = vec![HashSet::new(); n];
-        for i in 0..n {
+        for (i, set) in peer_sets.iter_mut().enumerate() {
             for &(nb, _) in visible.neighbors(Asn(i as u32)) {
-                peer_sets[i].insert(nb);
+                set.insert(nb);
             }
         }
         let max_apnic = s
@@ -178,8 +178,7 @@ impl<'a> PeeringRecommender<'a> {
 
         let info_a = self.s.topo.as_info(a);
         let info_b = self.s.topo.as_info(b);
-        let policy =
-            (info_a.policy.base_propensity() * info_b.policy.base_propensity()).sqrt();
+        let policy = (info_a.policy.base_propensity() * info_b.policy.base_propensity()).sqrt();
         let type_prior = Self::type_prior(info_a.class, info_b.class);
         let cone = ((self.s.topo.cones.cone_size(a) as f64).ln()
             + (self.s.topo.cones.cone_size(b) as f64).ln())
@@ -295,7 +294,10 @@ mod tests {
                 .facilities
                 .iter()
                 .any(|f| f.has_tenant(*a) && f.has_tenant(*b))
-                || s.topo.ixps.iter().any(|x| x.has_member(*a) && x.has_member(*b));
+                || s.topo
+                    .ixps
+                    .iter()
+                    .any(|x| x.has_member(*a) && x.has_member(*b));
             assert!(co, "{a}–{b} not co-located");
         }
     }

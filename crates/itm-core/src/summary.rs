@@ -35,6 +35,123 @@ pub struct MapSummary {
     pub invisible_peering: f64,
 }
 
+// The offline serde shim has no derive-driven data model, so the one type
+// this workspace actually exports as JSON spells out its field mapping.
+// Map-valued fields serialize with sorted keys so the output is a pure
+// function of the map's content, independent of hash iteration order.
+impl serde_json::Serialize for MapSummary {
+    fn to_json_value(&self) -> serde_json::Value {
+        use serde_json::{Map, Value};
+        let sorted_obj = |m: &HashMap<u32, f64>| -> Value {
+            let mut keys: Vec<u32> = m.keys().copied().collect();
+            keys.sort_unstable();
+            Value::Object(
+                keys.iter()
+                    .map(|k| (k.to_string(), Value::from(m[k])))
+                    .collect::<Map>(),
+            )
+        };
+        let mut sizes: Vec<(u32, usize)> = self
+            .service_footprint_sizes
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        sizes.sort_unstable();
+        serde_json::json!({
+            "seed": (self.seed),
+            "n_ases": (self.n_ases),
+            "user_prefixes": (Value::Array(
+                self.user_prefixes.iter().map(|p| Value::from(p.to_string())).collect(),
+            )),
+            "activity": (sorted_obj(&self.activity)),
+            "service_footprint_sizes": (Value::Object(
+                sizes.iter().map(|(k, v)| (k.to_string(), Value::from(*v))).collect::<Map>(),
+            )),
+            "offnets": (Value::Array(
+                self.offnets
+                    .iter()
+                    .map(|(hg, host)| Value::Array(vec![Value::from(*hg), Value::from(*host)]))
+                    .collect(),
+            )),
+            "mapping_cells": (self.mapping_cells),
+            "route_edges": (self.route_edges),
+            "invisible_peering": (self.invisible_peering),
+        })
+    }
+}
+
+impl serde_json::Deserialize for MapSummary {
+    fn from_json_value(v: &serde_json::Value) -> Result<MapSummary, serde_json::Error> {
+        use serde_json::{Error, Value};
+        let field = |name: &str| -> Result<&Value, Error> {
+            v.get(name)
+                .ok_or_else(|| Error::new(format!("MapSummary: missing field `{name}`")))
+        };
+        let num_map = |name: &str| -> Result<HashMap<u32, f64>, Error> {
+            match field(name)? {
+                Value::Object(m) => m
+                    .iter()
+                    .map(|(k, val)| {
+                        let key: u32 = k
+                            .parse()
+                            .map_err(|_| Error::new(format!("{name}: bad key {k:?}")))?;
+                        let x = val
+                            .as_f64()
+                            .ok_or_else(|| Error::new(format!("{name}: non-numeric value")))?;
+                        Ok((key, x))
+                    })
+                    .collect(),
+                _ => Err(Error::new(format!("{name}: expected object"))),
+            }
+        };
+        let user_prefixes = match field("user_prefixes")? {
+            Value::Array(items) => items
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .and_then(|s| s.parse::<Ipv4Net>().ok())
+                        .ok_or_else(|| Error::new("user_prefixes: bad prefix"))
+                })
+                .collect::<Result<Vec<Ipv4Net>, Error>>()?,
+            _ => return Err(Error::new("user_prefixes: expected array")),
+        };
+        let offnets = match field("offnets")? {
+            Value::Array(items) => items
+                .iter()
+                .map(|pair| match pair.as_array().map(Vec::as_slice) {
+                    Some([a, b]) => match (a.as_u64(), b.as_u64()) {
+                        (Some(hg), Some(host)) => Ok((hg as u32, host as u32)),
+                        _ => Err(Error::new("offnets: non-integer ASN")),
+                    },
+                    _ => Err(Error::new("offnets: expected [hg, host] pair")),
+                })
+                .collect::<Result<Vec<(u32, u32)>, Error>>()?,
+            _ => return Err(Error::new("offnets: expected array")),
+        };
+        let uint = |name: &str| -> Result<u64, Error> {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| Error::new(format!("{name}: expected integer")))
+        };
+        Ok(MapSummary {
+            seed: uint("seed")?,
+            n_ases: uint("n_ases")? as usize,
+            user_prefixes,
+            activity: num_map("activity")?,
+            service_footprint_sizes: num_map("service_footprint_sizes")?
+                .into_iter()
+                .map(|(k, v)| (k, v as usize))
+                .collect(),
+            offnets,
+            mapping_cells: uint("mapping_cells")? as usize,
+            route_edges: uint("route_edges")? as usize,
+            invisible_peering: field("invisible_peering")?
+                .as_f64()
+                .ok_or_else(|| Error::new("invisible_peering: expected number"))?,
+        })
+    }
+}
+
 impl MapSummary {
     /// Extract the portable summary from a built map.
     pub fn extract(s: &Substrate, map: &TrafficMap) -> MapSummary {

@@ -82,7 +82,11 @@ impl PathLengthAnalysis {
                         .owned_by(a.asn)
                         .iter()
                         .filter(|&&p| s.topo.prefixes.get(p).kind == PrefixKind::UserAccess)
-                        .map(|&p| s.traffic.demand(&s.topo, &s.users, &s.catalog, p, svc.id).raw())
+                        .map(|&p| {
+                            s.traffic
+                                .demand(&s.topo, &s.users, &s.catalog, p, svc.id)
+                                .raw()
+                        })
                         .sum::<f64>()
                 })
                 .sum();
@@ -133,13 +137,8 @@ impl AnycastAnalysis {
         let hg = s.topo.hypergiants()[0];
         // Sites: the hypergiant's on-net cities plus its off-net host
         // cities (off-nets announce the anycast prefix locally too).
-        let mut sites: Vec<(Asn, u32)> = s
-            .topo
-            .as_info(hg)
-            .cities
-            .iter()
-            .map(|&c| (hg, c))
-            .collect();
+        let mut sites: Vec<(Asn, u32)> =
+            s.topo.as_info(hg).cities.iter().map(|&c| (hg, c)).collect();
         for d in s.topo.offnets.of_hypergiant(hg) {
             sites.push((d.host, d.city));
         }
@@ -149,7 +148,11 @@ impl AnycastAnalysis {
     }
 
     /// Score arbitrary catchments against geographic optimality.
-    pub fn score(s: &Substrate, dep: &AnycastDeployment, catchments: &Catchments) -> AnycastAnalysis {
+    pub fn score(
+        s: &Substrate,
+        dep: &AnycastDeployment,
+        catchments: &Catchments,
+    ) -> AnycastAnalysis {
         let mut routes_closest = 0usize;
         let mut routes_total = 0usize;
         let mut users_optimal = 0.0;

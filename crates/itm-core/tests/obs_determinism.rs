@@ -1,0 +1,40 @@
+//! Instrumentation must be an observer, not a participant: building the
+//! same map with metrics enabled and disabled must produce byte-identical
+//! results. A counter that consumed randomness or a span that reordered a
+//! stage would show up here as a summary diff.
+
+use itm_core::{MapConfig, MapSummary, TrafficMap};
+use itm_measure::{Substrate, SubstrateConfig};
+
+fn build_summary(seed: u64) -> String {
+    let s = Substrate::build(SubstrateConfig::small(), seed).unwrap();
+    let m = TrafficMap::build(&s, &MapConfig::default());
+    MapSummary::extract(&s, &m).to_json()
+}
+
+#[test]
+fn metrics_do_not_perturb_the_map() {
+    // Baseline: global registry disabled (the default).
+    itm_obs::set_enabled(false);
+    let off = build_summary(42);
+
+    // Same seed with every counter, histogram, and span live.
+    itm_obs::set_enabled(true);
+    itm_obs::reset();
+    let on = build_summary(42);
+
+    // The run must actually have recorded something…
+    let report = itm_obs::snapshot();
+    assert!(
+        report.counter_with("probe.queries", &[("technique", "cache_probe")]) > 0,
+        "instrumented run recorded no probes"
+    );
+    assert!(
+        report.spans.keys().any(|k| k.starts_with("map.build")),
+        "instrumented run recorded no spans"
+    );
+    itm_obs::set_enabled(false);
+
+    // …without changing a single byte of the map itself.
+    assert_eq!(off, on, "metrics collection perturbed the traffic map");
+}

@@ -71,10 +71,18 @@ impl<'a> AuthoritativeDns<'a> {
         resolver_city: u32,
         ecs: Option<Ipv4Net>,
     ) -> DnsAnswer {
+        if ecs.is_some() {
+            itm_obs::counter!("dns.auth.queries", "ecs" => "true").inc();
+        } else {
+            itm_obs::counter!("dns.auth.queries", "ecs" => "false").inc();
+        }
         let s = self.catalog.get(service);
         if s.mode == DeliveryMode::Anycast {
             return DnsAnswer {
-                addr: self.frontends.vip(service).expect("anycast service has VIP"),
+                addr: self
+                    .frontends
+                    .vip(service)
+                    .expect("anycast service has VIP"),
                 scope: AnswerScope::ResolverWide,
                 ttl_secs: s.ttl_secs,
             };

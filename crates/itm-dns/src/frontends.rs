@@ -266,7 +266,11 @@ mod tests {
         let e = f.select(&t, svc.id, stub.asn, stub.cities[0]);
         assert_eq!(e.offnet_host, None);
         let loc = t.city_location(stub.cities[0]);
-        for other in f.endpoints(svc.id).iter().filter(|x| x.offnet_host.is_none()) {
+        for other in f
+            .endpoints(svc.id)
+            .iter()
+            .filter(|x| x.offnet_host.is_none())
+        {
             assert!(
                 t.city_location(e.city).distance_km(loc)
                     <= t.city_location(other.city).distance_km(loc) + 1e-9

@@ -162,8 +162,8 @@ impl<'a> OpenResolver<'a> {
             }
             let pop = pop_of_prefix[r.id.index()].index();
             for s in &catalog.services {
-                let qps =
-                    traffic.demand(topo, users, catalog, r.id, s.id).raw() * share / BITS_PER_SESSION;
+                let qps = traffic.demand(topo, users, catalog, r.id, s.id).raw() * share
+                    / BITS_PER_SESSION;
                 pop_service_qps[pop * n_s + s.id.index()] += qps;
             }
         }
@@ -209,9 +209,7 @@ impl<'a> OpenResolver<'a> {
             .prefixes
             .owned_by(op)
             .iter()
-            .filter(|&&p| {
-                self.topo.prefixes.get(p).kind == itm_topology::PrefixKind::Hosting
-            })
+            .filter(|&&p| self.topo.prefixes.get(p).kind == itm_topology::PrefixKind::Hosting)
             .collect();
         assert!(!hosting.is_empty(), "operator has hosting space");
         let k = pop.index() % hosting.len();
@@ -258,13 +256,20 @@ impl<'a> OpenResolver<'a> {
     /// the same outcome, as a real cache would within one window.
     pub fn probe(&self, ecs: Ipv4Net, domain: &str, t: SimTime) -> ProbeResult {
         let Some(sid) = self.auth.service_for_domain(domain) else {
+            itm_obs::counter!("dns.cache.nxdomain").inc();
             return ProbeResult::NxDomain;
         };
         let Some(rec) = self.topo.prefixes.find(ecs) else {
             // Unrouted prefix: nothing organic ever cached for it.
+            itm_obs::counter!("dns.cache.miss").inc();
             return ProbeResult::Miss;
         };
         let svc = self.catalog.get(sid);
+        if svc.ecs_support {
+            itm_obs::counter!("dns.cache.lookups", "scope" => "ecs").inc();
+        } else {
+            itm_obs::counter!("dns.cache.lookups", "scope" => "pop").inc();
+        }
         let ttl = svc.ttl_secs.max(1) as u64;
         let window = t.as_secs() / ttl;
         // Evaluate occupancy at the window start so the outcome is truly
@@ -277,12 +282,14 @@ impl<'a> OpenResolver<'a> {
             0x8000_0000_0000_0000 | self.pop_of(rec.id).raw() as u64
         };
         if deterministic_draw(self.draw_seed, key, sid.raw() as u64, window) < p_hit {
+            itm_obs::counter!("dns.cache.hit").inc();
             // Answer as the authoritative would have for the organic query.
             let pop_city = self.pops[self.pop_of(rec.id).index()].city;
             let ecs_opt = svc.ecs_support.then_some(ecs);
             let ans = self.auth.resolve(sid, pop_city, ecs_opt);
             ProbeResult::Hit(ans.addr)
         } else {
+            itm_obs::counter!("dns.cache.miss").inc();
             ProbeResult::Miss
         }
     }
@@ -344,7 +351,9 @@ impl CacheSim {
 
     /// Drop expired entries.
     pub fn evict_expired(&mut self, now: SimTime) {
+        let before = self.entries.len();
         self.entries.retain(|_, (_, exp)| *exp > now);
+        itm_obs::counter!("dns.cache.evictions").add((before - self.entries.len()) as u64);
     }
 
     /// Live entry count.
@@ -396,7 +405,8 @@ mod tests {
         let topo = generate(&TopologyConfig::small(), 43).unwrap();
         let users = UserModel::generate(&topo, &seeds);
         let catalog = ServiceCatalog::generate(&ServiceCatalogConfig::small(), &topo, &seeds);
-        let traffic = TrafficModel::build(&topo, &users, &catalog, TrafficConfig::default(), &seeds);
+        let traffic =
+            TrafficModel::build(&topo, &users, &catalog, TrafficConfig::default(), &seeds);
         let resolvers = ResolverAssignment::build(&topo, &ResolverConfig::default(), &seeds);
         let frontends = FrontendDirectory::build(&topo, &catalog);
         Fixture {

@@ -110,13 +110,17 @@ impl ResolverAssignment {
             let sub = resolvers.len() as u32;
             let addr = host_prefixes
                 .get(sub as usize % host_prefixes.len().max(1))
-                .map(|&p| topo.prefixes.get(p).net.addr(53 + sub / host_prefixes.len().max(1) as u32 % 150))
+                .map(|&p| {
+                    topo.prefixes
+                        .get(p)
+                        .net
+                        .addr(53 + sub / host_prefixes.len().max(1) as u32 % 150)
+                })
                 .unwrap_or(Ipv4Addr::new(127, 0, 0, 53));
             // Size-dependent plus a size-independent floor: even large
             // ISPs increasingly outsource recursion to public DNS.
-            let p_forward = (cfg.forwarder_base
-                * (0.45 + 1.0 / (1.0 + a.size_factor)))
-            .clamp(0.0, 1.0);
+            let p_forward =
+                (cfg.forwarder_base * (0.45 + 1.0 / (1.0 + a.size_factor))).clamp(0.0, 1.0);
             let forwards_to_open = rng.gen_bool(p_forward);
             let id = ResolverId(resolvers.len() as u32);
             resolvers.push(IspResolver {
@@ -139,8 +143,8 @@ impl ResolverAssignment {
             let base = topo.world.country(country).open_resolver_adoption;
             let mut prng = seeds.rng_indexed("adoption", r.id.raw() as u64);
             // Jitter on the logit scale keeps the share in (0, 1).
-            let logit = (base / (1.0 - base)).ln()
-                + cfg.adoption_jitter * (prng.gen::<f64>() * 2.0 - 1.0);
+            let logit =
+                (base / (1.0 - base)).ln() + cfg.adoption_jitter * (prng.gen::<f64>() * 2.0 - 1.0);
             open_share[r.id.index()] = 1.0 / (1.0 + (-logit).exp());
         }
 

@@ -179,7 +179,9 @@ mod tests {
     use crate::opendns::OpenResolverConfig;
     use crate::resolvers::ResolverConfig;
     use itm_topology::{generate, TopologyConfig};
-    use itm_traffic::{ServiceCatalog, ServiceCatalogConfig, TrafficConfig, TrafficModel, UserModel};
+    use itm_traffic::{
+        ServiceCatalog, ServiceCatalogConfig, TrafficConfig, TrafficModel, UserModel,
+    };
 
     #[test]
     fn policy_partitions_and_usable_fraction() {

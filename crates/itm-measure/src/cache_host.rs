@@ -67,8 +67,7 @@ impl LruCache {
         } else {
             self.misses += 1;
             if self.entries.len() > self.capacity {
-                let (&lru_tick, &lru_obj) =
-                    self.by_tick.iter().next().expect("non-empty");
+                let (&lru_tick, &lru_obj) = self.by_tick.iter().next().expect("non-empty");
                 self.by_tick.remove(&lru_tick);
                 self.entries.remove(&lru_obj);
             }

@@ -70,19 +70,22 @@ impl CacheProbeCampaign {
 
     /// Run the campaign.
     pub fn run(&self, s: &Substrate, resolver: &OpenResolver<'_>) -> CacheProbeResult {
+        let _span = itm_obs::span("cache_probe.run");
+        let queries = itm_obs::counter!("probe.queries", "technique" => "cache_probe");
         let domains = self.pick_domains(s);
-        let rounds = (self.duration.as_secs() as f64 / 86_400.0
-            * self.rounds_per_day as f64)
+        let rounds = (self.duration.as_secs() as f64 / 86_400.0 * self.rounds_per_day as f64)
             .round()
             .max(1.0) as u64;
         let step = self.duration.as_secs() / rounds;
 
         let mut discovered: HashSet<PrefixId> = HashSet::new();
         let mut hits_by_prefix: HashMap<PrefixId, u32> = HashMap::new();
+        let mut issued: u64 = 0;
         for round in 0..rounds {
             let t = SimTime(self.start.as_secs() + round * step);
             for rec in s.topo.prefixes.iter() {
                 for d in &domains {
+                    issued += 1;
                     if let ProbeResult::Hit(_) = resolver.probe(rec.net, d, t) {
                         discovered.insert(rec.id);
                         *hits_by_prefix.entry(rec.id).or_insert(0) += 1;
@@ -90,6 +93,12 @@ impl CacheProbeCampaign {
                 }
             }
         }
+        queries.add(issued);
+        // One DNS query ≈ 80 bytes on the wire each way; the campaign's
+        // only targets are the open resolver's PoPs.
+        itm_obs::counter!("probe.bytes", "technique" => "cache_probe").add(issued * 160);
+        itm_obs::counter!("probe.hosts", "technique" => "cache_probe")
+            .add(resolver.pops().len() as u64);
 
         let mut discovered_by_pop: HashMap<PopId, u32> = HashMap::new();
         for &p in &discovered {
@@ -172,13 +181,9 @@ mod tests {
         assert!(!result.discovered.is_empty());
         // Traffic-weighted coverage should be high: busy prefixes are the
         // easiest to discover (the paper's 95% result, shape-wise).
-        let cov = s.traffic.provider_coverage(
-            &s.topo,
-            &s.users,
-            &s.catalog,
-            &result.discovered,
-            None,
-        );
+        let cov =
+            s.traffic
+                .provider_coverage(&s.topo, &s.users, &s.catalog, &result.discovered, None);
         assert!(cov > 0.75, "coverage only {cov:.3}");
         // And per-prefix recall is *lower* than traffic coverage (quiet
         // prefixes get missed) — the whole point of traffic weighting.
@@ -227,7 +232,7 @@ mod tests {
     }
 
     #[test]
-    fn more_rounds_discover_no_less(){
+    fn more_rounds_discover_no_less() {
         let s = setup();
         let resolver = s.open_resolver();
         let short = CacheProbeCampaign {

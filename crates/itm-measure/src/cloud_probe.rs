@@ -27,15 +27,23 @@ impl CloudProbeResult {
     /// Run the campaign over the ground-truth view (the measurements see
     /// real paths; only their *vantage* is limited).
     pub fn run(s: &Substrate, view: &GraphView, seeds: &SeedDomain) -> CloudProbeResult {
+        let _span = itm_obs::span("cloud_probe.run");
         let vantage = VantagePoints::typical(&s.topo, seeds);
         let links = vantage.cloud_discovered_links(view);
+        itm_obs::counter!("probe.hosts", "technique" => "cloud_probe")
+            .add(vantage.cloud_vms.len() as u64);
+        // Each VM traceroutes toward every AS (forward + reverse pass).
+        itm_obs::counter!("probe.traceroutes", "technique" => "cloud_probe")
+            .add((vantage.cloud_vms.len() * s.topo.n_ases()) as u64);
+        itm_obs::counter!("probe.links_discovered", "technique" => "cloud_probe")
+            .add(links.len() as u64);
         CloudProbeResult { links, vantage }
     }
 
     /// The discovered links as `Link` values (relationships taken from
     /// ground truth — campaigns infer them with standard algorithms; we
     /// grant perfect inference, the optimistic case).
-    pub fn as_links<'a>(&self, s: &'a Substrate) -> Vec<Link> {
+    pub fn as_links(&self, s: &Substrate) -> Vec<Link> {
         s.topo
             .links
             .iter()

@@ -72,10 +72,7 @@ pub fn evolve(s: &Substrate, days: u64, cfg: &EvolutionConfig) -> Substrate {
     while alloc.alloc().network().0 <= highest {}
 
     // --- Off-net growth: next-largest unhosted eyeballs first. ---
-    let mut eyeballs: Vec<&itm_topology::AsInfo> = s
-        .topo
-        .ases_of_class(AsClass::Eyeball)
-        .collect();
+    let mut eyeballs: Vec<&itm_topology::AsInfo> = s.topo.ases_of_class(AsClass::Eyeball).collect();
     eyeballs.sort_by(|a, b| {
         b.size_factor
             .partial_cmp(&a.size_factor)
@@ -124,7 +121,9 @@ pub fn evolve(s: &Substrate, days: u64, cfg: &EvolutionConfig) -> Substrate {
             if added >= n_new {
                 break;
             }
-            if cand.asn == c || link_keys.contains(&Link::peering(c, cand.asn, LinkClass::Transit).key()) {
+            if cand.asn == c
+                || link_keys.contains(&Link::peering(c, cand.asn, LinkClass::Transit).key())
+            {
                 continue;
             }
             if !cand.cities.iter().any(|ci| c_cities.contains(ci)) {
@@ -174,8 +173,7 @@ pub fn evolve(s: &Substrate, days: u64, cfg: &EvolutionConfig) -> Substrate {
     };
     let catalog = ServiceCatalog::generate(&s.config.services, &topo, &s.seeds);
     let traffic = TrafficModel::build(&topo, &users, &catalog, s.config.traffic.clone(), &s.seeds);
-    let resolvers =
-        itm_dns::ResolverAssignment::build(&topo, &s.config.resolvers, &s.seeds);
+    let resolvers = itm_dns::ResolverAssignment::build(&topo, &s.config.resolvers, &s.seeds);
     let frontends = itm_dns::FrontendDirectory::build(&topo, &catalog);
     let apnic = itm_traffic::ApnicEstimates::generate(&topo, &users, &s.config.apnic, &s.seeds);
     let chromium =
@@ -229,7 +227,9 @@ pub fn staleness(
         if svc.index() >= evolved.catalog.len() {
             continue;
         }
-        let now = evolved.frontends.select(&evolved.topo, svc, rec.owner, rec.city);
+        let now = evolved
+            .frontends
+            .select(&evolved.topo, svc, rec.owner, rec.city);
         total += 1;
         if now.addr != addr {
             stale += 1;

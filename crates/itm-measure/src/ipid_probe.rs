@@ -17,8 +17,8 @@
 
 use crate::substrate::Substrate;
 use itm_routing::IpidCounter;
-use itm_types::{Asn, DiurnalCurve, RouterId, SimDuration, SimTime};
 use itm_topology::AsClass;
+use itm_types::{Asn, DiurnalCurve, RouterId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Campaign parameters.
@@ -108,6 +108,10 @@ pub fn forwarded_mbps(s: &Substrate, asn: Asn) -> f64 {
 impl IpidCampaign {
     /// Probe the routers of every transit and tier-1 AS.
     pub fn run(&self, s: &Substrate) -> IpidResult {
+        let _span = itm_obs::span("ipid_probe.run");
+        let pings = itm_obs::counter!("probe.pings", "technique" => "ipid_probe");
+        let hosts = itm_obs::counter!("probe.hosts", "technique" => "ipid_probe");
+        let mut sent: u64 = 0;
         let diurnal = DiurnalCurve::default();
         let mut observations = Vec::new();
 
@@ -121,8 +125,11 @@ impl IpidCampaign {
             let offset = s.topo.city_location(rec.city).solar_offset_hours();
 
             // Drive the counter and sample it.
-            let mut counter =
-                IpidCounter::new((rec.id.raw() % 65_536) as u16, self.base_rate, self.per_mbit);
+            let mut counter = IpidCounter::new(
+                (rec.id.raw() % 65_536) as u16,
+                self.base_rate,
+                self.per_mbit,
+            );
             let steps = (self.duration.as_secs() / self.interval.as_secs()).max(2);
             let mut velocities = Vec::with_capacity(steps as usize);
             let mut times = Vec::with_capacity(steps as usize);
@@ -149,7 +156,13 @@ impl IpidCampaign {
                 velocities,
                 times,
             });
+            hosts.inc();
+            // One ping elicits each sample: the initial read plus one per
+            // interval step.
+            sent += steps + 1;
         }
+        pings.add(sent);
+        itm_obs::counter!("probe.bytes", "technique" => "ipid_probe").add(sent * 64);
         IpidResult { observations }
     }
 }

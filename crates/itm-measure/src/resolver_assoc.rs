@@ -131,8 +131,7 @@ impl ResolverAssociation {
                 let total: f64 = dist.values().sum();
                 if total > 0.0 {
                     for (&asn, &w) in dist {
-                        *queries_by_as.entry(asn).or_insert(0.0) +=
-                            e.queries * w / total;
+                        *queries_by_as.entry(asn).or_insert(0.0) += e.queries * w / total;
                     }
                     continue;
                 }
@@ -169,14 +168,12 @@ mod tests {
     fn busy_prefixes_are_observed_first() {
         let s = setup();
         let resolver = s.open_resolver();
-        let assoc =
-            ResolverAssociation::measure(&s, &resolver, 1.0, &SeedDomain::new(179));
+        let assoc = ResolverAssociation::measure(&s, &resolver, 1.0, &SeedDomain::new(179));
         assert!(assoc.prefixes_observed > 0);
         let total_user = s.users.user_prefixes(&s.topo).count();
         assert!(assoc.prefixes_observed < total_user, "page saw everyone?");
         // Higher reach observes at least as many prefixes.
-        let wide =
-            ResolverAssociation::measure(&s, &resolver, 20.0, &SeedDomain::new(179));
+        let wide = ResolverAssociation::measure(&s, &resolver, 20.0, &SeedDomain::new(179));
         assert!(wide.prefixes_observed >= assoc.prefixes_observed);
     }
 
@@ -194,8 +191,7 @@ mod tests {
             &s.seeds,
         );
         let naive = RootCrawler::default().crawl(&s, &logs);
-        let assoc =
-            ResolverAssociation::measure(&s, &resolver, 5.0, &SeedDomain::new(180));
+        let assoc = ResolverAssociation::measure(&s, &resolver, 5.0, &SeedDomain::new(180));
         let corrected = assoc.correct_attribution(&s, &logs);
 
         let cov = |r: &RootCrawlResult| {
@@ -224,8 +220,7 @@ mod tests {
             SimDuration::days(2),
             &s.seeds,
         );
-        let assoc =
-            ResolverAssociation::measure(&s, &resolver, 50.0, &SeedDomain::new(181));
+        let assoc = ResolverAssociation::measure(&s, &resolver, 50.0, &SeedDomain::new(181));
         let corrected = assoc.correct_attribution(&s, &logs);
         let total_logged: f64 = logs.entries.iter().map(|e| e.queries).sum();
         let total_attributed: f64 = corrected.queries_by_as.values().sum();

@@ -6,11 +6,11 @@
 //! the TLS host registry. Building one is a single call; everything is
 //! derived deterministically from `(config, seed)`.
 
+use itm_dns::chromium::ChromiumConfig;
 use itm_dns::{
     AuthoritativeDns, ChromiumModel, FrontendDirectory, OpenResolver, OpenResolverConfig,
     ResolverAssignment, ResolverConfig,
 };
-use itm_dns::chromium::ChromiumConfig;
 use itm_routing::{GraphView, RouterMap};
 use itm_tls::TlsHostRegistry;
 use itm_topology::{Topology, TopologyConfig};
@@ -88,18 +88,47 @@ pub struct Substrate {
 impl Substrate {
     /// Build everything from a config and master seed.
     pub fn build(config: SubstrateConfig, seed: u64) -> Result<Substrate> {
+        let _span = itm_obs::span("substrate.build");
         let seeds = SeedDomain::new(seed);
+        // itm_topology::generate opens its own "topology.generate" span,
+        // which nests under this one.
         let topo = itm_topology::generate(&config.topology, seed)?;
-        let users = UserModel::generate(&topo, &seeds);
-        let catalog = ServiceCatalog::generate(&config.services, &topo, &seeds);
-        let traffic =
-            TrafficModel::build(&topo, &users, &catalog, config.traffic.clone(), &seeds);
-        let resolvers = ResolverAssignment::build(&topo, &config.resolvers, &seeds);
-        let frontends = FrontendDirectory::build(&topo, &catalog);
-        let apnic = ApnicEstimates::generate(&topo, &users, &config.apnic, &seeds);
-        let chromium = ChromiumModel::build(&topo, &users, config.chromium.clone(), &seeds);
-        let routers = RouterMap::build(&topo);
-        let tls = TlsHostRegistry::build(&topo, &catalog, &frontends);
+        let users = {
+            let _s = itm_obs::span("users.generate");
+            UserModel::generate(&topo, &seeds)
+        };
+        let catalog = {
+            let _s = itm_obs::span("catalog.generate");
+            ServiceCatalog::generate(&config.services, &topo, &seeds)
+        };
+        let traffic = {
+            let _s = itm_obs::span("traffic.build");
+            TrafficModel::build(&topo, &users, &catalog, config.traffic.clone(), &seeds)
+        };
+        let resolvers = {
+            let _s = itm_obs::span("resolvers.build");
+            ResolverAssignment::build(&topo, &config.resolvers, &seeds)
+        };
+        let frontends = {
+            let _s = itm_obs::span("frontends.build");
+            FrontendDirectory::build(&topo, &catalog)
+        };
+        let apnic = {
+            let _s = itm_obs::span("apnic.generate");
+            ApnicEstimates::generate(&topo, &users, &config.apnic, &seeds)
+        };
+        let chromium = {
+            let _s = itm_obs::span("chromium.build");
+            ChromiumModel::build(&topo, &users, config.chromium.clone(), &seeds)
+        };
+        let routers = {
+            let _s = itm_obs::span("routers.build");
+            RouterMap::build(&topo)
+        };
+        let tls = {
+            let _s = itm_obs::span("tls_registry.build");
+            TlsHostRegistry::build(&topo, &catalog, &frontends)
+        };
         Ok(Substrate {
             config,
             seed,

@@ -35,13 +35,15 @@ impl UserMapping {
     /// Run the mapping campaign over all user prefixes × DNS-redirected
     /// ECS services.
     pub fn measure(s: &Substrate, resolver: &OpenResolver<'_>) -> UserMapping {
+        let _span = itm_obs::span("user_mapping.measure");
+        let queries = itm_obs::counter!("probe.queries", "technique" => "ecs_mapping");
+        let mut issued: u64 = 0;
         let mut mapping = HashMap::new();
         let mut unmeasurable = Vec::new();
         let mut footprint: HashMap<ServiceId, Vec<Ipv4Addr>> = HashMap::new();
 
         for svc in &s.catalog.services {
-            let measurable =
-                svc.ecs_support && svc.mode == DeliveryMode::DnsRedirection;
+            let measurable = svc.ecs_support && svc.mode == DeliveryMode::DnsRedirection;
             if !measurable {
                 unmeasurable.push(svc.id);
                 continue;
@@ -51,6 +53,7 @@ impl UserMapping {
                 if rec.kind != PrefixKind::UserAccess {
                     continue;
                 }
+                issued += 1;
                 if let Some(ans) = resolver.resolve_for_client(rec.id, &svc.domain) {
                     mapping.insert((svc.id, rec.id), ans.addr);
                     if !seen.contains(&ans.addr) {
@@ -62,6 +65,8 @@ impl UserMapping {
             footprint.insert(svc.id, seen);
         }
 
+        queries.add(issued);
+        itm_obs::counter!("probe.bytes", "technique" => "ecs_mapping").add(issued * 160);
         UserMapping {
             mapping,
             unmeasurable,
@@ -140,10 +145,7 @@ impl GeolocationResult {
             if a.w <= 0.0 {
                 continue;
             }
-            let est = GeoPoint::new(
-                a.lat / a.w,
-                a.lon_y.atan2(a.lon_x).to_degrees(),
-            );
+            let est = GeoPoint::new(a.lat / a.w, a.lon_y.atan2(a.lon_x).to_degrees());
             let truth = s
                 .topo
                 .prefixes
@@ -205,10 +207,7 @@ mod tests {
             );
         }
         // Partition: measurable + unmeasurable = all services.
-        assert_eq!(
-            m.footprint.len() + m.unmeasurable.len(),
-            s.catalog.len()
-        );
+        assert_eq!(m.footprint.len() + m.unmeasurable.len(), s.catalog.len());
     }
 
     #[test]

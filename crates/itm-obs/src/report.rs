@@ -1,0 +1,114 @@
+//! The frozen, serializable view of a registry.
+
+use crate::histogram::HistogramSnapshot;
+use crate::span::SpanSnapshot;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Everything a registry knew at snapshot time, keyed by series name.
+///
+/// All maps are `BTreeMap`s, so iteration — and therefore the JSON
+/// rendering — is deterministically ordered regardless of registration
+/// order or shard layout.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span timings, keyed by nested path.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+impl MetricsReport {
+    /// A counter's value, 0 if the series was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A labeled counter's value, 0 if absent.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counter(&crate::registry::canonical_name(name, labels))
+    }
+
+    /// Render as a JSON value (deterministic key order).
+    pub fn to_json(&self) -> Value {
+        let mut counters = serde_json::Map::new();
+        for (name, v) in &self.counters {
+            counters.insert(name.clone(), Value::from(*v));
+        }
+        let mut histograms = serde_json::Map::new();
+        for (name, h) in &self.histograms {
+            let buckets: Vec<Value> = h
+                .buckets
+                .iter()
+                .map(|&(upper, count)| json!([upper, count]))
+                .collect();
+            histograms.insert(
+                name.clone(),
+                json!({
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                    "buckets": buckets,
+                }),
+            );
+        }
+        let mut spans = serde_json::Map::new();
+        for (name, s) in &self.spans {
+            spans.insert(
+                name.clone(),
+                json!({
+                    "count": s.count,
+                    "total_ns": s.total_ns,
+                    "min_ns": s.min_ns,
+                    "max_ns": s.max_ns,
+                }),
+            );
+        }
+        Value::Object({
+            let mut root = serde_json::Map::new();
+            root.insert("counters".into(), Value::Object(counters));
+            root.insert("histograms".into(), Value::Object(histograms));
+            root.insert("spans".into(), Value::Object(spans));
+            root
+        })
+    }
+}
+
+impl serde_json::Serialize for MetricsReport {
+    fn to_json_value(&self) -> Value {
+        self.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn json_is_deterministically_ordered() {
+        let r = Registry::new();
+        // Register in non-alphabetical order.
+        r.counter("z.last").inc();
+        r.counter("a.first").add(2);
+        r.histogram("m.h").record(5);
+        drop(r.span("p.span"));
+        let text = serde_json::to_string(&r.snapshot().to_json()).unwrap();
+        let z = text.find("z.last").unwrap();
+        let a = text.find("a.first").unwrap();
+        assert!(a < z, "keys not sorted: {text}");
+        // Two snapshots render identically (timings aside, counters do).
+        let again = serde_json::to_string(&r.snapshot().to_json()).unwrap();
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        let r = Registry::new();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("never.registered"), 0);
+        assert_eq!(snap.counter_with("n", &[("a", "b")]), 0);
+    }
+}

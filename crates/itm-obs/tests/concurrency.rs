@@ -1,0 +1,91 @@
+//! Parallel increments must lose no counts, across counters, histograms,
+//! and span timers — the registry's only job under contention.
+
+use itm_obs::Registry;
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 50_000;
+
+#[test]
+fn parallel_counter_increments_lose_nothing() {
+    let r = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                // Half the threads register the series themselves, half
+                // increment through a pre-fetched handle, so both the
+                // registration path and the handle path race.
+                let c = r.counter("race.counter");
+                for i in 0..PER_THREAD {
+                    if t % 2 == 0 {
+                        c.inc();
+                    } else {
+                        r.counter("race.counter").add(1);
+                        let _ = i;
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        r.snapshot().counter("race.counter"),
+        THREADS as u64 * PER_THREAD
+    );
+}
+
+#[test]
+fn parallel_histogram_records_lose_nothing() {
+    let r = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                let h = r.histogram("race.hist");
+                for i in 0..PER_THREAD {
+                    h.record((t as u64) * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = r.snapshot();
+    let hist = &snap.histograms["race.hist"];
+    let n = THREADS as u64 * PER_THREAD;
+    assert_eq!(hist.count, n);
+    assert_eq!(hist.min, 0);
+    assert_eq!(hist.max, n - 1);
+    assert_eq!(hist.sum, n * (n - 1) / 2);
+    assert_eq!(hist.buckets.iter().map(|&(_, c)| c).sum::<u64>(), n);
+}
+
+#[test]
+fn parallel_spans_aggregate_per_thread_paths() {
+    let r = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                for _ in 0..200 {
+                    let _outer = r.span("work");
+                    let _inner = r.span("step");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = r.snapshot();
+    // Span stacks are thread-local: every thread saw the same two paths.
+    assert_eq!(snap.spans["work"].count, THREADS as u64 * 200);
+    assert_eq!(snap.spans["work/step"].count, THREADS as u64 * 200);
+    assert!(!snap.spans.contains_key("step"));
+}

@@ -74,15 +74,13 @@ impl AnycastDeployment {
 
     /// The site geographically closest to `from` (lowest id wins ties).
     pub fn closest_site(&self, from: GeoPoint) -> Option<&AnycastSite> {
-        self.sites
-            .iter()
-            .min_by(|a, b| {
-                a.location
-                    .distance_km(from)
-                    .partial_cmp(&b.location.distance_km(from))
-                    .unwrap()
-                    .then(a.id.cmp(&b.id))
-            })
+        self.sites.iter().min_by(|a, b| {
+            a.location
+                .distance_km(from)
+                .partial_cmp(&b.location.distance_km(from))
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        })
     }
 }
 
@@ -110,7 +108,7 @@ impl Catchments {
         let mut rng = seeds.rng("anycast");
 
         let mut assignment = vec![None; topo.n_ases()];
-        for i in 0..topo.n_ases() {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let client = Asn(i as u32);
             let Some(winner) = tree.origin_reached(client) else {
                 continue;
@@ -138,7 +136,7 @@ impl Catchments {
                     })
                     .unwrap()
             };
-            assignment[i] = Some(chosen.id);
+            *slot = Some(chosen.id);
         }
         Catchments { assignment }
     }

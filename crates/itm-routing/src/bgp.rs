@@ -87,9 +87,7 @@ impl RoutingTree {
         let better = |cur: &Option<RouteEntry>, cand: RouteEntry| -> bool {
             match cur {
                 None => true,
-                Some(c) => {
-                    (cand.kind.rank(), cand.len, cand.next) < (c.kind.rank(), c.len, c.next)
-                }
+                Some(c) => (cand.kind.rank(), cand.len, cand.next) < (c.kind.rank(), c.len, c.next),
             }
         };
 
@@ -133,8 +131,7 @@ impl RoutingTree {
                     let assignable = match cur {
                         None => true,
                         Some(c) => {
-                            (cand.kind.rank(), cand.len, cand.next)
-                                < (c.kind.rank(), c.len, c.next)
+                            (cand.kind.rank(), cand.len, cand.next) < (c.kind.rank(), c.len, c.next)
                         }
                     };
                     if assignable {
@@ -184,8 +181,8 @@ impl RoutingTree {
         // Bucketed BFS by length keeps it O(V+E).
         let max_len_cap = (n as u32) + 2;
         let mut buckets: Vec<Vec<Asn>> = vec![Vec::new(); (max_len_cap + 1) as usize];
-        for i in 0..n {
-            if let Some(e) = entries[i] {
+        for (i, entry) in entries.iter().enumerate() {
+            if let Some(e) = entry {
                 buckets[e.len as usize].push(Asn(i as u32));
             }
         }
@@ -200,7 +197,9 @@ impl RoutingTree {
             for u in us {
                 // u may have been improved since it was bucketed; only
                 // export its *current* route if the length still matches.
-                let Some(e) = entries[u.index()] else { continue };
+                let Some(e) = entries[u.index()] else {
+                    continue;
+                };
                 if e.len as usize != l {
                     continue;
                 }
@@ -220,6 +219,12 @@ impl RoutingTree {
                     }
                 }
             }
+        }
+
+        itm_obs::counter!("routing.trees_computed").inc();
+        if itm_obs::enabled() {
+            itm_obs::histogram!("routing.tree_reachable")
+                .record(entries.iter().flatten().count() as u64);
         }
 
         RoutingTree {
@@ -331,7 +336,10 @@ mod tests {
         // 3 only reaches 5 via its provider 0.
         let e = t.route(Asn(3)).unwrap();
         assert_eq!(e.kind, RouteKind::Provider);
-        assert_eq!(t.path(Asn(3)).unwrap(), vec![Asn(3), Asn(0), Asn(2), Asn(5)]);
+        assert_eq!(
+            t.path(Asn(3)).unwrap(),
+            vec![Asn(3), Asn(0), Asn(2), Asn(5)]
+        );
         // 4 goes up to 1, across the tier-1 peering, down through 0.
         assert_eq!(
             t.path(Asn(4)).unwrap(),

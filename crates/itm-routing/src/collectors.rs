@@ -84,7 +84,11 @@ impl CollectorSet {
             for &f in &self.feeders {
                 if let Some(path) = tree.path(f) {
                     for w in path.windows(2) {
-                        let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+                        let key = if w[0] <= w[1] {
+                            (w[0], w[1])
+                        } else {
+                            (w[1], w[0])
+                        };
                         visible.insert(key);
                     }
                 }
@@ -123,10 +127,7 @@ impl CollectorSet {
             .filter(|l| visible.contains(&l.key()))
             .collect();
         let report = VisibilityReport::build(topo, &visible);
-        (
-            GraphView::from_links(topo.n_ases(), vis_links.into_iter()),
-            report,
-        )
+        (GraphView::from_links(topo.n_ases(), vis_links), report)
     }
 }
 
@@ -143,7 +144,8 @@ pub struct VisibilityReport {
 
 impl VisibilityReport {
     fn build(topo: &Topology, visible: &HashSet<(Asn, Asn)>) -> VisibilityReport {
-        let classes: [(&str, fn(&Link) -> bool); 4] = [
+        type LinkPred = fn(&Link) -> bool;
+        let classes: [(&str, LinkPred); 4] = [
             ("transit", |l| matches!(l.class, LinkClass::Transit)),
             ("public-peering", |l| {
                 matches!(l.class, LinkClass::PublicPeering(_))
@@ -206,19 +208,14 @@ mod tests {
         let transit_or_t1 = c
             .feeders
             .iter()
-            .filter(|&&f| {
-                matches!(
-                    t.as_info(f).class,
-                    AsClass::Tier1 | AsClass::Transit
-                )
-            })
+            .filter(|&&f| matches!(t.as_info(f).class, AsClass::Tier1 | AsClass::Transit))
             .count();
-        assert!(transit_or_t1 * 2 > c.feeders.len(), "feeders not transit-biased");
+        assert!(
+            transit_or_t1 * 2 > c.feeders.len(),
+            "feeders not transit-biased"
+        );
         // No content feeders ever.
-        assert!(c
-            .feeders
-            .iter()
-            .all(|&f| !t.as_info(f).class.is_content()));
+        assert!(c.feeders.iter().all(|&f| !t.as_info(f).class.is_content()));
     }
 
     #[test]
@@ -229,7 +226,10 @@ mod tests {
         // Transit links are nearly all visible (they're on paths up to the
         // tier-1 feeders).
         let transit_invisible = report.invisible_fraction("transit").unwrap();
-        assert!(transit_invisible < 0.30, "transit invisible {transit_invisible}");
+        assert!(
+            transit_invisible < 0.30,
+            "transit invisible {transit_invisible}"
+        );
         // Peering is mostly invisible — the paper's 90% claim, shape-wise.
         let peering_invisible = report.invisible_fraction("all-peering").unwrap();
         assert!(

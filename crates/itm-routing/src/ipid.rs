@@ -162,9 +162,8 @@ mod tests {
         let mut c = IpidCounter::new(7, 100.0, 0.0);
         let s0 = c.sample();
         c.advance(SimTime(d.as_secs()), 0.0);
-        let v =
-            IpidCounter::estimate_velocity(s0, SimTime(0), c.sample(), SimTime(d.as_secs()))
-                .unwrap();
+        let v = IpidCounter::estimate_velocity(s0, SimTime(0), c.sample(), SimTime(d.as_secs()))
+            .unwrap();
         assert!((v - 100.0).abs() < 0.2);
     }
 

@@ -52,7 +52,11 @@ impl InferredRelationships {
         let mut seen: std::collections::HashSet<(Asn, Asn)> = std::collections::HashSet::new();
         for p in paths {
             for w in p.windows(2) {
-                let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+                let key = if w[0] <= w[1] {
+                    (w[0], w[1])
+                } else {
+                    (w[1], w[0])
+                };
                 if seen.insert(key) {
                     *degree.entry(w[0]).or_insert(0) += 1;
                     *degree.entry(w[1]).or_insert(0) += 1;
@@ -160,10 +164,11 @@ impl InferredRelationships {
     pub fn accuracy(&self, topo: &Topology) -> (usize, usize) {
         let mut correct = 0;
         let mut total = 0;
-        let truth: HashMap<(Asn, Asn), &Link> =
-            topo.links.iter().map(|l| (l.key(), l)).collect();
+        let truth: HashMap<(Asn, Asn), &Link> = topo.links.iter().map(|l| (l.key(), l)).collect();
         for (&(a, b), &rel) in &self.rels {
-            let Some(l) = truth.get(&(a, b)) else { continue };
+            let Some(l) = truth.get(&(a, b)) else {
+                continue;
+            };
             total += 1;
             let ok = match l.rel {
                 AsRel::PeerToPeer => rel == InferredRel::Peer,
@@ -271,7 +276,9 @@ mod tests {
         let mut total = 0;
         for i in 0..topo.n_ases() {
             let a = Asn(i as u32);
-            let Some(tp) = truth_tree.path(a) else { continue };
+            let Some(tp) = truth_tree.path(a) else {
+                continue;
+            };
             total += 1;
             if pred_tree.path(a) == Some(tp) {
                 exact += 1;

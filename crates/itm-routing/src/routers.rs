@@ -168,7 +168,12 @@ impl Traceroute {
     /// footprint) to the previous hop's city — a crude but standard model
     /// of early-exit/hot-potato intradomain routing. RTT accumulates
     /// 2×(distance / fibre speed) plus a 0.3 ms per-hop processing fee.
-    pub fn run(topo: &Topology, routers: &RouterMap, tree: &RoutingTree, src: Asn) -> Option<Traceroute> {
+    pub fn run(
+        topo: &Topology,
+        routers: &RouterMap,
+        tree: &RoutingTree,
+        src: Asn,
+    ) -> Option<Traceroute> {
         let path = tree.path(src)?;
         let mut hops = Vec::with_capacity(path.len());
         let mut cur_city = topo.as_info(src).cities[0];

@@ -52,16 +52,9 @@ impl VantagePoints {
 
     /// Forward paths measured from every probe to `dst` (traceroute-style:
     /// real paths over the ground-truth view).
-    pub fn measure_paths_to(
-        &self,
-        view: &GraphView,
-        dst: Asn,
-    ) -> Vec<(Asn, Option<Vec<Asn>>)> {
+    pub fn measure_paths_to(&self, view: &GraphView, dst: Asn) -> Vec<(Asn, Option<Vec<Asn>>)> {
         let tree = RoutingTree::compute(view, dst);
-        self.probes
-            .iter()
-            .map(|&p| (p, tree.path(p)))
-            .collect()
+        self.probes.iter().map(|&p| (p, tree.path(p))).collect()
     }
 
     /// Links discovered by measuring out from cloud VMs: every link on a
@@ -86,7 +79,11 @@ impl VantagePoints {
             for i in 0..view.n_ases() {
                 if let Some(path) = tree.path(Asn(i as u32)) {
                     for w in path.windows(2) {
-                        let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+                        let key = if w[0] <= w[1] {
+                            (w[0], w[1])
+                        } else {
+                            (w[1], w[0])
+                        };
                         found.insert(key);
                     }
                 }

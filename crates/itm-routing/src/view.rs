@@ -128,7 +128,10 @@ mod tests {
         assert_eq!(v.neighbors(Asn(0)), &[(Asn(1), NeighborKind::Customer)]);
         assert_eq!(
             v.neighbors(Asn(1)),
-            &[(Asn(0), NeighborKind::Provider), (Asn(2), NeighborKind::Peer)]
+            &[
+                (Asn(0), NeighborKind::Provider),
+                (Asn(2), NeighborKind::Peer)
+            ]
         );
         assert_eq!(v.neighbors(Asn(2)), &[(Asn(1), NeighborKind::Peer)]);
         assert!(!v.has_edge(Asn(0), Asn(2)));

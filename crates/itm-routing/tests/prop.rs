@@ -12,9 +12,7 @@ use proptest::prelude::*;
 /// sprinkle on top.
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<Link>)> {
     (3usize..24).prop_flat_map(|n| {
-        let providers: Vec<BoxedStrategy<u32>> = (1..n)
-            .map(|i| (0..i as u32).boxed())
-            .collect();
+        let providers: Vec<BoxedStrategy<u32>> = (1..n).map(|i| (0..i as u32).boxed()).collect();
         let peers = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n);
         (providers, peers).prop_map(move |(prov, peers)| {
             let mut links: Vec<Link> = prov
@@ -23,7 +21,11 @@ fn arb_graph() -> impl Strategy<Value = (usize, Vec<Link>)> {
                 .map(|(i, &p)| Link::transit(Asn(i as u32 + 1), Asn(p)))
                 .collect();
             for (a, b) in peers {
-                if a != b && !links.iter().any(|l| l.key() == Link::peering(Asn(a), Asn(b), LinkClass::Transit).key()) {
+                if a != b
+                    && !links
+                        .iter()
+                        .any(|l| l.key() == Link::peering(Asn(a), Asn(b), LinkClass::Transit).key())
+                {
                     links.push(Link::peering(Asn(a), Asn(b), LinkClass::Transit));
                 }
             }

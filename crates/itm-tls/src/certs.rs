@@ -63,6 +63,9 @@ mod tests {
             Certificate::hypergiant_issuer(1),
             Certificate::hypergiant_issuer(2)
         );
-        assert_ne!(Certificate::hypergiant_issuer(1), Certificate::public_issuer());
+        assert_ne!(
+            Certificate::hypergiant_issuer(1),
+            Certificate::public_issuer()
+        );
     }
 }

@@ -255,12 +255,7 @@ mod tests {
         let e = f
             .endpoints(s.id)
             .iter()
-            .find(|e| {
-                matches!(
-                    reg.profile(e.addr),
-                    Some(HostProfile::CloudFrontend { .. })
-                )
-            })
+            .find(|e| matches!(reg.profile(e.addr), Some(HostProfile::CloudFrontend { .. })))
             .copied();
         let Some(e) = e else { return };
         let default = reg.handshake(e.addr, None).unwrap();

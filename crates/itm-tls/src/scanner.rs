@@ -16,6 +16,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Bytes-equivalent cost of one TLS handshake attempt (client hello +
+/// server response; the order of magnitude real zgrab campaigns budget).
+const HANDSHAKE_BYTES: u64 = 3_000;
+
 /// Scan parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScanConfig {
@@ -64,6 +68,7 @@ impl TlsScan {
         cfg: &ScanConfig,
         seeds: &SeedDomain,
     ) -> TlsScan {
+        let _span = itm_obs::span("tls_scan.run");
         let mut rng = seeds.child("tls-scan").rng("sweep");
         let mut observations = Vec::new();
         let mut attempted = 0;
@@ -83,6 +88,10 @@ impl TlsScan {
         }
         observations.sort_by_key(|o| o.addr);
         observations.dedup_by_key(|o| o.addr);
+        itm_obs::counter!("probe.connects", "technique" => "tls_scan").add(attempted as u64);
+        itm_obs::counter!("probe.hosts", "technique" => "tls_scan").add(observations.len() as u64);
+        itm_obs::counter!("probe.bytes", "technique" => "tls_scan")
+            .add(attempted as u64 * HANDSHAKE_BYTES);
         TlsScan {
             observations,
             attempted,
@@ -91,7 +100,9 @@ impl TlsScan {
 
     /// Hits presenting a certificate from a given issuer.
     pub fn by_issuer<'a>(&'a self, issuer: &'a str) -> impl Iterator<Item = &'a ScanObservation> {
-        self.observations.iter().filter(move |o| o.cert.issuer == issuer)
+        self.observations
+            .iter()
+            .filter(move |o| o.cert.issuer == issuer)
     }
 }
 
@@ -118,6 +129,7 @@ impl SniScan {
         cfg: &ScanConfig,
         seeds: &SeedDomain,
     ) -> SniScan {
+        let _span = itm_obs::span("sni_scan.run");
         let mut rng = seeds.child("sni-scan").rng("sweep");
         let mut footprint: HashMap<String, Vec<Ipv4Addr>> = HashMap::new();
         let mut attempted = 0;
@@ -134,6 +146,9 @@ impl SniScan {
             hits.sort_unstable();
             footprint.insert(domain.clone(), hits);
         }
+        itm_obs::counter!("probe.connects", "technique" => "sni_scan").add(attempted as u64);
+        itm_obs::counter!("probe.bytes", "technique" => "sni_scan")
+            .add(attempted as u64 * HANDSHAKE_BYTES);
         SniScan {
             footprint,
             attempted,
@@ -142,10 +157,7 @@ impl SniScan {
 
     /// Addresses serving a domain.
     pub fn addresses_of(&self, domain: &str) -> &[Ipv4Addr] {
-        self.footprint
-            .get(domain)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.footprint.get(domain).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 
@@ -196,8 +208,18 @@ mod tests {
     #[test]
     fn deterministic_scan() {
         let f = fixture();
-        let a = TlsScan::run(&f.topo, &f.registry, &ScanConfig::default(), &SeedDomain::new(2));
-        let b = TlsScan::run(&f.topo, &f.registry, &ScanConfig::default(), &SeedDomain::new(2));
+        let a = TlsScan::run(
+            &f.topo,
+            &f.registry,
+            &ScanConfig::default(),
+            &SeedDomain::new(2),
+        );
+        let b = TlsScan::run(
+            &f.topo,
+            &f.registry,
+            &ScanConfig::default(),
+            &SeedDomain::new(2),
+        );
         assert_eq!(a.observations.len(), b.observations.len());
         for (x, y) in a.observations.iter().zip(&b.observations) {
             assert_eq!(x.addr, y.addr);

@@ -116,8 +116,7 @@ mod tests {
 
     #[test]
     fn class_labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            AsClass::ALL.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<_> = AsClass::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), AsClass::ALL.len());
     }
 
@@ -132,10 +131,7 @@ mod tests {
 
     #[test]
     fn policy_propensities_are_ordered() {
-        assert!(
-            PeeringPolicy::Open.base_propensity()
-                > PeeringPolicy::Selective.base_propensity()
-        );
+        assert!(PeeringPolicy::Open.base_propensity() > PeeringPolicy::Selective.base_propensity());
         assert!(
             PeeringPolicy::Selective.base_propensity()
                 > PeeringPolicy::Restrictive.base_propensity()

@@ -41,7 +41,7 @@ impl CustomerCones {
 
         let mut cone_size = vec![0usize; n_ases];
         let mut visited = vec![u32::MAX; n_ases];
-        for root in 0..n_ases {
+        for (root, size) in cone_size.iter_mut().enumerate() {
             // Iterative DFS from root over customer edges.
             let mut stack = vec![root];
             let mut count = 0usize;
@@ -57,7 +57,7 @@ impl CustomerCones {
                     }
                 }
             }
-            cone_size[root] = count;
+            *size = count;
         }
 
         CustomerCones {

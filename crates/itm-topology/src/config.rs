@@ -127,7 +127,11 @@ impl TopologyConfig {
 
     /// Total number of ASes the configuration will produce.
     pub fn total_ases(&self) -> usize {
-        self.n_tier1 + self.n_transit + self.n_eyeball + self.n_stub + self.n_hypergiant
+        self.n_tier1
+            + self.n_transit
+            + self.n_eyeball
+            + self.n_stub
+            + self.n_hypergiant
             + self.n_cloud
     }
 

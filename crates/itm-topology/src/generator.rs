@@ -39,6 +39,7 @@ use std::collections::{BTreeSet, HashSet};
 /// Deterministic in `(cfg, seed)`. Panics only on internal invariant
 /// violations (checked in debug builds); configuration errors are returned.
 pub fn generate(cfg: &TopologyConfig, seed: u64) -> Result<Topology> {
+    let _span = itm_obs::span("topology.generate");
     cfg.validate()?;
     let seeds = SeedDomain::new(seed).child("topology");
     let world = World::generate(&cfg.world, &seeds);
@@ -47,13 +48,32 @@ pub fn generate(cfg: &TopologyConfig, seed: u64) -> Result<Topology> {
     let (facilities, ixps) = make_colocation(cfg, &world, &ases, &seeds);
     let mut links = Vec::new();
     let mut link_keys: HashSet<(Asn, Asn)> = HashSet::new();
-    make_transit(cfg, &ases, &seeds, &mut links, &mut link_keys);
-    make_peering(cfg, &ases, &facilities, &ixps, &seeds, &mut links, &mut link_keys);
+    {
+        let _span = itm_obs::span("transit.form");
+        make_transit(cfg, &ases, &seeds, &mut links, &mut link_keys);
+    }
+    {
+        let _span = itm_obs::span("peering.form");
+        make_peering(
+            cfg,
+            &ases,
+            &facilities,
+            &ixps,
+            &seeds,
+            &mut links,
+            &mut link_keys,
+        );
+    }
 
     let mut prefixes = PrefixTable::new();
     let mut alloc = Slash24Allocator::new();
     make_prefixes(cfg, &ases, &seeds, &mut prefixes, &mut alloc);
     let offnets = make_offnets(cfg, &ases, &seeds, &mut prefixes, &mut alloc);
+
+    itm_obs::counter!("topology.ases").add(ases.len() as u64);
+    itm_obs::counter!("topology.links").add(links.len() as u64);
+    itm_obs::counter!("topology.prefixes").add(prefixes.len() as u64);
+    itm_obs::counter!("topology.offnets").add(offnets.len() as u64);
 
     let topo = Topology::from_parts(
         cfg.clone(),
@@ -72,7 +92,11 @@ pub fn generate(cfg: &TopologyConfig, seed: u64) -> Result<Topology> {
 
 /// Draw a home country weighted by population.
 fn pick_country(world: &World, rng: &mut StdRng) -> Country {
-    let weights: Vec<f64> = world.countries.iter().map(|c| c.population_weight).collect();
+    let weights: Vec<f64> = world
+        .countries
+        .iter()
+        .map(|c| c.population_weight)
+        .collect();
     let i = weighted_choice(rng, &weights).expect("countries have weight");
     Country(i as u16)
 }
@@ -108,12 +132,12 @@ fn make_ases(cfg: &TopologyConfig, world: &World, seeds: &SeedDomain) -> Vec<AsI
     let mut next = 0u32;
 
     let push = |class: AsClass,
-                    home: Country,
-                    cities: Vec<u32>,
-                    policy: PeeringPolicy,
-                    size: f64,
-                    next: &mut u32,
-                    out: &mut Vec<AsInfo>| {
+                home: Country,
+                cities: Vec<u32>,
+                policy: PeeringPolicy,
+                size: f64,
+                next: &mut u32,
+                out: &mut Vec<AsInfo>| {
         assert!(!cities.is_empty());
         out.push(AsInfo {
             asn: Asn(*next),
@@ -276,8 +300,9 @@ fn make_colocation(
     // Facilities: bigger cities get more.
     let mut facilities = Vec::new();
     for city in &world.cities {
-        let n_fac = 1 + ((city.size_weight * cfg.max_facilities_per_city as f64) as usize)
-            .min(cfg.max_facilities_per_city.saturating_sub(1));
+        let n_fac = 1
+            + ((city.size_weight * cfg.max_facilities_per_city as f64) as usize)
+                .min(cfg.max_facilities_per_city.saturating_sub(1));
         for _ in 0..n_fac {
             let mut tenants = Vec::new();
             for &asn in &by_city[city.id as usize] {
@@ -352,26 +377,39 @@ fn make_transit(
 ) {
     let mut rng = seeds.rng("transit");
     let tier1: Vec<&AsInfo> = ases.iter().filter(|a| a.class == AsClass::Tier1).collect();
-    let transits: Vec<&AsInfo> = ases.iter().filter(|a| a.class == AsClass::Transit).collect();
-    let eyeballs: Vec<&AsInfo> = ases.iter().filter(|a| a.class == AsClass::Eyeball).collect();
+    let transits: Vec<&AsInfo> = ases
+        .iter()
+        .filter(|a| a.class == AsClass::Transit)
+        .collect();
+    let eyeballs: Vec<&AsInfo> = ases
+        .iter()
+        .filter(|a| a.class == AsClass::Eyeball)
+        .collect();
 
-    let add = |customer: Asn, provider: Asn, links: &mut Vec<Link>, keys: &mut HashSet<(Asn, Asn)>| {
-        let l = Link::transit(customer, provider);
-        if keys.insert(l.key()) {
-            links.push(l);
-        }
-    };
+    let add =
+        |customer: Asn, provider: Asn, links: &mut Vec<Link>, keys: &mut HashSet<(Asn, Asn)>| {
+            let l = Link::transit(customer, provider);
+            if keys.insert(l.key()) {
+                links.push(l);
+            }
+        };
 
     // How many providers a multihomed network buys from.
     let provider_count = |rng: &mut StdRng| -> usize {
         let extra = cfg.mean_providers - 1.0;
-        1 + (0..3).filter(|_| rng.gen_bool((extra / 3.0).clamp(0.0, 1.0))).count()
+        1 + (0..3)
+            .filter(|_| rng.gen_bool((extra / 3.0).clamp(0.0, 1.0)))
+            .count()
     };
 
     // Geographic affinity: prefer providers that share the home country,
     // then big ones.
     let weight_for = |a: &AsInfo, p: &AsInfo| -> f64 {
-        let geo = if a.home_country == p.home_country { 8.0 } else { 1.0 };
+        let geo = if a.home_country == p.home_country {
+            8.0
+        } else {
+            1.0
+        };
         geo * p.size_factor
     };
 
@@ -507,7 +545,12 @@ fn make_peering(
 ) {
     let mut rng = seeds.rng("peering");
 
-    let add = |x: Asn, y: Asn, class: LinkClass, links: &mut Vec<Link>, keys: &mut HashSet<(Asn, Asn)>| -> bool {
+    let add = |x: Asn,
+               y: Asn,
+               class: LinkClass,
+               links: &mut Vec<Link>,
+               keys: &mut HashSet<(Asn, Asn)>|
+     -> bool {
         let l = Link::peering(x, y, class);
         if keys.insert(l.key()) {
             links.push(l);
@@ -538,10 +581,7 @@ fn make_peering(
     // Hypergiant/cloud flattening pass: explicit PNIs with every co-located
     // access & transit network. This is the structural core of the paper's
     // Internet: "most users have short, downhill paths to services".
-    let content: Vec<&AsInfo> = ases
-        .iter()
-        .filter(|a| a.class.is_content())
-        .collect();
+    let content: Vec<&AsInfo> = ases.iter().filter(|a| a.class.is_content()).collect();
     for hg in &content {
         let hg_cities: HashSet<u32> = hg.cities.iter().copied().collect();
         for other in ases.iter() {
@@ -627,8 +667,8 @@ fn make_prefixes(
                 (n.max(1), 1, 0)
             }
             AsClass::Stub => {
-                let n = lognormal(&mut rng, cfg.stub_mean_prefixes.max(1.0).ln(), 0.4).round()
-                    as usize;
+                let n =
+                    lognormal(&mut rng, cfg.stub_mean_prefixes.max(1.0).ln(), 0.4).round() as usize;
                 (n.max(1), 0, 0)
             }
             AsClass::Transit => (0, rng.gen_range(1..=2), 0),
@@ -643,14 +683,24 @@ fn make_prefixes(
         let city_weights: Vec<f64> = (0..a.cities.len())
             .map(|i| 1.0 / (i as f64 + 1.0))
             .collect();
-        let place = |kind: PrefixKind, count: usize, rng: &mut StdRng, prefixes: &mut PrefixTable, alloc: &mut Slash24Allocator| {
+        let place = |kind: PrefixKind,
+                     count: usize,
+                     rng: &mut StdRng,
+                     prefixes: &mut PrefixTable,
+                     alloc: &mut Slash24Allocator| {
             for _ in 0..count {
                 let ci = weighted_choice(rng, &city_weights).unwrap_or(0);
                 prefixes.push(alloc.alloc(), a.asn, a.cities[ci], kind);
             }
         };
         place(PrefixKind::UserAccess, n_user, &mut rng, prefixes, alloc);
-        place(PrefixKind::Infrastructure, n_infra, &mut rng, prefixes, alloc);
+        place(
+            PrefixKind::Infrastructure,
+            n_infra,
+            &mut rng,
+            prefixes,
+            alloc,
+        );
         place(PrefixKind::Hosting, n_hosting, &mut rng, prefixes, alloc);
     }
 }
@@ -666,7 +716,10 @@ fn make_offnets(
     let mut table = OffnetTable::new();
 
     // Largest eyeballs first: hypergiants prioritize big access networks.
-    let mut eyeballs: Vec<&AsInfo> = ases.iter().filter(|a| a.class == AsClass::Eyeball).collect();
+    let mut eyeballs: Vec<&AsInfo> = ases
+        .iter()
+        .filter(|a| a.class == AsClass::Eyeball)
+        .collect();
     eyeballs.sort_by(|a, b| {
         b.size_factor
             .partial_cmp(&a.size_factor)
@@ -744,7 +797,10 @@ mod tests {
         assert_eq!(t.ases_of_class(AsClass::Transit).count(), cfg.n_transit);
         assert_eq!(t.ases_of_class(AsClass::Eyeball).count(), cfg.n_eyeball);
         assert_eq!(t.ases_of_class(AsClass::Stub).count(), cfg.n_stub);
-        assert_eq!(t.ases_of_class(AsClass::Hypergiant).count(), cfg.n_hypergiant);
+        assert_eq!(
+            t.ases_of_class(AsClass::Hypergiant).count(),
+            cfg.n_hypergiant
+        );
         assert_eq!(t.ases_of_class(AsClass::Cloud).count(), cfg.n_cloud);
     }
 
@@ -780,10 +836,7 @@ mod tests {
     fn hypergiants_peer_widely_with_eyeballs() {
         let t = small();
         let hgs = t.hypergiants();
-        let eyeballs: Vec<Asn> = t
-            .ases_of_class(AsClass::Eyeball)
-            .map(|a| a.asn)
-            .collect();
+        let eyeballs: Vec<Asn> = t.ases_of_class(AsClass::Eyeball).map(|a| a.asn).collect();
         // The biggest hypergiant should peer with a sizable share of eyeballs.
         let hg = hgs[0];
         let peered = eyeballs.iter().filter(|&&e| t.has_link(hg, e)).count();

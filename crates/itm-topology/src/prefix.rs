@@ -178,7 +178,12 @@ mod tests {
         let mut t = PrefixTable::new();
         let mut alloc = Slash24Allocator::new();
         for i in 0..n {
-            t.push(alloc.alloc(), Asn((i % 3) as u32), 0, PrefixKind::UserAccess);
+            t.push(
+                alloc.alloc(),
+                Asn((i % 3) as u32),
+                0,
+                PrefixKind::UserAccess,
+            );
         }
         t
     }
@@ -222,7 +227,12 @@ mod tests {
     #[should_panic(expected = "/24s only")]
     fn non_slash24_panics() {
         let mut t = PrefixTable::new();
-        t.push("1.0.0.0/23".parse().unwrap(), Asn(0), 0, PrefixKind::UserAccess);
+        t.push(
+            "1.0.0.0/23".parse().unwrap(),
+            Asn(0),
+            0,
+            PrefixKind::UserAccess,
+        );
     }
 
     #[test]

@@ -151,7 +151,9 @@ impl Topology {
 
     /// The hypergiant ASes.
     pub fn hypergiants(&self) -> Vec<Asn> {
-        self.ases_of_class(AsClass::Hypergiant).map(|a| a.asn).collect()
+        self.ases_of_class(AsClass::Hypergiant)
+            .map(|a| a.asn)
+            .collect()
     }
 
     /// The cloud ASes.

@@ -7,14 +7,14 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = TopologyConfig> {
     (
-        2usize..6,    // tier1
-        2usize..12,   // transit
-        5usize..40,   // eyeball
-        0usize..30,   // stub
-        1usize..4,    // hypergiant
-        0usize..3,    // cloud
-        0.0f64..1.0,  // offnet reach
-        0.2f64..2.0,  // peering intensity
+        2usize..6,   // tier1
+        2usize..12,  // transit
+        5usize..40,  // eyeball
+        0usize..30,  // stub
+        1usize..4,   // hypergiant
+        0usize..3,   // cloud
+        0.0f64..1.0, // offnet reach
+        0.2f64..2.0, // peering intensity
     )
         .prop_map(
             |(t1, tr, eye, stub, hg, cloud, reach, intensity)| TopologyConfig {

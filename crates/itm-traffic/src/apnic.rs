@@ -99,8 +99,8 @@ impl ApnicEstimates {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use itm_types::stats::spearman;
     use itm_topology::{generate, AsClass, TopologyConfig};
+    use itm_types::stats::spearman;
 
     fn setup() -> (Topology, UserModel, ApnicEstimates) {
         let t = generate(&TopologyConfig::small(), 17).unwrap();
@@ -128,9 +128,12 @@ mod tests {
             "major eyeballs covered {large_covered}/{large_total}"
         );
         // Overall coverage is partial — small networks are missing.
-        let eyeballs = t.ases_of_class(AsClass::Eyeball).count()
-            + t.ases_of_class(AsClass::Stub).count();
-        assert!(a.covered() < eyeballs, "nothing was missed — too optimistic");
+        let eyeballs =
+            t.ases_of_class(AsClass::Eyeball).count() + t.ases_of_class(AsClass::Stub).count();
+        assert!(
+            a.covered() < eyeballs,
+            "nothing was missed — too optimistic"
+        );
     }
 
     #[test]

@@ -84,15 +84,16 @@ impl TrafficModel {
         let mut solar_offset = vec![0.0; n_p];
 
         for r in topo.prefixes.iter() {
-            solar_offset[r.id.index()] =
-                topo.city_location(r.city).solar_offset_hours();
+            solar_offset[r.id.index()] = topo.city_location(r.city).solar_offset_hours();
             let base = users.users_of(r.id) * users.intensity_of(r.id) * cfg.per_user_kbps * 1e3;
             if base <= 0.0 {
                 continue;
             }
             let mut p_total = 0.0;
             for s in &catalog.services {
-                let d = base * s.traffic_share * affinity(affinity_seed, r.id, s.id, cfg.affinity_sigma);
+                let d = base
+                    * s.traffic_share
+                    * affinity(affinity_seed, r.id, s.id, cfg.affinity_sigma);
                 p_total += d;
                 service_total[s.id.index()] += d;
             }
@@ -113,7 +114,14 @@ impl TrafficModel {
     }
 
     /// Daily-mean demand between a prefix and a service.
-    pub fn demand(&self, topo: &Topology, users: &UserModel, catalog: &ServiceCatalog, p: PrefixId, s: ServiceId) -> Bps {
+    pub fn demand(
+        &self,
+        topo: &Topology,
+        users: &UserModel,
+        catalog: &ServiceCatalog,
+        p: PrefixId,
+        s: ServiceId,
+    ) -> Bps {
         let _ = topo;
         let svc = catalog.get(s);
         let base = users.users_of(p) * users.intensity_of(p) * self.cfg.per_user_kbps * 1e3;
@@ -171,8 +179,7 @@ impl TrafficModel {
         use std::collections::HashMap;
         let mut acc: HashMap<Asn, f64> = HashMap::new();
         for s in &catalog.services {
-            *acc.entry(s.owner.serving_as()).or_insert(0.0) +=
-                self.service_total[s.id.index()];
+            *acc.entry(s.owner.serving_as()).or_insert(0.0) += self.service_total[s.id.index()];
         }
         let mut v: Vec<(Asn, Bps)> = acc.into_iter().map(|(a, x)| (a, Bps(x))).collect();
         v.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).unwrap().then(a.0.cmp(&b.0)));
@@ -286,11 +293,7 @@ mod tests {
     fn totals_are_consistent() {
         let (t, _, c, m) = setup();
         let by_prefix: f64 = t.prefixes.iter().map(|r| m.prefix_total(r.id).raw()).sum();
-        let by_service: f64 = c
-            .services
-            .iter()
-            .map(|s| m.service_total(s.id).raw())
-            .sum();
+        let by_service: f64 = c.services.iter().map(|s| m.service_total(s.id).raw()).sum();
         let by_as: f64 = t.ases.iter().map(|a| m.as_total(a.asn).raw()).sum();
         assert!((by_prefix - by_service).abs() / by_prefix < 1e-9);
         assert!((by_prefix - by_as).abs() / by_prefix < 1e-9);

@@ -77,7 +77,9 @@ impl ObjectModel {
             return 1.0;
         }
         let n = self.n_objects;
-        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(self.zipf_exponent)).sum();
+        let norm: f64 = (1..=n)
+            .map(|k| 1.0 / (k as f64).powf(self.zipf_exponent))
+            .sum();
         let q: Vec<f64> = (1..=n)
             .map(|k| 1.0 / (k as f64).powf(self.zipf_exponent) / norm)
             .collect();

@@ -144,10 +144,12 @@ impl ServiceCatalog {
         for (rank, &share) in shares.iter().enumerate() {
             // Top of the ranking skews hypergiant: P(hg | rank) decays from
             // ~0.95 toward the configured share.
-            let p_hg = cfg.hypergiant_share
-                + (0.95 - cfg.hypergiant_share) / (1.0 + rank as f64 / 8.0);
+            let p_hg =
+                cfg.hypergiant_share + (0.95 - cfg.hypergiant_share) / (1.0 + rank as f64 / 8.0);
             let owner = if rng.gen_bool(p_hg.clamp(0.0, 1.0)) {
-                ServiceOwner::Hypergiant(hypergiants[weighted_choice(&mut rng, &hg_weights).unwrap()])
+                ServiceOwner::Hypergiant(
+                    hypergiants[weighted_choice(&mut rng, &hg_weights).unwrap()],
+                )
             } else if clouds.is_empty() {
                 ServiceOwner::Hypergiant(hypergiants[0])
             } else {

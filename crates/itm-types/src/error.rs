@@ -95,12 +95,17 @@ mod tests {
     #[test]
     fn display_forms_are_informative() {
         let e = ItmError::parse("Ipv4Net", "999.0.0.0/8");
-        assert_eq!(e.to_string(), "failed to parse Ipv4Net from \"999.0.0.0/8\"");
+        assert_eq!(
+            e.to_string(),
+            "failed to parse Ipv4Net from \"999.0.0.0/8\""
+        );
         let e = ItmError::not_found("Asn", "AS65000");
         assert_eq!(e.to_string(), "Asn AS65000 not found");
         let e = ItmError::config("n_ases", "must be >= 10");
         assert!(e.to_string().contains("n_ases"));
-        let e = ItmError::NotReady { need: "routes computed" };
+        let e = ItmError::NotReady {
+            need: "routes computed",
+        };
         assert!(e.to_string().contains("routes computed"));
     }
 

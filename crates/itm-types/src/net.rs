@@ -59,9 +59,7 @@ impl FromStr for Ipv4Addr {
         let mut octets = [0u8; 4];
         let mut parts = s.split('.');
         for slot in &mut octets {
-            let part = parts
-                .next()
-                .ok_or_else(|| ItmError::parse("Ipv4Addr", s))?;
+            let part = parts.next().ok_or_else(|| ItmError::parse("Ipv4Addr", s))?;
             *slot = part
                 .parse::<u8>()
                 .map_err(|_| ItmError::parse("Ipv4Addr", s))?;
@@ -121,6 +119,7 @@ impl Ipv4Net {
 
     /// The prefix length.
     #[inline]
+    #[allow(clippy::len_without_is_empty)] // prefix length, not a container
     pub const fn len(self) -> u8 {
         self.len
     }
@@ -195,7 +194,10 @@ impl Ipv4Net {
         let len = self.len + 1;
         let hi_bit = 1u32 << (32 - len);
         Some((
-            Ipv4Net { base: self.base, len },
+            Ipv4Net {
+                base: self.base,
+                len,
+            },
             Ipv4Net {
                 base: self.base | hi_bit,
                 len,
@@ -241,7 +243,15 @@ mod tests {
 
     #[test]
     fn addr_parse_rejects_garbage() {
-        for s in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "01.2.3.4", "1..2.3"] {
+        for s in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.0.0.1",
+            "a.b.c.d",
+            "01.2.3.4",
+            "1..2.3",
+        ] {
             assert!(s.parse::<Ipv4Addr>().is_err(), "{s} should not parse");
         }
     }

@@ -135,7 +135,7 @@ pub fn pareto<R: Rng>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
 /// Returns `None` for empty or all-zero weights.
 pub fn weighted_choice<R: Rng>(rng: &mut R, weights: &[f64]) -> Option<usize> {
     let total: f64 = weights.iter().sum();
-    if !(total > 0.0) {
+    if total <= 0.0 || total.is_nan() {
         return None;
     }
     let mut r = rng.gen_range(0.0..total);
@@ -156,8 +156,16 @@ mod tests {
     #[test]
     fn same_name_same_stream() {
         let d = SeedDomain::new(42);
-        let a: Vec<u32> = d.rng("topology").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = d.rng("topology").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = d
+            .rng("topology")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = d
+            .rng("topology")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

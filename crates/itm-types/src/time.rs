@@ -107,7 +107,14 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let d = self.day();
         let rem = self.0 % 86_400;
-        write!(f, "d{}+{:02}:{:02}:{:02}", d, rem / 3600, (rem % 3600) / 60, rem % 60)
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            d,
+            rem / 3600,
+            (rem % 3600) / 60,
+            rem % 60
+        )
     }
 }
 

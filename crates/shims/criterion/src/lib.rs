@@ -1,0 +1,252 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use. A real (if simple) measurement harness: per benchmark it warms up,
+//! calibrates an iteration count targeting a fixed per-sample wall time,
+//! collects `sample_size` samples, and reports min/median/mean.
+//!
+//! Invocation matches cargo's contract for `harness = false` targets:
+//! `cargo bench` runs measurements (optionally filtered by substring args),
+//! `cargo test --benches` passes `--test`, which runs every body once as a
+//! smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// routine call regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Target per-sample wall time (override with `ITM_BENCH_SAMPLE_MS`).
+fn sample_budget() -> Duration {
+    let ms = std::env::var("ITM_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50u64);
+    Duration::from_millis(ms)
+}
+
+/// Entry point state: CLI filter + test-mode flag.
+pub struct Criterion {
+    filter: Vec<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut filter = Vec::new();
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--benches" | "-q" | "--quiet" | "--verbose" | "--noplot"
+                | "--exact" | "--nocapture" => {}
+                a if a.starts_with('-') => {}
+                a => filter.push(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        let matches = self.matches(id);
+        run_one(id, 20, test_mode, matches, f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.is_empty() || self.filter.iter().any(|f| full_id.contains(f.as_str()))
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let matches = self.criterion.matches(&full);
+        run_one(
+            &full,
+            self.sample_size,
+            self.criterion.test_mode,
+            matches,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F>(id: &str, sample_size: usize, test_mode: bool, matches: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !matches {
+        return;
+    }
+    if test_mode {
+        let mut b = Bencher {
+            mode: Mode::Smoke,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        println!("bench {id}: smoke ok");
+        return;
+    }
+    let mut b = Bencher {
+        mode: Mode::Measure { sample_size },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let mut per_iter: Vec<f64> = b.samples;
+    if per_iter.is_empty() {
+        println!("{id:<46} (no samples)");
+        return;
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{id:<46} time: [{} {} {}] ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        per_iter.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+enum Mode {
+    Smoke,
+    Measure { sample_size: usize },
+}
+
+/// Passed to each benchmark body; `iter`/`iter_batched` perform the
+/// timing loop.
+pub struct Bencher {
+    mode: Mode,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+            }
+            Mode::Measure { sample_size } => {
+                // Warm-up + calibration: how many iterations fit the budget?
+                let t0 = Instant::now();
+                black_box(f());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let iters =
+                    (sample_budget().as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+                for _ in 0..sample_size {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    self.samples
+                        .push(t.elapsed().as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure { sample_size } => {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let iters =
+                    (sample_budget().as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+                for _ in 0..sample_size {
+                    let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+                    let t = Instant::now();
+                    for input in inputs {
+                        black_box(routine(input));
+                    }
+                    self.samples
+                        .push(t.elapsed().as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+/// Define a group-runner function that applies each target to a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Real proptest shrinks failures and persists regressions; this shim keeps
+//! the same *test semantics* — N deterministic pseudo-random cases per
+//! property, sampled from composable strategies — without the machinery.
+//! Failures report the case index and the seed is a pure function of the
+//! test's module path, so a red property test reproduces identically on
+//! every run and machine.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// One generated test case body, run inside a closure returning
+/// `Err(message)` on `prop_assert!` failure.
+#[macro_export]
+macro_rules! proptest {
+    (@one ($cfg:expr) $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $( let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                let __result: ::core::result::Result<(), ::std::string::String> = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(__msg) = __result {
+                    panic!(
+                        "proptest '{}' failed on case {}/{}: {}",
+                        stringify!($name), __case, __cfg.cases, __msg
+                    );
+                }
+            }
+        }
+    };
+    (@cfg ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($args:tt)* ) $body:block )* ) => {
+        $( $crate::proptest!(@one ($cfg) $(#[$meta])* fn $name ( $($args)* ) $body); )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err(format!(
+                        "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                        stringify!($left), stringify!($right), __l, __r
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err(format!(
+                        "{} (left: {:?}, right: {:?})",
+                        format!($($fmt)+), __l, __r
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err(format!(
+                        "assertion failed: `{} != {}` (both: {:?})",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skip the rest of the case when a precondition fails (counts as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}

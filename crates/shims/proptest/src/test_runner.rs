@@ -1,0 +1,37 @@
+//! Deterministic case-count and RNG configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A per-test RNG whose seed is a pure function of the test's full path,
+/// so failures reproduce identically across runs and machines.
+pub fn rng_for(test_path: &str) -> StdRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_path.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}

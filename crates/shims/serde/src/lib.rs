@@ -1,0 +1,12 @@
+//! Offline facade for `serde`.
+//!
+//! Re-exports the no-op derive macros (macro namespace) and the
+//! hand-rolled JSON traits from the `serde_json` shim (type namespace)
+//! under the familiar names, so `use serde::{Serialize, Deserialize}`
+//! works both in `#[derive(...)]` position and as trait bounds/impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// Same names in the trait namespace — this mirrors how real serde exports
+// both a trait and a derive macro called `Serialize`.
+pub use serde_json::{Deserialize, Serialize};

@@ -1,0 +1,211 @@
+//! The JSON value tree.
+
+use std::fmt;
+
+/// An insertion-ordered string→value map.
+///
+/// Key order is whatever the caller inserted, which makes serialized output
+/// a pure function of program behavior — the property the workspace's
+/// metrics and summary exports rely on for byte-stable artifacts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Insert or replace; replacement keeps the original position.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Sort entries by key (recursively sorting nested objects too).
+    pub fn sort_keys_recursive(&mut self) {
+        self.entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, v) in &mut self.entries {
+            if let Value::Object(m) = v {
+                m.sort_keys_recursive();
+            }
+        }
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON number: either an exact integer or a double.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integers (the common case for counters and sizes).
+    PosInt(u64),
+    /// Negative integers.
+    NegInt(i64),
+    /// Everything else.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(x) => {
+                if x.is_finite() {
+                    // Round-trippable shortest form; force a decimal point
+                    // so integers-as-floats still parse as floats.
+                    let s = format!("{x}");
+                    if s.contains('.') || s.contains('e') || s.contains('E') {
+                        f.write_str(&s)
+                    } else {
+                        write!(f, "{s}.0")
+                    }
+                } else {
+                    // JSON has no NaN/Inf; emit null like serde_json does
+                    // for lossy mode. Callers shouldn't produce these.
+                    f.write_str("null")
+                }
+            }
+        }
+    }
+}
+
+/// A parsed or constructed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::NegInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::ser::to_string(self).map_err(|_| fmt::Error)?)
+    }
+}
+
+macro_rules! impl_from {
+    ($($t:ty => $make:expr),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                let conv: fn($t) -> Value = $make;
+                conv(v)
+            }
+        }
+    )*};
+}
+
+impl_from! {
+    bool => Value::Bool,
+    u8 => |n| Value::Number(Number::PosInt(n as u64)),
+    u16 => |n| Value::Number(Number::PosInt(n as u64)),
+    u32 => |n| Value::Number(Number::PosInt(n as u64)),
+    u64 => |n| Value::Number(Number::PosInt(n)),
+    usize => |n| Value::Number(Number::PosInt(n as u64)),
+    i8 => |n| Value::from(n as i64),
+    i16 => |n| Value::from(n as i64),
+    i32 => |n| Value::from(n as i64),
+    i64 => |n| if n >= 0 { Value::Number(Number::PosInt(n as u64)) } else { Value::Number(Number::NegInt(n)) },
+    f32 => |x| Value::Number(Number::Float(x as f64)),
+    f64 => |x| Value::Number(Number::Float(x)),
+    String => Value::String,
+    &str => |s| Value::String(s.to_string()),
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}

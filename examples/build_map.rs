@@ -63,7 +63,17 @@ fn main() {
             "serving_addresses": map.known_server_count(),
             "mapping_cells": map.user_mapping.mapping.len(),
         },
-        "table1": table,
+        "table1": (table
+            .iter()
+            .map(|row| {
+                serde_json::json!({
+                    "component": (row.component.clone()),
+                    "temporal": (row.temporal.clone()),
+                    "network_precision": (row.network_precision.clone()),
+                    "coverage": (row.coverage.clone()),
+                })
+            })
+            .collect::<Vec<_>>()),
     });
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write(

@@ -18,8 +18,13 @@ fn main() {
 
     // Scenario 1: the largest hypergiant's own network goes dark.
     let hg = s.topo.hypergiants()[0];
-    banner(&format!("scenario: {hg} (largest hypergiant) fails entirely"));
-    report(&s, OutageImpact::assess(&s, &map, OutageScenario::WholeAs(hg)));
+    banner(&format!(
+        "scenario: {hg} (largest hypergiant) fails entirely"
+    ));
+    report(
+        &s,
+        OutageImpact::assess(&s, &map, OutageScenario::WholeAs(hg)),
+    );
 
     // Scenario 2: the same AS fails in one country only.
     let country = s.topo.world.countries[0].country;
@@ -54,7 +59,10 @@ fn banner(msg: &str) {
 }
 
 fn report(s: &Substrate, impact: OutageImpact) {
-    println!("affected services:        {}", impact.affected_services.len());
+    println!(
+        "affected services:        {}",
+        impact.affected_services.len()
+    );
     println!("affected (svc,prefix):    {}", impact.affected_cells.len());
     println!(
         "users affected (map est): {:.0}   (truth: {:.0})",

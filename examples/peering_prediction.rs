@@ -9,8 +9,8 @@
 //! cargo run --release --example peering_prediction
 //! ```
 
-use itm::core::{PeeringRecommender, RecommendationEval};
 use itm::core::recommend::RecommenderWeights;
+use itm::core::{PeeringRecommender, RecommendationEval};
 use itm::measure::{Substrate, SubstrateConfig};
 use itm::routing::CollectorSet;
 
@@ -47,7 +47,11 @@ fn main() {
     let truth: std::collections::HashSet<_> = s.topo.links.iter().map(|l| l.key()).collect();
     for r in recs.iter().take(10) {
         let (a, b) = r.pair;
-        let mark = if truth.contains(&r.pair) { "✓" } else { "✗" };
+        let mark = if truth.contains(&r.pair) {
+            "✓"
+        } else {
+            "✗"
+        };
         let (ca, cb) = (
             s.topo.as_info(a).class.label(),
             s.topo.as_info(b).class.label(),

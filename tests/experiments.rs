@@ -36,7 +36,10 @@ fn pct_of(r: &itm_bench::ExperimentResult, key_part: &str) -> f64 {
 
 #[test]
 fn all_experiments_produce_csv() {
-    let (s, map) = { let f = setup(); (&f.0, &f.1) };
+    let (s, map) = {
+        let f = setup();
+        (&f.0, &f.1)
+    };
     let all = vec![
         experiments::table1(s, map),
         experiments::fig1a(s, map),
@@ -72,7 +75,10 @@ fn all_experiments_produce_csv() {
 
 #[test]
 fn coverage_experiment_reproduces_paper_ordering() {
-    let (s, map) = { let f = setup(); (&f.0, &f.1) };
+    let (s, map) = {
+        let f = setup();
+        (&f.0, &f.1)
+    };
     let r = experiments::coverage_claims(s, map);
     let cache = pct_of(&r, "cache probing");
     let root = pct_of(&r, "root logs");
@@ -144,7 +150,10 @@ fn ablations_run_and_show_expected_directions() {
     let d3 = ablations::ab_collectors(s);
     let few = pct_of(&d3, "2 feeders");
     let many = pct_of(&d3, "80 feeders");
-    assert!(many <= few, "more feeders should reveal more: {few} -> {many}");
+    assert!(
+        many <= few,
+        "more feeders should reveal more: {few} -> {many}"
+    );
 
     // D5: more probing rounds cover at least as much traffic.
     let d5 = ablations::ab_probe_budget(s);

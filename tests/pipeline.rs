@@ -16,8 +16,7 @@ fn substrate(seed: u64) -> Substrate {
 /// test time). Tests exercising determinism or specific seeds build their
 /// own.
 fn shared() -> &'static (Substrate, TrafficMap) {
-    static FIXTURE: std::sync::OnceLock<(Substrate, TrafficMap)> =
-        std::sync::OnceLock::new();
+    static FIXTURE: std::sync::OnceLock<(Substrate, TrafficMap)> = std::sync::OnceLock::new();
     FIXTURE.get_or_init(|| {
         let s = substrate(1001);
         let map = TrafficMap::build(&s, &MapConfig::default());
@@ -160,7 +159,7 @@ fn activity_component_is_consistent_with_user_component() {
     // ASes with strong fused activity must be ASes the user-discovery
     // component found — the map's components cannot contradict each other.
     let (s, map) = shared();
-    let discovered = map.cache_result.discovered_ases(&s);
+    let discovered = map.cache_result.discovered_ases(s);
     let mut strong: Vec<Asn> = map
         .activity
         .iter()
