@@ -128,6 +128,23 @@ fn bench_obs_overhead(c: &mut Criterion) {
         b.iter(|| probe_1k(&mut i))
     });
     itm_obs::set_enabled(false);
+    // Same workload against the trace ring: disabled must cost one
+    // relaxed load per probe; enabled pays the sharded ring append
+    // (steady-state: the ring is full and evicting).
+    g.bench_function("cache_lookup_1k_trace_off", |b| {
+        itm_obs::trace::set_enabled(false);
+        let mut i = 0usize;
+        b.iter(|| probe_1k(&mut i))
+    });
+    g.bench_function("cache_lookup_1k_trace_on", |b| {
+        itm_obs::trace::set_seed(42);
+        itm_obs::trace::reset();
+        itm_obs::trace::set_enabled(true);
+        let mut i = 0usize;
+        b.iter(|| probe_1k(&mut i))
+    });
+    itm_obs::trace::set_enabled(false);
+    itm_obs::trace::reset();
     g.finish();
 }
 

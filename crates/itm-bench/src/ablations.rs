@@ -210,7 +210,10 @@ pub fn ab_recommend_features(s: &Substrate) -> ExperimentResult {
     let mut headline = Vec::new();
     for (name, w) in variants {
         let rec = PeeringRecommender::new(s, &public, w);
-        let eval = RecommendationEval::evaluate(s, &rec.recommend());
+        let eval = RecommendationEval::evaluate(
+            s,
+            &rec.recommend().expect("finite recommendation scores"),
+        );
         let p_top = eval.top_precision();
         let (k, p_k, r_k) = eval.at_k.last().copied().unwrap_or((0, 0.0, 0.0));
         rows.push(format!("{name},{p_top:.4},{k},{p_k:.4},{r_k:.4}"));

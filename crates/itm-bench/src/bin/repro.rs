@@ -6,22 +6,29 @@
 //! cargo run --release -p itm-bench --bin repro -- --size small --seed 7
 //! cargo run --release -p itm-bench --bin repro -- --ablations  # D1–D5 too
 //! cargo run --release -p itm-bench --bin repro -- --exp coverage --metrics
+//! cargo run --release -p itm-bench --bin repro -- --exp map --trace
+//! cargo run --release -p itm-bench --bin repro -- --size small --explain pfx0 svc0
 //! ```
 //!
 //! Results land in `results/<id>.csv` plus a combined
 //! `results/summary.txt`; `--metrics` additionally records pipeline
 //! instrumentation (phase timings, probe budgets) to
-//! `results/metrics.json`.
+//! `results/metrics.json`; `--trace [path]` records the causal event
+//! trace in Chrome trace format (load it in Perfetto / `chrome://tracing`);
+//! `--explain <prefix> <service>` builds the map with tracing on and
+//! prints the evidence chain behind one asserted map edge.
 
 use itm_bench::{ablations, experiments, ExperimentResult};
-use itm_core::{MapConfig, TrafficMap};
+use itm_core::{MapConfig, MapSummary, TrafficMap};
 use itm_measure::{Substrate, SubstrateConfig};
+use itm_obs::ProvenanceIndex;
 use itm_topology::TopologyConfig;
 use std::io::Write;
 use std::time::Instant;
 
 /// Experiment ids, in run order.
 const EXPERIMENT_IDS: &[&str] = &[
+    "map",
     "table1",
     "fig1a",
     "fig1b",
@@ -56,12 +63,20 @@ struct Args {
     ablations: bool,
     out_dir: String,
     metrics: bool,
+    /// `--trace` was given; `Some(path)` if it carried an explicit output
+    /// path, `None` for the default `<out>/trace.json`.
+    trace: Option<Option<String>>,
+    /// `--explain <prefix> <service>`: explain one map edge and exit.
+    explain: Option<(String, String)>,
 }
 
 fn usage() -> String {
     format!(
         "usage: repro [--exp <id>] [--seed N] [--size small|default|large] \
-         [--ablations] [--metrics] [--out DIR]\n\
+         [--ablations] [--metrics] [--trace [FILE]] \
+         [--explain PREFIX SERVICE] [--out DIR]\n\
+         PREFIX is pfxN, a bare index, or a /24 like 10.0.0.0/24;\n\
+         SERVICE is svcN, a bare index, or a domain like svc0.example\n\
          experiment ids: {}\n\
          ablation ids (with --exp): {}",
         EXPERIMENT_IDS.join(" "),
@@ -77,22 +92,65 @@ fn parse_args() -> Args {
         ablations: false,
         out_dir: "results".into(),
         metrics: false,
+        trace: None,
+        explain: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--exp" => args.exp = it.next(),
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = argv[i].as_str();
+        // The value following a flag, if any (flags never start another
+        // flag's value).
+        let value = |i: usize| -> Option<String> {
+            argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned()
+        };
+        match a {
+            "--exp" => {
+                args.exp = value(i);
+                i += 2;
+            }
             "--seed" => {
-                let raw = it.next().unwrap_or_default();
+                let raw = value(i).unwrap_or_default();
                 args.seed = raw.parse().unwrap_or_else(|_| {
                     eprintln!("--seed expects an integer, got {raw:?}");
                     std::process::exit(2);
                 });
+                i += 2;
             }
-            "--size" => args.size = it.next().unwrap_or_else(|| "default".into()),
-            "--ablations" => args.ablations = true,
-            "--metrics" => args.metrics = true,
-            "--out" => args.out_dir = it.next().unwrap_or_else(|| "results".into()),
+            "--size" => {
+                args.size = value(i).unwrap_or_else(|| "default".into());
+                i += 2;
+            }
+            "--ablations" => {
+                args.ablations = true;
+                i += 1;
+            }
+            "--metrics" => {
+                args.metrics = true;
+                i += 1;
+            }
+            "--trace" => match value(i) {
+                Some(path) => {
+                    args.trace = Some(Some(path));
+                    i += 2;
+                }
+                None => {
+                    args.trace = Some(None);
+                    i += 1;
+                }
+            },
+            "--explain" => {
+                let (Some(pfx), Some(svc)) = (value(i), value(i + 1)) else {
+                    eprintln!("--explain expects PREFIX and SERVICE\n{}", usage());
+                    std::process::exit(2);
+                };
+                args.explain = Some((pfx, svc));
+                i += 3;
+            }
+            "--out" => {
+                args.out_dir = value(i).unwrap_or_else(|| "results".into());
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!("{}", usage());
                 std::process::exit(0);
@@ -125,9 +183,96 @@ fn config_for(size: &str) -> SubstrateConfig {
     }
 }
 
+/// Create the output directory and verify it is actually writable
+/// (`create_dir_all` succeeds on an existing read-only directory), exiting
+/// with status 2 on failure as for any other bad invocation.
+fn ensure_out_dir(dir: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create output dir {dir}: {e}");
+        std::process::exit(2);
+    }
+    let probe = format!("{dir}/.write_probe");
+    if let Err(e) = std::fs::write(&probe, b"") {
+        eprintln!("output dir {dir} is not writable: {e}");
+        std::process::exit(2);
+    }
+    let _ = std::fs::remove_file(&probe);
+}
+
+/// Turn tracing on for this process: virtual timestamps seeded from the
+/// run seed, ring reset so event ids start from zero. The metrics registry
+/// is enabled too so span enter/exit events appear as Chrome durations.
+fn enable_tracing(seed: u64) {
+    itm_obs::set_enabled(true);
+    itm_obs::trace::set_seed(seed);
+    itm_obs::trace::reset();
+    itm_obs::trace::set_enabled(true);
+}
+
+/// Resolve a `--explain` PREFIX argument (pfxN, bare index, or /24).
+fn parse_prefix(s: &Substrate, raw: &str) -> Option<u32> {
+    let text = raw.strip_prefix("pfx").unwrap_or(raw);
+    if let Ok(n) = text.parse::<u32>() {
+        return (n < s.topo.prefixes.len() as u32).then_some(n);
+    }
+    let net: itm_types::Ipv4Net = raw.parse().ok()?;
+    s.topo.prefixes.find(net).map(|rec| rec.id.raw())
+}
+
+/// Resolve a `--explain` SERVICE argument (svcN, bare index, or domain).
+fn parse_service(s: &Substrate, raw: &str) -> Option<u32> {
+    let text = raw.strip_prefix("svc").unwrap_or(raw);
+    if let Ok(n) = text.parse::<u32>() {
+        return (n < s.catalog.len() as u32).then_some(n);
+    }
+    s.catalog.by_domain(raw).map(|svc| svc.id.raw())
+}
+
+/// The `--explain` mode: build the map with tracing on, index the trace,
+/// and print the evidence chain behind one asserted edge.
+fn explain_edge(s: &Substrate, pfx_arg: &str, svc_arg: &str) -> ! {
+    let Some(prefix) = parse_prefix(s, pfx_arg) else {
+        eprintln!("cannot resolve prefix {pfx_arg:?}\n{}", usage());
+        std::process::exit(2);
+    };
+    let Some(service) = parse_service(s, svc_arg) else {
+        eprintln!("cannot resolve service {svc_arg:?}\n{}", usage());
+        std::process::exit(2);
+    };
+    let t = Instant::now();
+    eprintln!("building map with tracing enabled…");
+    let _map = TrafficMap::build(s, &MapConfig::default());
+    eprintln!("  map built [{:.1?}]", t.elapsed());
+    let snap = itm_obs::trace::snapshot();
+    eprintln!(
+        "  {} trace events captured ({} dropped)",
+        snap.records.len(),
+        snap.dropped_events
+    );
+    let index = ProvenanceIndex::build(&snap);
+    match index.explain(prefix, service) {
+        Some(chain) => {
+            println!("{}", chain.render());
+            std::process::exit(0);
+        }
+        None => {
+            eprintln!(
+                "no edge asserted for pfx{prefix} × svc{service}; the map \
+                 did not measure that cell (try a user-access prefix and an \
+                 ECS service, or list edges via a larger trace capacity)"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
-    std::fs::create_dir_all(&args.out_dir).expect("create output dir");
+    ensure_out_dir(&args.out_dir);
+
+    if args.trace.is_some() || args.explain.is_some() {
+        enable_tracing(args.seed);
+    }
 
     if args.metrics {
         itm_obs::set_enabled(true);
@@ -158,16 +303,20 @@ fn main() {
         t0.elapsed()
     );
 
+    if let Some((pfx_arg, svc_arg)) = &args.explain {
+        explain_edge(&s, pfx_arg, svc_arg);
+    }
+
     // Experiments that need the full map share one build.
     let needs_map = |id: &str| {
         matches!(
             id,
-            "table1" | "fig1a" | "fig1b" | "fig2" | "coverage" | "ecs"
+            "map" | "table1" | "fig1a" | "fig1b" | "fig2" | "coverage" | "ecs"
         )
     };
     let want = |id: &str| args.exp.as_deref().map(|e| e == id).unwrap_or(true);
 
-    let map = if ["table1", "fig1a", "fig1b", "fig2", "coverage", "ecs"]
+    let map = if ["map", "table1", "fig1a", "fig1b", "fig2", "coverage", "ecs"]
         .iter()
         .any(|id| want(id) && needs_map(id))
     {
@@ -192,6 +341,36 @@ fn main() {
     };
 
     if let Some(map) = &map {
+        run("map", &mut || {
+            let summary = MapSummary::extract(&s, map);
+            let path = format!("{}/map_summary.json", args.out_dir);
+            std::fs::write(&path, summary.to_json()).expect("write map summary");
+            eprintln!("  wrote {path}");
+            ExperimentResult {
+                id: "map",
+                title: "assembled traffic map (map_summary.json)".into(),
+                csv_header: "metric,value".into(),
+                csv_rows: vec![
+                    format!("user_prefixes,{}", summary.user_prefixes.len()),
+                    format!("mapping_cells,{}", summary.mapping_cells),
+                    format!("offnets,{}", summary.offnets.len()),
+                    format!("route_edges,{}", summary.route_edges),
+                    format!("invisible_peering,{:.4}", summary.invisible_peering),
+                ],
+                headline: vec![
+                    (
+                        "user prefixes".into(),
+                        summary.user_prefixes.len().to_string(),
+                    ),
+                    ("mapping cells".into(), summary.mapping_cells.to_string()),
+                    (
+                        "offnet deployments".into(),
+                        summary.offnets.len().to_string(),
+                    ),
+                    ("route edges".into(), summary.route_edges.to_string()),
+                ],
+            }
+        });
         run("table1", &mut || experiments::table1(&s, map));
         run("fig1a", &mut || experiments::fig1a(&s, map));
         run("fig1b", &mut || experiments::fig1b(&s, map));
@@ -245,6 +424,21 @@ fn main() {
         let text = serde_json::to_string_pretty(&report.to_json()).expect("serializable");
         std::fs::write(&path, text).expect("write metrics");
         eprintln!("wrote {path}");
+    }
+
+    if let Some(trace_path) = &args.trace {
+        let snap = itm_obs::trace::snapshot();
+        let path = trace_path
+            .clone()
+            .unwrap_or_else(|| format!("{}/trace.json", args.out_dir));
+        let v = itm_obs::chrome_trace(&snap);
+        let text = serde_json::to_string(&v).expect("serializable");
+        std::fs::write(&path, text).expect("write trace");
+        eprintln!(
+            "wrote {path} ({} events, {} dropped; open in Perfetto or chrome://tracing)",
+            snap.records.len(),
+            snap.dropped_events
+        );
     }
 
     // Emit.

@@ -411,7 +411,7 @@ pub fn recommend(s: &Substrate) -> ExperimentResult {
     let collectors = CollectorSet::typical(&s.topo, &s.seeds);
     let (public, _) = collectors.public_view(&s.topo);
     let rec = PeeringRecommender::new(s, &public, RecommenderWeights::default());
-    let recs = rec.recommend();
+    let recs = rec.recommend().expect("finite recommendation scores");
     let eval = RecommendationEval::evaluate(s, &recs);
     ExperimentResult {
         id: "recommend",

@@ -83,6 +83,10 @@ impl TrafficMap {
     /// Run the full pipeline.
     pub fn build(s: &Substrate, cfg: &MapConfig) -> TrafficMap {
         let _span = itm_obs::span("map.build");
+        let _campaign = itm_obs::trace::campaign(
+            itm_obs::trace::Technique::MapAssembly,
+            "traffic map assembly",
+        );
 
         // ---- Component 1: users + activity ----
         let users_span = itm_obs::span("users.activity");
@@ -147,6 +151,35 @@ impl TrafficMap {
         let extra = cloud_result.as_links(s);
         let route_view = public_view.with_extra_links(extra.iter());
         drop(routes_span);
+
+        // Assert the map's edges into the trace: one event per measured
+        // (service, prefix) cell, each linking the serving address and AS
+        // so provenance queries can join it back to the observations that
+        // produced it. HashMap order is nondeterministic; sort first.
+        if itm_obs::trace::enabled() {
+            let mut cells: Vec<(ServiceId, PrefixId, Ipv4Addr)> = user_mapping
+                .mapping
+                .iter()
+                .map(|(&(svc, p), &addr)| (svc, p, addr))
+                .collect();
+            cells.sort_unstable();
+            for (svc, p, addr) in cells {
+                let serving_as = s.topo.prefixes.lookup(addr).map(|r| r.owner);
+                let mut subjects = itm_obs::trace::Subjects::none()
+                    .prefix(p.raw())
+                    .service(svc.raw())
+                    .addr(addr.0);
+                if let Some(owner) = serving_as {
+                    subjects = subjects.asn(owner.raw());
+                }
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::MapAssembly,
+                    itm_obs::trace::EventKind::EdgeAsserted,
+                    subjects,
+                    &s.catalog.get(svc).domain,
+                );
+            }
+        }
 
         TrafficMap {
             user_prefixes,

@@ -12,7 +12,7 @@
 
 use crate::map::TrafficMap;
 use itm_measure::Substrate;
-use itm_types::{Asn, Country, Ipv4Addr, PrefixId, ServiceId};
+use itm_types::{Asn, Country, Ipv4Addr, ItmError, PrefixId, Result, ServiceId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -73,7 +73,16 @@ pub struct OutageImpact {
 
 impl OutageImpact {
     /// Assess a scenario against a built map.
-    pub fn assess(s: &Substrate, map: &TrafficMap, scenario: OutageScenario) -> OutageImpact {
+    ///
+    /// Errors with [`ItmError::InvalidConfig`] if an endpoint's location
+    /// yields a non-finite distance (corrupt geolocation data), and with
+    /// [`ItmError::NotFound`] if a surviving-endpoint set unexpectedly
+    /// yields no reroute target.
+    pub fn assess(
+        s: &Substrate,
+        map: &TrafficMap,
+        scenario: OutageScenario,
+    ) -> Result<OutageImpact> {
         let mut affected_cells = Vec::new();
         let mut affected_services: HashSet<ServiceId> = HashSet::new();
         let mut affected_prefixes: HashSet<PrefixId> = HashSet::new();
@@ -106,21 +115,34 @@ impl OutageImpact {
             } else {
                 // In-AS off-net first, else nearest surviving endpoint.
                 let own = survivors.iter().find(|e| e.offnet_host == Some(rec.owner));
-                let chosen = own.copied().unwrap_or_else(|| {
-                    let loc = s.topo.city_location(rec.city);
-                    survivors
-                        .iter()
-                        .min_by(|a, b| {
-                            s.topo
-                                .city_location(a.city)
-                                .distance_km(loc)
-                                .partial_cmp(&s.topo.city_location(b.city).distance_km(loc))
-                                .unwrap()
-                                .then(a.addr.cmp(&b.addr))
-                        })
-                        .copied()
-                        .unwrap()
-                });
+                let chosen = match own.copied() {
+                    Some(e) => e,
+                    None => {
+                        let loc = s.topo.city_location(rec.city);
+                        for e in &survivors {
+                            let d = s.topo.city_location(e.city).distance_km(loc);
+                            if !d.is_finite() {
+                                return Err(ItmError::config(
+                                    "city_location",
+                                    format!("non-finite distance to endpoint {}", e.addr),
+                                ));
+                            }
+                        }
+                        survivors
+                            .iter()
+                            .min_by(|a, b| {
+                                s.topo
+                                    .city_location(a.city)
+                                    .distance_km(loc)
+                                    .total_cmp(&s.topo.city_location(b.city).distance_km(loc))
+                                    .then(a.addr.cmp(&b.addr))
+                            })
+                            .copied()
+                            .ok_or_else(|| {
+                                ItmError::not_found("reroute endpoint", format!("{svc}"))
+                            })?
+                    }
+                };
                 Some(chosen.addr)
             };
             reroutes.insert((svc, p), fallback);
@@ -143,7 +165,7 @@ impl OutageImpact {
         affected_services.sort_unstable();
         affected_cells.sort_unstable();
 
-        OutageImpact {
+        Ok(OutageImpact {
             scenario,
             affected_services,
             affected_cells,
@@ -151,7 +173,7 @@ impl OutageImpact {
             true_users_affected: truth,
             true_traffic_affected: true_traffic,
             reroutes,
-        }
+        })
     }
 
     /// Share of total popular-service traffic the outage touches.
@@ -179,7 +201,7 @@ mod tests {
     fn hypergiant_outage_is_catastrophic() {
         let (s, m) = build();
         let hg = s.topo.hypergiants()[0];
-        let impact = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(hg));
+        let impact = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(hg)).unwrap();
         assert!(!impact.affected_services.is_empty());
         assert!(!impact.affected_cells.is_empty());
         assert!(impact.true_users_affected > 0.0);
@@ -200,7 +222,7 @@ mod tests {
             .find(|a| a.class == itm_topology::AsClass::Stub)
             .unwrap()
             .asn;
-        let impact = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(stub));
+        let impact = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(stub)).unwrap();
         // Stubs host no front-ends: no service cells affected.
         assert!(impact.affected_cells.is_empty());
         assert_eq!(impact.traffic_share(&s), 0.0);
@@ -211,7 +233,7 @@ mod tests {
         let (s, m) = build();
         let hg = s.topo.hypergiants()[0];
         let scenario = OutageScenario::WholeAs(hg);
-        let impact = OutageImpact::assess(&s, &m, scenario);
+        let impact = OutageImpact::assess(&s, &m, scenario).unwrap();
         for (&(svc, _), fallback) in &impact.reroutes {
             if let Some(addr) = fallback {
                 assert!(
@@ -230,9 +252,9 @@ mod tests {
     fn region_scoped_outage_is_smaller() {
         let (s, m) = build();
         let hg = s.topo.hypergiants()[0];
-        let whole = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(hg));
+        let whole = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(hg)).unwrap();
         let country = s.topo.world.countries[0].country;
-        let region = OutageImpact::assess(&s, &m, OutageScenario::RegionAs(hg, country));
+        let region = OutageImpact::assess(&s, &m, OutageScenario::RegionAs(hg, country)).unwrap();
         assert!(region.affected_cells.len() <= whole.affected_cells.len());
     }
 
@@ -240,7 +262,7 @@ mod tests {
     fn estimated_users_track_truth() {
         let (s, m) = build();
         let hg = s.topo.hypergiants()[0];
-        let impact = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(hg));
+        let impact = OutageImpact::assess(&s, &m, OutageScenario::WholeAs(hg)).unwrap();
         if impact.true_users_affected > 0.0 {
             let ratio = impact.estimated_users_affected / impact.true_users_affected;
             assert!(

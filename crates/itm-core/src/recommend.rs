@@ -28,7 +28,7 @@
 use itm_measure::Substrate;
 use itm_routing::GraphView;
 use itm_topology::AsClass;
-use itm_types::Asn;
+use itm_types::{Asn, ItmError, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -195,7 +195,11 @@ impl<'a> PeeringRecommender<'a> {
     }
 
     /// Rank all candidates, strongest first.
-    pub fn recommend(&self) -> Vec<Recommendation> {
+    ///
+    /// Errors with [`ItmError::InvalidConfig`] if any candidate's score is
+    /// non-finite — a NaN from degenerate feature weights would otherwise
+    /// make the ranking order meaningless.
+    pub fn recommend(&self) -> Result<Vec<Recommendation>> {
         let mut recs: Vec<Recommendation> = self
             .candidates()
             .into_iter()
@@ -204,13 +208,14 @@ impl<'a> PeeringRecommender<'a> {
                 score: self.score(a, b, n),
             })
             .collect();
-        recs.sort_by(|x, y| {
-            y.score
-                .partial_cmp(&x.score)
-                .unwrap()
-                .then(x.pair.cmp(&y.pair))
-        });
-        recs
+        if let Some(bad) = recs.iter().find(|r| r.score.is_nan()) {
+            return Err(ItmError::config(
+                "recommender_weights",
+                format!("non-finite score for pair {}-{}", bad.pair.0, bad.pair.1),
+            ));
+        }
+        recs.sort_by(|x, y| y.score.total_cmp(&x.score).then(x.pair.cmp(&y.pair)));
+        Ok(recs)
     }
 }
 
@@ -306,7 +311,7 @@ mod tests {
     fn recommender_beats_random() {
         let (s, public) = setup();
         let rec = PeeringRecommender::new(&s, &public, RecommenderWeights::default());
-        let recs = rec.recommend();
+        let recs = rec.recommend().unwrap();
         let eval = RecommendationEval::evaluate(&s, &recs);
         assert!(eval.positives > 0, "no invisible links to find");
         // Top-of-list precision must beat the base rate by a solid margin.
@@ -322,8 +327,8 @@ mod tests {
     fn ranking_is_sorted_and_deterministic() {
         let (s, public) = setup();
         let rec = PeeringRecommender::new(&s, &public, RecommenderWeights::default());
-        let a = rec.recommend();
-        let b = rec.recommend();
+        let a = rec.recommend().unwrap();
+        let b = rec.recommend().unwrap();
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.pair, y.pair);
@@ -351,8 +356,8 @@ mod tests {
                 type_prior: 1.0,
             },
         );
-        let e_full = RecommendationEval::evaluate(&s, &full.recommend());
-        let e_lesioned = RecommendationEval::evaluate(&s, &lesioned.recommend());
+        let e_full = RecommendationEval::evaluate(&s, &full.recommend().unwrap());
+        let e_lesioned = RecommendationEval::evaluate(&s, &lesioned.recommend().unwrap());
         // Compare recall at the largest shared cutoff.
         let r_full = e_full.at_k.last().unwrap().2;
         let r_les = e_lesioned.at_k.last().unwrap().2;

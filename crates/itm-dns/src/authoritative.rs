@@ -78,16 +78,25 @@ impl<'a> AuthoritativeDns<'a> {
         }
         let s = self.catalog.get(service);
         if s.mode == DeliveryMode::Anycast {
+            let addr = self
+                .frontends
+                .vip(service)
+                .expect("anycast service has VIP");
+            itm_obs::trace::emit(
+                itm_obs::trace::Technique::Dns,
+                itm_obs::trace::EventKind::AuthAnswer,
+                itm_obs::trace::Subjects::none()
+                    .service(service.raw())
+                    .addr(addr.0),
+                "anycast-vip",
+            );
             return DnsAnswer {
-                addr: self
-                    .frontends
-                    .vip(service)
-                    .expect("anycast service has VIP"),
+                addr,
                 scope: AnswerScope::ResolverWide,
                 ttl_secs: s.ttl_secs,
             };
         }
-        match ecs {
+        let ans = match ecs {
             Some(client_net) if s.ecs_support => {
                 // Locate the client prefix in the ground truth to apply
                 // the true redirection policy.
@@ -125,7 +134,19 @@ impl<'a> AuthoritativeDns<'a> {
                     ttl_secs: s.ttl_secs,
                 }
             }
-        }
+        };
+        itm_obs::trace::emit(
+            itm_obs::trace::Technique::Dns,
+            itm_obs::trace::EventKind::AuthAnswer,
+            itm_obs::trace::Subjects::none()
+                .service(service.raw())
+                .addr(ans.addr.0),
+            match ans.scope {
+                AnswerScope::ClientPrefix(_) => "ecs-scoped",
+                AnswerScope::ResolverWide => "resolver-wide",
+            },
+        );
+        ans
     }
 
     /// The domain → service lookup for query parsing.

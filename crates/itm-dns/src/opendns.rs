@@ -287,9 +287,28 @@ impl<'a> OpenResolver<'a> {
             let pop_city = self.pops[self.pop_of(rec.id).index()].city;
             let ecs_opt = svc.ecs_support.then_some(ecs);
             let ans = self.auth.resolve(sid, pop_city, ecs_opt);
+            itm_obs::trace::emit(
+                itm_obs::trace::Technique::CacheProbe,
+                itm_obs::trace::EventKind::CacheHit,
+                itm_obs::trace::Subjects::none()
+                    .prefix(rec.id.raw())
+                    .service(sid.raw())
+                    .addr(ans.addr.0)
+                    .pop(self.pop_of(rec.id).raw()),
+                domain,
+            );
             ProbeResult::Hit(ans.addr)
         } else {
             itm_obs::counter!("dns.cache.miss").inc();
+            itm_obs::trace::emit(
+                itm_obs::trace::Technique::CacheProbe,
+                itm_obs::trace::EventKind::CacheMiss,
+                itm_obs::trace::Subjects::none()
+                    .prefix(rec.id.raw())
+                    .service(sid.raw())
+                    .pop(self.pop_of(rec.id).raw()),
+                domain,
+            );
             ProbeResult::Miss
         }
     }
@@ -302,7 +321,23 @@ impl<'a> OpenResolver<'a> {
         let rec = self.topo.prefixes.get(client);
         let pop_city = self.pops[self.pop_of(client).index()].city;
         let ecs = svc.ecs_support.then_some(rec.net);
-        Some(self.auth.resolve(sid, pop_city, ecs))
+        let ans = self.auth.resolve(sid, pop_city, ecs);
+        if matches!(
+            ans.scope,
+            crate::authoritative::AnswerScope::ClientPrefix(_)
+        ) {
+            itm_obs::trace::emit(
+                itm_obs::trace::Technique::EcsMapping,
+                itm_obs::trace::EventKind::EcsScopedAnswer,
+                itm_obs::trace::Subjects::none()
+                    .prefix(client.raw())
+                    .service(sid.raw())
+                    .addr(ans.addr.0)
+                    .pop(self.pop_of(client).raw()),
+                domain,
+            );
+        }
+        Some(ans)
     }
 }
 

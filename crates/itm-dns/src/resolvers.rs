@@ -123,6 +123,18 @@ impl ResolverAssignment {
                 (cfg.forwarder_base * (0.45 + 1.0 / (1.0 + a.size_factor))).clamp(0.0, 1.0);
             let forwards_to_open = rng.gen_bool(p_forward);
             let id = ResolverId(resolvers.len() as u32);
+            itm_obs::trace::emit(
+                itm_obs::trace::Technique::Resolvers,
+                itm_obs::trace::EventKind::ResolverAssigned,
+                itm_obs::trace::Subjects::none()
+                    .asn(a.asn.raw())
+                    .addr(addr.0),
+                if forwards_to_open {
+                    "forwarder"
+                } else {
+                    "recursive"
+                },
+            );
             resolvers.push(IspResolver {
                 id,
                 serves: a.asn,

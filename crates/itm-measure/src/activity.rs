@@ -95,6 +95,14 @@ impl ActivityEstimator {
                 },
             );
         }
+        if itm_obs::trace::enabled() {
+            itm_obs::trace::emit(
+                itm_obs::trace::Technique::CacheProbe,
+                itm_obs::trace::EventKind::ActivityFused,
+                itm_obs::trace::Subjects::none(),
+                &format!("{} ASes fused", estimates.len()),
+            );
+        }
         ActivityEstimator { estimates }
     }
 

@@ -71,6 +71,8 @@ impl CacheProbeCampaign {
     /// Run the campaign.
     pub fn run(&self, s: &Substrate, resolver: &OpenResolver<'_>) -> CacheProbeResult {
         let _span = itm_obs::span("cache_probe.run");
+        let _campaign =
+            itm_obs::trace::campaign(itm_obs::trace::Technique::CacheProbe, "ecs cache probing");
         let queries = itm_obs::counter!("probe.queries", "technique" => "cache_probe");
         let domains = self.pick_domains(s);
         let rounds = (self.duration.as_secs() as f64 / 86_400.0 * self.rounds_per_day as f64)

@@ -28,8 +28,26 @@ impl CloudProbeResult {
     /// real paths; only their *vantage* is limited).
     pub fn run(s: &Substrate, view: &GraphView, seeds: &SeedDomain) -> CloudProbeResult {
         let _span = itm_obs::span("cloud_probe.run");
+        let _campaign = itm_obs::trace::campaign(
+            itm_obs::trace::Technique::CloudProbe,
+            "cloud vantage-point traceroutes",
+        );
         let vantage = VantagePoints::typical(&s.topo, seeds);
         let links = vantage.cloud_discovered_links(view);
+        if itm_obs::trace::enabled() {
+            // HashSet order is nondeterministic; sort before emitting so
+            // the trace stream is byte-stable across runs.
+            let mut sorted: Vec<(Asn, Asn)> = links.iter().copied().collect();
+            sorted.sort_unstable();
+            for (a, b) in sorted {
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::CloudProbe,
+                    itm_obs::trace::EventKind::LinkDiscovered,
+                    itm_obs::trace::Subjects::none().asn(a.raw()),
+                    &format!("{a} -- {b}"),
+                );
+            }
+        }
         itm_obs::counter!("probe.hosts", "technique" => "cloud_probe")
             .add(vantage.cloud_vms.len() as u64);
         // Each VM traceroutes toward every AS (forward + reverse pass).

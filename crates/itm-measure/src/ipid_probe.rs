@@ -109,6 +109,10 @@ impl IpidCampaign {
     /// Probe the routers of every transit and tier-1 AS.
     pub fn run(&self, s: &Substrate) -> IpidResult {
         let _span = itm_obs::span("ipid_probe.run");
+        let _campaign = itm_obs::trace::campaign(
+            itm_obs::trace::Technique::IpidProbe,
+            "IP ID velocity probing",
+        );
         let pings = itm_obs::counter!("probe.pings", "technique" => "ipid_probe");
         let hosts = itm_obs::counter!("probe.hosts", "technique" => "ipid_probe");
         let mut sent: u64 = 0;
@@ -119,6 +123,14 @@ impl IpidCampaign {
             let class = s.topo.as_info(rec.asn).class;
             if !matches!(class, AsClass::Transit | AsClass::Tier1) {
                 continue;
+            }
+            if itm_obs::trace::enabled() {
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::IpidProbe,
+                    itm_obs::trace::EventKind::ProbeSent,
+                    itm_obs::trace::Subjects::none().asn(rec.asn.raw()),
+                    &format!("ping router {}", rec.id.raw()),
+                );
             }
             let n_routers = s.topo.as_info(rec.asn).cities.len().max(1) as f64;
             let as_load = forwarded_mbps(s, rec.asn) / n_routers;
@@ -149,6 +161,14 @@ impl IpidCampaign {
                 }
                 prev_sample = sample;
                 prev_t = t;
+            }
+            if itm_obs::trace::enabled() {
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::IpidProbe,
+                    itm_obs::trace::EventKind::IpidSampled,
+                    itm_obs::trace::Subjects::none().asn(rec.asn.raw()),
+                    &format!("router {} samples {}", rec.id.raw(), velocities.len()),
+                );
             }
             observations.push(IpidObservation {
                 router: rec.id,

@@ -68,6 +68,8 @@ impl RootCrawler {
 
     /// Crawl pre-collected logs.
     pub fn crawl(&self, s: &Substrate, logs: &RootLogs) -> RootCrawlResult {
+        let _campaign =
+            itm_obs::trace::campaign(itm_obs::trace::Technique::RootCrawl, "root DNS log crawl");
         itm_obs::counter!("probe.log_lines", "technique" => "root_crawl")
             .add(logs.entries.len() as u64);
         let mut queries_by_as: HashMap<Asn, f64> = HashMap::new();
@@ -75,6 +77,15 @@ impl RootCrawler {
         for e in &logs.entries {
             match s.topo.prefixes.lookup(e.src) {
                 Some(rec) => {
+                    itm_obs::trace::emit(
+                        itm_obs::trace::Technique::RootCrawl,
+                        itm_obs::trace::EventKind::LogLineAttributed,
+                        itm_obs::trace::Subjects::none()
+                            .asn(rec.owner.raw())
+                            .addr(e.src.0)
+                            .prefix(rec.id.raw()),
+                        "",
+                    );
                     *queries_by_as.entry(rec.owner).or_insert(0.0) += e.queries;
                 }
                 None => unmapped += 1,

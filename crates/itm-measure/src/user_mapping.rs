@@ -36,6 +36,10 @@ impl UserMapping {
     /// ECS services.
     pub fn measure(s: &Substrate, resolver: &OpenResolver<'_>) -> UserMapping {
         let _span = itm_obs::span("user_mapping.measure");
+        let _campaign = itm_obs::trace::campaign(
+            itm_obs::trace::Technique::EcsMapping,
+            "ECS user-to-frontend mapping",
+        );
         let queries = itm_obs::counter!("probe.queries", "technique" => "ecs_mapping");
         let mut issued: u64 = 0;
         let mut mapping = HashMap::new();

@@ -1,0 +1,236 @@
+//! Chrome trace-format export.
+//!
+//! Renders a [`TraceSnapshot`] as the JSON Object Format consumed by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): a
+//! `traceEvents` array of phase events. [`EventKind::SpanBegin`] /
+//! [`EventKind::SpanEnd`] records become duration events (`ph: "B"/"E"`,
+//! nested per thread — synthesized from the [`crate::SpanGuard`] stack),
+//! and every other kind becomes a thread-scoped instant event
+//! (`ph: "i"`, `s: "t"`) carrying its causality ids and subjects in
+//! `args`. Timestamps are the records' virtual microseconds, so the
+//! exported file is deterministic for a fixed seed.
+//!
+//! The ring buffer can evict a `SpanBegin` while its newer `SpanEnd`
+//! survives (eviction is oldest-first); the exporter drops such orphaned
+//! ends, and closes any still-open begins at the trace's end, so the
+//! B/E stream is always balanced and loads without errors.
+
+use crate::trace::{EventKind, TraceRecord, TraceSnapshot};
+use serde_json::{json, Map, Value};
+use std::collections::HashMap;
+
+/// Render one record's subjects/causality as a Chrome `args` object.
+fn args_of(r: &TraceRecord) -> Value {
+    let mut m = Map::new();
+    m.insert("id".into(), Value::from(r.id.0));
+    m.insert("trace".into(), Value::from(format!("{:016x}", r.trace.0)));
+    if let Some(p) = r.parent {
+        m.insert("parent".into(), Value::from(p.0));
+    }
+    if let Some(p) = r.subjects.prefix {
+        m.insert("prefix".into(), Value::from(format!("pfx{p}")));
+    }
+    if let Some(s) = r.subjects.service {
+        m.insert("service".into(), Value::from(format!("svc{s}")));
+    }
+    if let Some(a) = r.subjects.asn {
+        m.insert("asn".into(), Value::from(format!("AS{a}")));
+    }
+    if let Some(a) = r.subjects.addr {
+        m.insert("addr".into(), Value::from(crate::trace::fmt_addr(a)));
+    }
+    if let Some(p) = r.subjects.pop {
+        m.insert("pop".into(), Value::from(format!("pop{p}")));
+    }
+    if !r.detail.is_empty() {
+        m.insert("detail".into(), Value::from(r.detail.clone()));
+    }
+    Value::Object(m)
+}
+
+/// Convert a snapshot into a Chrome trace-format JSON value.
+pub fn chrome_trace(snap: &TraceSnapshot) -> Value {
+    let mut events: Vec<Value> = Vec::with_capacity(snap.records.len());
+    // Per-tid stack of open span names, for B/E balancing.
+    let mut open: HashMap<u32, Vec<(String, Value)>> = HashMap::new();
+    let mut last_ts = 0u64;
+
+    for r in &snap.records {
+        last_ts = last_ts.max(r.vt_us);
+        match r.kind {
+            EventKind::SpanBegin => {
+                let ev = json!({
+                    "name": r.detail.clone(),
+                    "cat": r.technique.as_str(),
+                    "ph": "B",
+                    "ts": r.vt_us,
+                    "pid": 1,
+                    "tid": r.tid,
+                    "args": args_of(r),
+                });
+                open.entry(r.tid)
+                    .or_default()
+                    .push((r.detail.clone(), ev.clone()));
+                events.push(ev);
+            }
+            EventKind::SpanEnd => {
+                // Only close a span that is actually open on this thread;
+                // an orphaned end (its begin was evicted) is dropped.
+                let stack = open.entry(r.tid).or_default();
+                if stack.last().map(|(n, _)| n == &r.detail).unwrap_or(false) {
+                    stack.pop();
+                    events.push(json!({
+                        "name": r.detail.clone(),
+                        "cat": r.technique.as_str(),
+                        "ph": "E",
+                        "ts": r.vt_us,
+                        "pid": 1,
+                        "tid": r.tid,
+                    }));
+                }
+            }
+            _ => {
+                events.push(json!({
+                    "name": r.kind.as_str(),
+                    "cat": r.technique.as_str(),
+                    "ph": "i",
+                    "ts": r.vt_us,
+                    "pid": 1,
+                    "tid": r.tid,
+                    "s": "t",
+                    "args": args_of(r),
+                }));
+            }
+        }
+    }
+
+    // Close any spans still open (their end was emitted after the
+    // snapshot, or never) so viewers see balanced durations.
+    let mut tids: Vec<u32> = open.keys().copied().collect();
+    tids.sort_unstable();
+    for tid in tids {
+        let stack = open.remove(&tid).unwrap_or_default();
+        for (name, _) in stack.into_iter().rev() {
+            last_ts += 1;
+            events.push(json!({
+                "name": name,
+                "cat": "span",
+                "ph": "E",
+                "ts": last_ts,
+                "pid": 1,
+                "tid": tid,
+            }));
+        }
+    }
+
+    json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "dropped_events": snap.dropped_events,
+            "capacity": snap.capacity,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Subjects, Technique, TraceLog};
+
+    #[test]
+    fn spans_become_balanced_duration_events() {
+        let log = TraceLog::new(256);
+        log.emit(
+            Technique::Span,
+            EventKind::SpanBegin,
+            Subjects::none(),
+            "build",
+        );
+        log.emit(
+            Technique::Span,
+            EventKind::SpanBegin,
+            Subjects::none(),
+            "build/topology",
+        );
+        log.emit(
+            Technique::Span,
+            EventKind::SpanEnd,
+            Subjects::none(),
+            "build/topology",
+        );
+        log.emit(
+            Technique::Span,
+            EventKind::SpanEnd,
+            Subjects::none(),
+            "build",
+        );
+        let v = chrome_trace(&log.snapshot());
+        let events = match v.get("traceEvents") {
+            Some(Value::Array(a)) => a,
+            _ => panic!("traceEvents missing"),
+        };
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| match e.get("ph") {
+                Some(Value::String(s)) => s.as_str(),
+                _ => panic!("ph missing"),
+            })
+            .collect();
+        assert_eq!(phases, ["B", "B", "E", "E"]);
+    }
+
+    #[test]
+    fn orphaned_ends_dropped_open_begins_closed() {
+        let log = TraceLog::new(256);
+        // An end with no begin (begin evicted), then a begin never ended.
+        log.emit(
+            Technique::Span,
+            EventKind::SpanEnd,
+            Subjects::none(),
+            "ghost",
+        );
+        log.emit(
+            Technique::Span,
+            EventKind::SpanBegin,
+            Subjects::none(),
+            "open",
+        );
+        let v = chrome_trace(&log.snapshot());
+        let events = match v.get("traceEvents") {
+            Some(Value::Array(a)) => a,
+            _ => panic!("traceEvents missing"),
+        };
+        let mut depth = 0i64;
+        for e in events {
+            match e.get("ph") {
+                Some(Value::String(s)) if s == "B" => depth += 1,
+                Some(Value::String(s)) if s == "E" => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced E");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unclosed B events");
+    }
+
+    #[test]
+    fn instants_carry_subjects_and_scope() {
+        let log = TraceLog::new(256);
+        log.emit(
+            Technique::EcsMapping,
+            EventKind::EcsScopedAnswer,
+            Subjects::none().prefix(12).service(3).addr(0x0A000001),
+            "svc3.example",
+        );
+        let v = chrome_trace(&log.snapshot());
+        let text = serde_json::to_string(&v).unwrap();
+        assert!(text.contains("\"ph\":\"i\""), "{text}");
+        assert!(text.contains("\"s\":\"t\""), "{text}");
+        assert!(text.contains("pfx12"), "{text}");
+        assert!(text.contains("svc3"), "{text}");
+        assert!(text.contains("10.0.0.1"), "{text}");
+        assert!(text.contains("displayTimeUnit"), "{text}");
+    }
+}

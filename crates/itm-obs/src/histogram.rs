@@ -135,6 +135,36 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the covering log₂ bucket, Prometheus
+    /// `histogram_quantile` style. The estimate is clamped to the
+    /// observed `[min, max]`, so exact-at-the-edges quantiles (q=0, q=1)
+    /// and single-bucket histograms return true observed bounds. Returns
+    /// 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            if seen + n >= target {
+                // Lower inclusive bound of a log₂ bucket from its upper:
+                // [0,0], [1,1], [2,3], [4,7], … — halve-and-add-one.
+                let lower = if upper == 0 { 0 } else { (upper >> 1) + 1 };
+                let frac = (target - seen) as f64 / n as f64;
+                let est = lower as f64 + frac * (upper - lower) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +194,37 @@ mod tests {
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 100);
         assert_eq!(s.buckets, vec![(0, 1), (1, 2), (3, 1), (127, 1)]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = HistogramInner::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Log₂ buckets bound relative error by 2×; interpolation does
+        // much better on a uniform fill.
+        for (q, expect) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = s.quantile(q) as f64;
+            assert!(
+                (got / expect - 1.0).abs() < 0.35,
+                "q{q}: got {got}, expect ~{expect}"
+            );
+        }
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let h = HistogramInner::new();
+        h.record(100);
+        let s = h.snapshot();
+        // One observation: every quantile is that observation.
+        assert_eq!(s.quantile(0.5), 100);
+        assert_eq!(s.quantile(0.99), 100);
+        assert_eq!(HistogramInner::new().snapshot().quantile(0.5), 0);
     }
 
     #[test]

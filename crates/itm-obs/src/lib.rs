@@ -24,16 +24,30 @@
 //! two runs of the same deterministic pipeline produce byte-identical
 //! counter sections.
 //!
+//! A fourth primitive lives alongside the registry: the **trace log**
+//! ([`trace`]) — a bounded, lock-sharded ring of typed causal events
+//! (probes, cache hits, certificate matches, asserted map edges) with
+//! RNG-seeded virtual timestamps. It exports as Chrome trace-format JSON
+//! ([`chrome_trace`]) for Perfetto timelines and is queried through a
+//! [`ProvenanceIndex`] (`explain(edge) → EvidenceChain`). Like the
+//! registry it is process-global, **disabled** by default, and gated by a
+//! single relaxed atomic load per emission. See DESIGN.md §7.
+//!
 //! Naming convention: `subsystem.metric` in lower snake-case segments,
 //! labels in `{key="value"}` suffix form, sorted by key. See
 //! DESIGN.md § Observability.
 
+pub mod chrome;
 mod histogram;
+pub mod provenance;
 mod registry;
 mod report;
 mod span;
+pub mod trace;
 
+pub use chrome::chrome_trace;
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use provenance::{EvidenceChain, ProvenanceIndex};
 pub use registry::{Counter, Registry};
 pub use report::MetricsReport;
 pub use span::{SpanGuard, SpanSnapshot};

@@ -1,0 +1,357 @@
+//! Provenance: from an asserted map edge back to the observations that
+//! justify it.
+//!
+//! Map assembly emits one [`EventKind::EdgeAsserted`] event per
+//! user-prefix → service cell it writes. The [`ProvenanceIndex`] is built
+//! *post hoc* from a [`TraceSnapshot`] — emission stays cheap and the
+//! pipeline's result types stay clean — by joining every edge against the
+//! observation events that share its subjects:
+//!
+//! * prefix-scoped evidence: ECS-scoped answers and cache hits for the
+//!   same `/24` (how the user side of the edge was measured);
+//! * endpoint-scoped evidence: certificate / SNI matches, off-net
+//!   detections and authoritative answers for the same front-end address
+//!   (how the service side was identified);
+//! * AS-scoped evidence: route resolutions for the serving AS (how the
+//!   edge is reachable).
+//!
+//! Span and campaign bookkeeping events are never evidence; cache
+//! *misses* are excluded too (absence of an answer justifies nothing).
+
+use crate::trace::{EventKind, Subjects, TraceRecord, TraceSnapshot};
+use std::collections::HashMap;
+
+/// An asserted edge plus the observation events supporting it, ascending
+/// by event id (= emission order).
+#[derive(Debug, Clone)]
+pub struct EvidenceChain {
+    /// The [`EventKind::EdgeAsserted`] record being explained.
+    pub edge: TraceRecord,
+    /// Supporting observations, oldest first.
+    pub evidence: Vec<TraceRecord>,
+}
+
+/// Render one record as a single human-readable line.
+fn fmt_record(r: &TraceRecord) -> String {
+    let mut line = format!(
+        "#{:<6} t={}µs  {}/{}",
+        r.id.0,
+        r.vt_us,
+        r.technique.as_str(),
+        r.kind.as_str()
+    );
+    line.push_str(&fmt_subjects(&r.subjects));
+    if !r.detail.is_empty() {
+        line.push_str(&format!(" {:?}", r.detail));
+    }
+    line
+}
+
+/// Render subjects as ` pfx12 svc3 AS17 addr=10.0.0.1 pop4`.
+fn fmt_subjects(s: &Subjects) -> String {
+    let mut out = String::new();
+    if let Some(p) = s.prefix {
+        out.push_str(&format!(" pfx{p}"));
+    }
+    if let Some(v) = s.service {
+        out.push_str(&format!(" svc{v}"));
+    }
+    if let Some(a) = s.asn {
+        out.push_str(&format!(" AS{a}"));
+    }
+    if let Some(a) = s.addr {
+        out.push_str(&format!(" addr={}", crate::trace::fmt_addr(a)));
+    }
+    if let Some(p) = s.pop {
+        out.push_str(&format!(" pop{p}"));
+    }
+    out
+}
+
+/// Maximum evidence lines [`EvidenceChain::render`] prints before
+/// summarizing the remainder. A dense front-end can accumulate hundreds
+/// of corroborating observations; a human only needs the first screenful.
+const RENDER_EVIDENCE_CAP: usize = 12;
+
+impl EvidenceChain {
+    /// Multi-line human-readable rendering: the edge, then each piece of
+    /// evidence indented beneath it. Long chains are truncated to
+    /// [`RENDER_EVIDENCE_CAP`] lines with a trailing count.
+    pub fn render(&self) -> String {
+        let e = &self.edge;
+        let mut out = format!(
+            "edge:{} [{} {}]\n",
+            fmt_subjects(&e.subjects),
+            e.technique.as_str(),
+            fmt_record(e).trim_start(),
+        );
+        if self.evidence.is_empty() {
+            out.push_str("  (no surviving evidence — ring capacity exceeded?)\n");
+        } else {
+            out.push_str(&format!("  evidence ({} events):\n", self.evidence.len()));
+            for r in self.evidence.iter().take(RENDER_EVIDENCE_CAP) {
+                out.push_str("    ");
+                out.push_str(&fmt_record(r));
+                out.push('\n');
+            }
+            let hidden = self.evidence.len().saturating_sub(RENDER_EVIDENCE_CAP);
+            if hidden > 0 {
+                out.push_str(&format!("    … and {hidden} more events\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Queryable index over a frozen trace.
+///
+/// Beyond the raw record list it keeps three inverted indices (by prefix,
+/// by endpoint address, by serving AS) so [`ProvenanceIndex::explain_edge`]
+/// touches only candidate records instead of scanning the whole ring —
+/// explaining every edge of a full run stays cheap.
+#[derive(Debug, Clone)]
+pub struct ProvenanceIndex {
+    records: Vec<TraceRecord>,
+    /// Observation records carrying a prefix subject, by prefix.
+    by_prefix: HashMap<u32, Vec<usize>>,
+    /// Endpoint-identification records (cert/SNI/off-net/authoritative),
+    /// by front-end address.
+    by_addr: HashMap<u32, Vec<usize>>,
+    /// Route-resolution records, by AS.
+    by_route_asn: HashMap<u32, Vec<usize>>,
+}
+
+/// Whether a record can serve as evidence for some edge at all.
+fn is_observation(r: &TraceRecord) -> bool {
+    !matches!(
+        r.kind,
+        EventKind::EdgeAsserted
+            | EventKind::CampaignStarted
+            | EventKind::SpanBegin
+            | EventKind::SpanEnd
+            | EventKind::CacheMiss
+    )
+}
+
+/// Event kinds that identify the service side of an edge by front-end
+/// address.
+fn is_endpoint_kind(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::CertMatched
+            | EventKind::SniMatched
+            | EventKind::OffnetDetected
+            | EventKind::AuthAnswer
+    )
+}
+
+impl ProvenanceIndex {
+    /// Build the index from a snapshot.
+    pub fn build(snap: &TraceSnapshot) -> ProvenanceIndex {
+        let records = snap.records.clone();
+        let mut by_prefix: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut by_addr: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut by_route_asn: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, r) in records.iter().enumerate() {
+            if !is_observation(r) {
+                continue;
+            }
+            if let Some(p) = r.subjects.prefix {
+                by_prefix.entry(p).or_default().push(i);
+            }
+            if let Some(a) = r.subjects.addr {
+                if is_endpoint_kind(r.kind) {
+                    by_addr.entry(a).or_default().push(i);
+                }
+            }
+            if let Some(a) = r.subjects.asn {
+                if r.kind == EventKind::RouteResolved {
+                    by_route_asn.entry(a).or_default().push(i);
+                }
+            }
+        }
+        ProvenanceIndex {
+            records,
+            by_prefix,
+            by_addr,
+            by_route_asn,
+        }
+    }
+
+    /// All asserted edges, in emission order.
+    pub fn edges(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == EventKind::EdgeAsserted)
+    }
+
+    /// Explain the edge for `(prefix, service)` (raw ids), if it was
+    /// asserted and survived in the ring.
+    pub fn explain(&self, prefix: u32, service: u32) -> Option<EvidenceChain> {
+        let edge = self
+            .records
+            .iter()
+            .find(|r| {
+                r.kind == EventKind::EdgeAsserted
+                    && r.subjects.prefix == Some(prefix)
+                    && r.subjects.service == Some(service)
+            })?
+            .clone();
+        Some(self.explain_edge(&edge))
+    }
+
+    /// Collect the evidence chain for an edge record.
+    ///
+    /// Three joins, all against the inverted indices:
+    ///
+    /// * prefix side — measurements of the same /24, either about this
+    ///   very service or service-agnostic (cache-probe discovery);
+    /// * endpoint side — identifications of the serving front-end
+    ///   address; a service-carrying event (AuthAnswer) must be about
+    ///   *this* service — the same front-end serves many domains and
+    ///   answers for the others prove nothing;
+    /// * route side — route resolutions for the serving AS.
+    pub fn explain_edge(&self, edge: &TraceRecord) -> EvidenceChain {
+        let svc = edge.subjects.service;
+        let service_compatible = |i: &usize| -> bool {
+            let s = self.records[*i].subjects.service;
+            s == svc || s.is_none()
+        };
+        let mut hits: Vec<usize> = Vec::new();
+        if let Some(p) = edge.subjects.prefix {
+            if let Some(v) = self.by_prefix.get(&p) {
+                hits.extend(v.iter().filter(|i| service_compatible(i)));
+            }
+        }
+        if let Some(a) = edge.subjects.addr {
+            if let Some(v) = self.by_addr.get(&a) {
+                hits.extend(v.iter().filter(|i| service_compatible(i)));
+            }
+        }
+        if let Some(a) = edge.subjects.asn {
+            if let Some(v) = self.by_route_asn.get(&a) {
+                hits.extend(v.iter());
+            }
+        }
+        // A record can land in several indices (an off-net detection has
+        // both a prefix and an address); present it once, oldest first.
+        hits.sort_unstable();
+        hits.dedup();
+        EvidenceChain {
+            edge: edge.clone(),
+            evidence: hits.into_iter().map(|i| self.records[i].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Subjects, Technique, TraceLog};
+
+    fn sample_log() -> TraceLog {
+        let log = TraceLog::new(256);
+        {
+            let _c = log.campaign(Technique::CacheProbe, "probe");
+            log.emit(
+                Technique::CacheProbe,
+                EventKind::CacheHit,
+                Subjects::none().prefix(12).service(3),
+                "svc3.example",
+            );
+            log.emit(
+                Technique::CacheProbe,
+                EventKind::CacheMiss,
+                Subjects::none().prefix(12).service(4),
+                "svc4.example",
+            );
+        }
+        {
+            let _c = log.campaign(Technique::EcsMapping, "map");
+            log.emit(
+                Technique::EcsMapping,
+                EventKind::EcsScopedAnswer,
+                Subjects::none().prefix(12).service(3).addr(0x0A000001),
+                "svc3.example",
+            );
+        }
+        log.emit(
+            Technique::TlsScan,
+            EventKind::CertMatched,
+            Subjects::none().addr(0x0A000001).asn(17),
+            "issuer: hg0",
+        );
+        // Same front-end answering authoritatively for a *different*
+        // service: must not count as evidence for the svc3 edge.
+        log.emit(
+            Technique::Dns,
+            EventKind::AuthAnswer,
+            Subjects::none().service(9).addr(0x0A000001),
+            "svc9.example",
+        );
+        log.emit(
+            Technique::Routing,
+            EventKind::RouteResolved,
+            Subjects::none().asn(17),
+            "",
+        );
+        log.emit(
+            Technique::MapAssembly,
+            EventKind::EdgeAsserted,
+            Subjects::none()
+                .prefix(12)
+                .service(3)
+                .addr(0x0A000001)
+                .asn(17),
+            "",
+        );
+        log
+    }
+
+    #[test]
+    fn explain_joins_all_three_sides() {
+        let idx = ProvenanceIndex::build(&sample_log().snapshot());
+        let chain = idx.explain(12, 3).expect("edge exists");
+        let kinds: Vec<EventKind> = chain.evidence.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&EventKind::CacheHit));
+        assert!(kinds.contains(&EventKind::EcsScopedAnswer));
+        assert!(kinds.contains(&EventKind::CertMatched));
+        assert!(kinds.contains(&EventKind::RouteResolved));
+        // Misses and bookkeeping are never evidence.
+        assert!(!kinds.contains(&EventKind::CacheMiss));
+        assert!(!kinds.contains(&EventKind::CampaignStarted));
+        // The AuthAnswer for another service at the same address is
+        // excluded by the service-compatibility side of the addr join.
+        assert!(!kinds.contains(&EventKind::AuthAnswer));
+        assert!(chain.evidence.iter().all(|r| r.subjects.service != Some(9)));
+        // Emission order preserved.
+        for w in chain.evidence.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+
+    #[test]
+    fn explain_unknown_edge_is_none() {
+        let idx = ProvenanceIndex::build(&sample_log().snapshot());
+        assert!(idx.explain(99, 3).is_none());
+        assert!(idx.explain(12, 99).is_none());
+    }
+
+    #[test]
+    fn render_is_human_readable() {
+        let idx = ProvenanceIndex::build(&sample_log().snapshot());
+        let text = idx.explain(12, 3).unwrap().render();
+        assert!(text.contains("pfx12"), "{text}");
+        assert!(text.contains("svc3"), "{text}");
+        assert!(text.contains("AS17"), "{text}");
+        assert!(text.contains("10.0.0.1"), "{text}");
+        assert!(text.contains("ecs_mapping/EcsScopedAnswer"), "{text}");
+        assert!(text.lines().count() >= 4, "{text}");
+    }
+
+    #[test]
+    fn edges_iterates_assertions() {
+        let idx = ProvenanceIndex::build(&sample_log().snapshot());
+        assert_eq!(idx.edges().count(), 1);
+    }
+}

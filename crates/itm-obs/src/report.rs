@@ -51,6 +51,9 @@ impl MetricsReport {
                     "sum": h.sum,
                     "min": h.min,
                     "max": h.max,
+                    "p50": h.quantile(0.50),
+                    "p90": h.quantile(0.90),
+                    "p99": h.quantile(0.99),
                     "buckets": buckets,
                 }),
             );
@@ -102,6 +105,19 @@ mod tests {
         // Two snapshots render identically (timings aside, counters do).
         let again = serde_json::to_string(&r.snapshot().to_json()).unwrap();
         assert_eq!(text, again);
+    }
+
+    #[test]
+    fn histogram_json_carries_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        for v in [1u64, 2, 4, 8, 100, 1000] {
+            h.record(v);
+        }
+        let text = serde_json::to_string(&r.snapshot().to_json()).unwrap();
+        for key in ["\"p50\":", "\"p90\":", "\"p99\":"] {
+            assert!(text.contains(key), "{key} missing in {text}");
+        }
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! stack is thread-local; spans on different threads do not nest into
 //! each other. When the registry is disabled, entering a span is a single
 //! relaxed load and the guard is inert (no clock read, no allocation).
+//!
+//! When the global [`crate::trace`] log is enabled, entering and dropping
+//! a span also emits `SpanBegin`/`SpanEnd` trace events carrying the
+//! nested path, from which [`crate::chrome_trace`] synthesizes timeline
+//! duration events with deterministic virtual timestamps.
 
 use crate::registry::Registry;
 use std::cell::RefCell;
@@ -47,6 +52,15 @@ impl<'a> SpanGuard<'a> {
             stack.push(path.clone());
             (path, stack.len())
         });
+        // Mirror the span into the global trace log (when tracing is on)
+        // so the Chrome exporter can synthesize duration events with
+        // deterministic virtual timestamps.
+        crate::trace::emit(
+            crate::trace::Technique::Span,
+            crate::trace::EventKind::SpanBegin,
+            crate::trace::Subjects::none(),
+            &path,
+        );
         SpanGuard {
             active: Some(Active {
                 registry,
@@ -70,6 +84,12 @@ impl Drop for SpanGuard<'_> {
             return;
         };
         let elapsed = active.start.elapsed().as_nanos() as u64;
+        crate::trace::emit(
+            crate::trace::Technique::Span,
+            crate::trace::EventKind::SpanEnd,
+            crate::trace::Subjects::none(),
+            &active.path,
+        );
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Truncate rather than pop: if an inner guard leaked past an

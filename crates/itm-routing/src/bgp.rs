@@ -226,6 +226,18 @@ impl RoutingTree {
             itm_obs::histogram!("routing.tree_reachable")
                 .record(entries.iter().flatten().count() as u64);
         }
+        if itm_obs::trace::enabled() {
+            itm_obs::trace::emit(
+                itm_obs::trace::Technique::Routing,
+                itm_obs::trace::EventKind::RouteResolved,
+                itm_obs::trace::Subjects::none().asn(label.raw()),
+                &format!(
+                    "{} origins, {} reachable",
+                    origins.len(),
+                    entries.iter().flatten().count()
+                ),
+            );
+        }
 
         RoutingTree {
             dst: label,

@@ -60,6 +60,17 @@ pub fn detect_offnets(
         if rec.owner == hg {
             onnet.push(finding);
         } else {
+            if itm_obs::trace::enabled() {
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::TlsScan,
+                    itm_obs::trace::EventKind::OffnetDetected,
+                    itm_obs::trace::Subjects::none()
+                        .asn(rec.owner.raw())
+                        .addr(obs.addr.0)
+                        .prefix(rec.id.raw()),
+                    &format!("hypergiant {hg}"),
+                );
+            }
             offnet.push(finding);
         }
     }

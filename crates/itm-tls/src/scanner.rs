@@ -69,6 +69,10 @@ impl TlsScan {
         seeds: &SeedDomain,
     ) -> TlsScan {
         let _span = itm_obs::span("tls_scan.run");
+        let _campaign = itm_obs::trace::campaign(
+            itm_obs::trace::Technique::TlsScan,
+            "internet-wide TLS sweep",
+        );
         let mut rng = seeds.child("tls-scan").rng("sweep");
         let mut observations = Vec::new();
         let mut attempted = 0;
@@ -88,6 +92,16 @@ impl TlsScan {
         }
         observations.sort_by_key(|o| o.addr);
         observations.dedup_by_key(|o| o.addr);
+        if itm_obs::trace::enabled() {
+            for o in &observations {
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::TlsScan,
+                    itm_obs::trace::EventKind::CertMatched,
+                    itm_obs::trace::Subjects::none().addr(o.addr.0),
+                    &o.cert.subject,
+                );
+            }
+        }
         itm_obs::counter!("probe.connects", "technique" => "tls_scan").add(attempted as u64);
         itm_obs::counter!("probe.hosts", "technique" => "tls_scan").add(observations.len() as u64);
         itm_obs::counter!("probe.bytes", "technique" => "tls_scan")
@@ -130,6 +144,8 @@ impl SniScan {
         seeds: &SeedDomain,
     ) -> SniScan {
         let _span = itm_obs::span("sni_scan.run");
+        let _campaign =
+            itm_obs::trace::campaign(itm_obs::trace::Technique::SniScan, "SNI-directed TLS scan");
         let mut rng = seeds.child("sni-scan").rng("sweep");
         let mut footprint: HashMap<String, Vec<Ipv4Addr>> = HashMap::new();
         let mut attempted = 0;
@@ -144,6 +160,16 @@ impl SniScan {
                 }
             }
             hits.sort_unstable();
+            if itm_obs::trace::enabled() {
+                for &addr in &hits {
+                    itm_obs::trace::emit(
+                        itm_obs::trace::Technique::SniScan,
+                        itm_obs::trace::EventKind::SniMatched,
+                        itm_obs::trace::Subjects::none().addr(addr.0),
+                        domain,
+                    );
+                }
+            }
             footprint.insert(domain.clone(), hits);
         }
         itm_obs::counter!("probe.connects", "technique" => "sni_scan").add(attempted as u64);

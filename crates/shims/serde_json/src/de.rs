@@ -169,13 +169,38 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(c) if c < 0x20 => return Err(self.err("control character in string")),
-                Some(_) => {
-                    // Advance one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = s.chars().next().unwrap();
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                Some(c) if c < 0x80 => {
+                    // Bulk-copy a run of plain ASCII. Validating one scalar
+                    // at a time by calling `from_utf8` on the whole
+                    // remaining input is quadratic in document size.
+                    let start = self.pos;
+                    while matches!(
+                        self.peek(),
+                        Some(b) if (0x20..0x80).contains(&b) && b != b'"' && b != b'\\'
+                    ) {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("ASCII run is valid UTF-8");
+                    out.push_str(run);
+                }
+                Some(c) => {
+                    // Non-ASCII lead byte: validate just this scalar's
+                    // bytes, not the rest of the document.
+                    let len = match c {
+                        0xC2..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF4 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let end = self.pos + len;
+                    let seq = self
+                        .bytes
+                        .get(self.pos..end)
+                        .ok_or_else(|| self.err("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(seq).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push(s.chars().next().expect("non-empty validated sequence"));
+                    self.pos = end;
                 }
             }
         }

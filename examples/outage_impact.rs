@@ -23,7 +23,7 @@ fn main() {
     ));
     report(
         &s,
-        OutageImpact::assess(&s, &map, OutageScenario::WholeAs(hg)),
+        OutageImpact::assess(&s, &map, OutageScenario::WholeAs(hg)).expect("assess outage"),
     );
 
     // Scenario 2: the same AS fails in one country only.
@@ -31,7 +31,8 @@ fn main() {
     banner(&format!("scenario: {hg} fails in {country} only"));
     report(
         &s,
-        OutageImpact::assess(&s, &map, OutageScenario::RegionAs(hg, country)),
+        OutageImpact::assess(&s, &map, OutageScenario::RegionAs(hg, country))
+            .expect("assess outage"),
     );
 
     // Scenario 3: the biggest eyeball ISP fails — its users lose their
@@ -50,7 +51,7 @@ fn main() {
     banner(&format!("scenario: {eyeball} (largest eyeball ISP) fails"));
     report(
         &s,
-        OutageImpact::assess(&s, &map, OutageScenario::WholeAs(eyeball)),
+        OutageImpact::assess(&s, &map, OutageScenario::WholeAs(eyeball)).expect("assess outage"),
     );
 }
 

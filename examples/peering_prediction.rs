@@ -32,7 +32,7 @@ fn main() {
 
     // Recommend links for the invisible remainder.
     let rec = PeeringRecommender::new(&s, &public, RecommenderWeights::default());
-    let recs = rec.recommend();
+    let recs = rec.recommend().expect("finite recommendation scores");
     let eval = RecommendationEval::evaluate(&s, &recs);
     println!("\n=== recommendation quality (E10) ===");
     println!("candidate co-located pairs: {}", eval.candidates);
