@@ -15,14 +15,14 @@ fn bench_map_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.bench_function("traffic_map_build", |b| {
-        b.iter(|| TrafficMap::build(&s, &MapConfig::default()))
+        b.iter(|| TrafficMap::build(&s, &MapConfig::default()).expect("map build"))
     });
     g.finish();
 }
 
 fn bench_table_figures(c: &mut Criterion) {
     let s = substrate();
-    let map = TrafficMap::build(&s, &MapConfig::default());
+    let map = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
     let mut g = c.benchmark_group("experiments");
     g.sample_size(10);
     g.bench_function("table1", |b| b.iter(|| experiments::table1(&s, &map)));

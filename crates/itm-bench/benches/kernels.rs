@@ -54,7 +54,7 @@ fn bench_substrate(c: &mut Criterion) {
 
 fn bench_dns_probing(c: &mut Criterion) {
     let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
-    let resolver = s.open_resolver();
+    let resolver = s.open_resolver().expect("open resolver");
     let nets: Vec<_> = s.topo.prefixes.iter().map(|r| r.net).collect();
     let mut g = c.benchmark_group("dns");
     g.bench_function("cache_probe_1k", |b| {
@@ -99,7 +99,7 @@ fn bench_dns_probing(c: &mut Criterion) {
 /// the global registry's enabled flag. Budget: <2% delta.
 fn bench_obs_overhead(c: &mut Criterion) {
     let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
-    let resolver = s.open_resolver();
+    let resolver = s.open_resolver().expect("open resolver");
     let nets: Vec<_> = s.topo.prefixes.iter().map(|r| r.net).collect();
     let probe_1k = |start: &mut usize| {
         let mut hits = 0usize;

@@ -241,7 +241,7 @@ fn explain_edge(s: &Substrate, pfx_arg: &str, svc_arg: &str) -> ! {
     };
     let t = Instant::now();
     eprintln!("building map with tracing enabled…");
-    let _map = TrafficMap::build(s, &MapConfig::default());
+    let _map = TrafficMap::build(s, &MapConfig::default()).expect("map build");
     eprintln!("  map built [{:.1?}]", t.elapsed());
     let snap = itm_obs::trace::snapshot();
     eprintln!(
@@ -322,7 +322,7 @@ fn main() {
     {
         let t1 = Instant::now();
         eprintln!("running measurement pipeline…");
-        let m = TrafficMap::build(&s, &MapConfig::default());
+        let m = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
         eprintln!("  map built [{:.1?}]", t1.elapsed());
         Some(m)
     } else {
@@ -344,7 +344,8 @@ fn main() {
         run("map", &mut || {
             let summary = MapSummary::extract(&s, map);
             let path = format!("{}/map_summary.json", args.out_dir);
-            std::fs::write(&path, summary.to_json()).expect("write map summary");
+            std::fs::write(&path, summary.to_json().expect("serializable"))
+                .expect("write map summary");
             eprintln!("  wrote {path}");
             ExperimentResult {
                 id: "map",

@@ -44,7 +44,7 @@ pub fn table1(s: &Substrate, map: &TrafficMap) -> ExperimentResult {
 /// E2 — Figure 1a: discovered-prefix count per open-resolver PoP.
 pub fn fig1a(s: &Substrate, map: &TrafficMap) -> ExperimentResult {
     let counts = coverage::fig1a_pop_counts(map);
-    let resolver = s.open_resolver();
+    let resolver = s.open_resolver().expect("open resolver");
     let mut rows = Vec::new();
     for pop in resolver.pops() {
         let n = counts.get(&pop.id).copied().unwrap_or(0);
@@ -617,14 +617,14 @@ pub fn cachehost(s: &Substrate) -> ExperimentResult {
 pub fn assoc(s: &Substrate) -> ExperimentResult {
     use itm_measure::{ResolverAssociation, RootCrawler};
     use itm_types::Asn;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
-    let resolver = s.open_resolver();
+    let resolver = s.open_resolver().expect("open resolver");
     let crawler = RootCrawler::default();
     let naive = crawler.run(s, &resolver);
 
     let cov = |r: &itm_measure::RootCrawlResult| {
-        let ases: HashSet<Asn> = r.client_ases(s).into_iter().collect();
+        let ases: BTreeSet<Asn> = r.client_ases(s).into_iter().collect();
         (
             ases.len(),
             s.traffic
@@ -652,6 +652,7 @@ pub fn assoc(s: &Substrate) -> ExperimentResult {
             "assoc_reach_{reach},{},{n_c},{c_c:.4}",
             a.prefixes_observed
         ));
+        // itm-lint: allow(F001): exact grid value taken from the sweep iterator, never computed
         if reach == 8.0 {
             headline.push((
                 "corrected coverage (reach=8)".into(),
@@ -672,7 +673,7 @@ pub fn assoc(s: &Substrate) -> ExperimentResult {
 /// temporal-precision column demands daily/hourly refresh.
 pub fn staleness(s: &Substrate) -> ExperimentResult {
     use itm_measure::{evolution, UserMapping};
-    let resolver = s.open_resolver();
+    let resolver = s.open_resolver().expect("open resolver");
     let mapping = UserMapping::measure(s, &resolver);
     let cfg = evolution::EvolutionConfig::default();
     let mut rows = Vec::new();

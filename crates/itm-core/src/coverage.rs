@@ -5,7 +5,7 @@ use crate::map::TrafficMap;
 use itm_measure::Substrate;
 use itm_types::{Asn, Country, PopId, PrefixId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The coverage numbers §3.1.2 reports against CDN ground truth (E7).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,14 +41,14 @@ impl CoverageReport {
             &map.cache_result.discovered,
             provider,
         );
-        let root_ases: HashSet<Asn> = map.root_result.client_ases(s).into_iter().collect();
+        let root_ases: BTreeSet<Asn> = map.root_result.client_ases(s).into_iter().collect();
         let root_logs_traffic = s
             .traffic
             .provider_coverage_as(&s.topo, &s.users, &s.catalog, &root_ases, provider);
 
         // Union at prefix granularity: cache-probed prefixes plus all
         // prefixes of root-identified ASes.
-        let mut union: HashSet<PrefixId> = map.cache_result.discovered.clone();
+        let mut union: BTreeSet<PrefixId> = map.cache_result.discovered.clone();
         for r in s.topo.prefixes.iter() {
             if root_ases.contains(&r.owner) {
                 union.insert(r.id);
@@ -60,8 +60,8 @@ impl CoverageReport {
 
         // APNIC user share: users (per APNIC) in identified ASes over all
         // APNIC-estimated users.
-        let cache_ases: HashSet<Asn> = map.cache_result.discovered_ases(s);
-        let found_ases: HashSet<Asn> = cache_ases.union(&root_ases).copied().collect();
+        let cache_ases: BTreeSet<Asn> = map.cache_result.discovered_ases(s);
+        let found_ases: BTreeSet<Asn> = cache_ases.union(&root_ases).copied().collect();
         let mut apnic_found = 0.0;
         let mut apnic_total = 0.0;
         for a in &s.topo.ases {
@@ -113,7 +113,7 @@ pub struct Fig1bRow {
 
 /// Figure 1b data, one row per country.
 pub fn fig1b_rows(s: &Substrate, map: &TrafficMap) -> Vec<Fig1bRow> {
-    let found_ases: HashSet<Asn> = map.cache_result.discovered_ases(s);
+    let found_ases: BTreeSet<Asn> = map.cache_result.discovered_ases(s);
     let mut rows = Vec::new();
     for c in &s.topo.world.countries {
         let mut covered = 0.0;
@@ -131,7 +131,7 @@ pub fn fig1b_rows(s: &Substrate, map: &TrafficMap) -> Vec<Fig1bRow> {
         }
         // Server dots: detected infrastructure (on-net + off-net) whose
         // city is in the country.
-        let mut sites: HashSet<(Asn, u32)> = HashSet::new();
+        let mut sites: BTreeSet<(Asn, u32)> = BTreeSet::new();
         for f in map.onnet_servers.iter().chain(&map.offnet_servers) {
             let country = s.topo.world.cities[f.city as usize].country;
             if country == c.country {
@@ -204,7 +204,7 @@ pub fn table1(s: &Substrate, map: &TrafficMap, report: &CoverageReport) -> Vec<T
                 map.offnet_servers
                     .iter()
                     .map(|f| f.host)
-                    .collect::<HashSet<_>>()
+                    .collect::<BTreeSet<_>>()
                     .len()
             ),
         },
@@ -239,7 +239,7 @@ mod tests {
 
     fn build() -> (Substrate, TrafficMap) {
         let s = Substrate::build(SubstrateConfig::small(), 149).unwrap();
-        let m = TrafficMap::build(&s, &MapConfig::default());
+        let m = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
         (s, m)
     }
 

@@ -22,9 +22,9 @@ use itm_routing::{
 };
 use itm_tls::{detect_offnets, OffnetFinding, ScanConfig, SniScan, TlsScan};
 use itm_traffic::DeliveryMode;
-use itm_types::{Asn, Ipv4Addr, PrefixId, ServiceId};
+use itm_types::{Asn, Ipv4Addr, PrefixId, Result, ServiceId};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Map-construction configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,7 +53,7 @@ impl Default for MapConfig {
 /// The assembled Internet Traffic Map.
 pub struct TrafficMap {
     /// Component 1: prefixes identified as hosting users.
-    pub user_prefixes: HashSet<PrefixId>,
+    pub user_prefixes: BTreeSet<PrefixId>,
     /// Component 1: relative activity per AS (fused estimate).
     pub activity: ActivityEstimator,
     /// Component 2: serving infrastructure per hypergiant (on-net).
@@ -61,11 +61,11 @@ pub struct TrafficMap {
     /// Component 2: off-net deployments detected.
     pub offnet_servers: Vec<OffnetFinding>,
     /// Component 2: per-service footprints from SNI scanning.
-    pub sni_footprints: HashMap<ServiceId, Vec<Ipv4Addr>>,
+    pub sni_footprints: BTreeMap<ServiceId, Vec<Ipv4Addr>>,
     /// Component 2: measured user→host mapping (ECS services).
     pub user_mapping: UserMapping,
     /// Component 2: anycast catchments per anycast service.
-    pub catchments: HashMap<ServiceId, Catchments>,
+    pub catchments: BTreeMap<ServiceId, Catchments>,
     /// Component 3: the topology view available for path prediction
     /// (public + cloud-augmented links).
     pub route_view: GraphView,
@@ -81,7 +81,10 @@ pub struct TrafficMap {
 
 impl TrafficMap {
     /// Run the full pipeline.
-    pub fn build(s: &Substrate, cfg: &MapConfig) -> TrafficMap {
+    ///
+    /// Fails only when a measurement substrate component cannot be
+    /// deployed (e.g. a degenerate topology with no cities).
+    pub fn build(s: &Substrate, cfg: &MapConfig) -> Result<TrafficMap> {
         let _span = itm_obs::span("map.build");
         let _campaign = itm_obs::trace::campaign(
             itm_obs::trace::Technique::MapAssembly,
@@ -90,7 +93,7 @@ impl TrafficMap {
 
         // ---- Component 1: users + activity ----
         let users_span = itm_obs::span("users.activity");
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver()?;
         let cache_result = cfg.cache_probe.run(s, &resolver);
         let root_result = cfg.root_crawl.run(s, &resolver);
         let activity = ActivityEstimator::fuse(s, &cache_result, &root_result);
@@ -109,7 +112,7 @@ impl TrafficMap {
             .map(|x| x.domain.clone())
             .collect();
         let sni = SniScan::run(&s.tls, &candidates, &domains, &cfg.scan, &s.seeds);
-        let sni_footprints: HashMap<ServiceId, Vec<Ipv4Addr>> = s
+        let sni_footprints: BTreeMap<ServiceId, Vec<Ipv4Addr>> = s
             .catalog
             .services
             .iter()
@@ -121,7 +124,7 @@ impl TrafficMap {
         // Anycast catchments for anycast services.
         let anycast_span = itm_obs::span("services.anycast");
         let full = s.full_view();
-        let mut catchments = HashMap::new();
+        let mut catchments = BTreeMap::new();
         for svc in &s.catalog.services {
             if svc.mode != DeliveryMode::Anycast {
                 continue;
@@ -155,14 +158,14 @@ impl TrafficMap {
         // Assert the map's edges into the trace: one event per measured
         // (service, prefix) cell, each linking the serving address and AS
         // so provenance queries can join it back to the observations that
-        // produced it. HashMap order is nondeterministic; sort first.
+        // produced it. BTreeMap iteration is sorted by (service, prefix),
+        // so the event stream is byte-stable without an explicit sort.
         if itm_obs::trace::enabled() {
-            let mut cells: Vec<(ServiceId, PrefixId, Ipv4Addr)> = user_mapping
+            let cells: Vec<(ServiceId, PrefixId, Ipv4Addr)> = user_mapping
                 .mapping
                 .iter()
                 .map(|(&(svc, p), &addr)| (svc, p, addr))
                 .collect();
-            cells.sort_unstable();
             for (svc, p, addr) in cells {
                 let serving_as = s.topo.prefixes.lookup(addr).map(|r| r.owner);
                 let mut subjects = itm_obs::trace::Subjects::none()
@@ -181,7 +184,7 @@ impl TrafficMap {
             }
         }
 
-        TrafficMap {
+        Ok(TrafficMap {
             user_prefixes,
             activity,
             onnet_servers,
@@ -194,7 +197,7 @@ impl TrafficMap {
             cache_result,
             root_result,
             cloud_result,
-        }
+        })
     }
 
     /// Predict the AS path from a client AS toward the AS serving
@@ -237,7 +240,7 @@ impl TrafficMap {
 
     /// Total number of distinct serving addresses the map knows about.
     pub fn known_server_count(&self) -> usize {
-        let mut addrs: HashSet<u32> = HashSet::new();
+        let mut addrs: BTreeSet<u32> = BTreeSet::new();
         for f in self.onnet_servers.iter().chain(&self.offnet_servers) {
             addrs.insert(f.addr.0);
         }
@@ -255,7 +258,7 @@ mod tests {
 
     fn build() -> (Substrate, TrafficMap) {
         let s = Substrate::build(SubstrateConfig::small(), 139).unwrap();
-        let m = TrafficMap::build(&s, &MapConfig::default());
+        let m = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
         (s, m)
     }
 

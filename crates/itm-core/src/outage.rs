@@ -14,7 +14,7 @@ use crate::map::TrafficMap;
 use itm_measure::Substrate;
 use itm_types::{Asn, Country, Ipv4Addr, ItmError, PrefixId, Result, ServiceId};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,7 +68,7 @@ pub struct OutageImpact {
     /// For each affected cell, the fallback front-end the redirection
     /// policy would pick with the outage in place (`None` if the service
     /// has no surviving endpoint).
-    pub reroutes: HashMap<(ServiceId, PrefixId), Option<Ipv4Addr>>,
+    pub reroutes: BTreeMap<(ServiceId, PrefixId), Option<Ipv4Addr>>,
 }
 
 impl OutageImpact {
@@ -84,9 +84,9 @@ impl OutageImpact {
         scenario: OutageScenario,
     ) -> Result<OutageImpact> {
         let mut affected_cells = Vec::new();
-        let mut affected_services: HashSet<ServiceId> = HashSet::new();
-        let mut affected_prefixes: HashSet<PrefixId> = HashSet::new();
-        let mut reroutes = HashMap::new();
+        let mut affected_services: BTreeSet<ServiceId> = BTreeSet::new();
+        let mut affected_prefixes: BTreeSet<PrefixId> = BTreeSet::new();
+        let mut reroutes = BTreeMap::new();
         let mut true_traffic = 0.0;
 
         for (&(svc, p), &addr) in &map.user_mapping.mapping {
@@ -193,7 +193,7 @@ mod tests {
         // "catastrophic" traffic share (>2%) on the small substrate under
         // the workspace RNG; see hypergiant_outage_is_catastrophic.
         let s = Substrate::build(SubstrateConfig::small(), 197).unwrap();
-        let m = TrafficMap::build(&s, &MapConfig::default());
+        let m = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
         (s, m)
     }
 

@@ -10,7 +10,7 @@ use crate::map::TrafficMap;
 use itm_measure::Substrate;
 use itm_types::{Asn, Ipv4Net, ServiceId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The portable form of a built traffic map.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -22,9 +22,9 @@ pub struct MapSummary {
     /// Component 1: /24s identified as hosting users.
     pub user_prefixes: Vec<Ipv4Net>,
     /// Component 1: fused relative activity per AS (max-normalized).
-    pub activity: HashMap<u32, f64>,
+    pub activity: BTreeMap<u32, f64>,
     /// Component 2: per-service serving-address counts.
-    pub service_footprint_sizes: HashMap<u32, usize>,
+    pub service_footprint_sizes: BTreeMap<u32, usize>,
     /// Component 2: off-net deployments found (hypergiant ASN, host ASN).
     pub offnets: Vec<(u32, u32)>,
     /// Component 2: number of measurable user→host mapping cells.
@@ -42,7 +42,7 @@ pub struct MapSummary {
 impl serde_json::Serialize for MapSummary {
     fn to_json_value(&self) -> serde_json::Value {
         use serde_json::{Map, Value};
-        let sorted_obj = |m: &HashMap<u32, f64>| -> Value {
+        let sorted_obj = |m: &BTreeMap<u32, f64>| -> Value {
             let mut keys: Vec<u32> = m.keys().copied().collect();
             keys.sort_unstable();
             Value::Object(
@@ -87,7 +87,7 @@ impl serde_json::Deserialize for MapSummary {
             v.get(name)
                 .ok_or_else(|| Error::new(format!("MapSummary: missing field `{name}`")))
         };
-        let num_map = |name: &str| -> Result<HashMap<u32, f64>, Error> {
+        let num_map = |name: &str| -> Result<BTreeMap<u32, f64>, Error> {
             match field(name)? {
                 Value::Object(m) => m
                     .iter()
@@ -195,8 +195,8 @@ impl MapSummary {
     }
 
     /// Serialize to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("summary is serializable")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Parse from JSON.
@@ -227,7 +227,7 @@ mod tests {
 
     fn build() -> (Substrate, TrafficMap) {
         let s = Substrate::build(SubstrateConfig::small(), 197).unwrap();
-        let m = TrafficMap::build(&s, &MapConfig::default());
+        let m = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
         (s, m)
     }
 
@@ -235,7 +235,7 @@ mod tests {
     fn json_round_trip_preserves_everything() {
         let (s, m) = build();
         let summary = MapSummary::extract(&s, &m);
-        let json = summary.to_json();
+        let json = summary.to_json().expect("serializable");
         let back = MapSummary::from_json(&json).unwrap();
         assert_eq!(back.seed, summary.seed);
         assert_eq!(back.user_prefixes, summary.user_prefixes);

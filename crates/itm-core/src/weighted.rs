@@ -164,7 +164,12 @@ impl AnycastAnalysis {
             let users = s.users.subscribers(client);
             let loc = s.topo.as_location(client);
             let chosen = &dep.sites[site.index()];
-            let best = dep.closest_site(loc).expect("non-empty deployment");
+            // An empty deployment produces no catchments, so this loop
+            // body never runs without a closest site; skip defensively
+            // rather than panic.
+            let Some(best) = dep.closest_site(loc) else {
+                continue;
+            };
             // Being served from a site inside the client's own AS (an
             // off-net cache) is optimal by definition: the bytes never
             // leave the access network, whatever the geodesic distance to

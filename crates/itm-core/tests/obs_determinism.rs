@@ -8,8 +8,8 @@ use itm_measure::{Substrate, SubstrateConfig};
 
 fn build_summary(seed: u64) -> String {
     let s = Substrate::build(SubstrateConfig::small(), seed).unwrap();
-    let m = TrafficMap::build(&s, &MapConfig::default());
-    MapSummary::extract(&s, &m).to_json()
+    let m = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
+    MapSummary::extract(&s, &m).to_json().expect("serializable")
 }
 
 #[test]

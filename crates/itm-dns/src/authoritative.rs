@@ -78,23 +78,24 @@ impl<'a> AuthoritativeDns<'a> {
         }
         let s = self.catalog.get(service);
         if s.mode == DeliveryMode::Anycast {
-            let addr = self
-                .frontends
-                .vip(service)
-                .expect("anycast service has VIP");
-            itm_obs::trace::emit(
-                itm_obs::trace::Technique::Dns,
-                itm_obs::trace::EventKind::AuthAnswer,
-                itm_obs::trace::Subjects::none()
-                    .service(service.raw())
-                    .addr(addr.0),
-                "anycast-vip",
-            );
-            return DnsAnswer {
-                addr,
-                scope: AnswerScope::ResolverWide,
-                ttl_secs: s.ttl_secs,
-            };
+            // Every anycast service gets a VIP at directory build time; a
+            // VIP-less one degrades to the unicast redirection path below
+            // instead of panicking.
+            if let Some(addr) = self.frontends.vip(service) {
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::Dns,
+                    itm_obs::trace::EventKind::AuthAnswer,
+                    itm_obs::trace::Subjects::none()
+                        .service(service.raw())
+                        .addr(addr.0),
+                    "anycast-vip",
+                );
+                return DnsAnswer {
+                    addr,
+                    scope: AnswerScope::ResolverWide,
+                    ttl_secs: s.ttl_secs,
+                };
+            }
         }
         let ans = match ecs {
             Some(client_net) if s.ecs_support => {

@@ -18,7 +18,7 @@ use itm_topology::{PrefixKind, Topology};
 use itm_traffic::{DeliveryMode, ServiceCatalog, ServiceOwner};
 use itm_types::{Asn, Ipv4Addr, ServiceId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One place a service can be served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,7 +38,7 @@ pub struct Endpoint {
 struct ServiceFrontends {
     endpoints: Vec<Endpoint>,
     /// client AS -> endpoint index of its in-AS off-net.
-    offnet_by_host: HashMap<Asn, u32>,
+    offnet_by_host: BTreeMap<Asn, u32>,
     /// city -> index of nearest on-net endpoint.
     nearest_onnet_by_city: Vec<u32>,
     /// Anycast VIP, if the service is anycast.
@@ -75,7 +75,7 @@ impl FrontendDirectory {
                     });
                 }
             }
-            let mut offnet_by_host = HashMap::new();
+            let mut offnet_by_host = BTreeMap::new();
             if let ServiceOwner::Hypergiant(hg) = s.owner {
                 for d in topo.offnets.of_hypergiant(hg) {
                     let r = topo.prefixes.get(d.prefix);
@@ -116,12 +116,14 @@ impl FrontendDirectory {
                     .min_by(|(_, a), (_, b)| {
                         topo.city_location(a.city)
                             .distance_km(loc)
-                            .partial_cmp(&topo.city_location(b.city).distance_km(loc))
-                            .unwrap()
+                            .total_cmp(&topo.city_location(b.city).distance_km(loc))
                             .then(a.addr.cmp(&b.addr))
                     })
                     .map(|(i, _)| *i as u32)
-                    .expect("non-empty endpoint set");
+                    // `endpoints` is asserted non-empty above and `onnet`
+                    // falls back to the full set, so endpoint 0 is an
+                    // unreachable fallback, not a behaviour change.
+                    .unwrap_or(0);
                 nearest_onnet_by_city.push(best);
             }
 

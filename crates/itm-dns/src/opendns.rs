@@ -26,7 +26,9 @@ use crate::authoritative::{AuthoritativeDns, DnsAnswer};
 use crate::resolvers::ResolverAssignment;
 use itm_topology::Topology;
 use itm_traffic::{ServiceCatalog, TrafficModel, UserModel};
-use itm_types::{GeoPoint, Ipv4Addr, Ipv4Net, PopId, PrefixId, SeedDomain, ServiceId, SimTime};
+use itm_types::{
+    GeoPoint, Ipv4Addr, Ipv4Net, ItmError, PopId, PrefixId, SeedDomain, ServiceId, SimTime,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -96,6 +98,9 @@ pub struct OpenResolver<'a> {
 
 impl<'a> OpenResolver<'a> {
     /// Deploy the open resolver.
+    ///
+    /// Fails with [`ItmError::InvalidConfig`] when the topology has no
+    /// cities to site PoPs in.
     #[allow(clippy::too_many_arguments)]
     pub fn deploy(
         topo: &'a Topology,
@@ -106,7 +111,7 @@ impl<'a> OpenResolver<'a> {
         auth: AuthoritativeDns<'a>,
         cfg: OpenResolverConfig,
         seeds: &SeedDomain,
-    ) -> OpenResolver<'a> {
+    ) -> Result<OpenResolver<'a>, ItmError> {
         let seeds = seeds.child("opendns");
         // PoPs in the biggest cities (by size × country weight).
         let mut ranked: Vec<(u32, f64)> = topo
@@ -120,7 +125,7 @@ impl<'a> OpenResolver<'a> {
                 )
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let pops: Vec<Pop> = ranked
             .iter()
             .take(cfg.n_pops.max(1))
@@ -141,11 +146,13 @@ impl<'a> OpenResolver<'a> {
                 .min_by(|a, b| {
                     a.location
                         .distance_km(loc)
-                        .partial_cmp(&b.location.distance_km(loc))
-                        .unwrap()
+                        .total_cmp(&b.location.distance_km(loc))
                         .then(a.id.cmp(&b.id))
                 })
-                .unwrap();
+                .ok_or_else(|| ItmError::InvalidConfig {
+                    field: "world.cities",
+                    reason: "open resolver needs at least one city to site PoPs".into(),
+                })?;
             pop_of_prefix.push(best.id);
         }
 
@@ -168,7 +175,7 @@ impl<'a> OpenResolver<'a> {
             }
         }
 
-        OpenResolver {
+        Ok(OpenResolver {
             topo,
             users,
             catalog,
@@ -180,7 +187,7 @@ impl<'a> OpenResolver<'a> {
             pop_of_prefix,
             pop_service_qps,
             draw_seed: seeds.seed("occupancy"),
-        }
+        })
     }
 
     /// The deployed PoPs.
@@ -469,6 +476,7 @@ mod tests {
             },
             &SeedDomain::new(43),
         )
+        .expect("deploy open resolver")
     }
 
     #[test]

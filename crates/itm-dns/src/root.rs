@@ -224,7 +224,8 @@ mod tests {
             auth,
             OpenResolverConfig::default(),
             &seeds,
-        );
+        )
+        .expect("deploy open resolver");
         let chromium = ChromiumModel::build(&topo, &users, ChromiumConfig::default(), &seeds);
         let roots = RootServerSet::typical();
         let logs = RootLogs::collect(

@@ -1,0 +1,500 @@
+//! Line-level Rust lexer for the lint rules.
+//!
+//! This is deliberately *not* a full Rust parser. The rules in
+//! [`crate::rules`] only need three things, all of which a lightweight
+//! single-pass lexer can supply reliably:
+//!
+//! 1. a token stream (identifiers, numeric literals, multi-char operators)
+//!    with comment bodies and string contents stripped, so `// unwrap()` in
+//!    prose or `"panic!"` in a message never trips a rule;
+//! 2. the comment text of every line, so `// itm-lint: allow(...)`
+//!    annotations can be recovered;
+//! 3. which lines belong to `#[cfg(test)]` / `#[test]` / `#[bench]` items,
+//!    so the panic-safety rules exempt test code.
+//!
+//! The lexer handles line comments, nested block comments, string / raw
+//! string / char / byte-string literals, and lifetime ticks. It does not
+//! attempt macro expansion or type resolution — rules that need type
+//! information (D003) work from declaration syntax instead.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+}
+
+/// Coarse token classification — only what the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal that is lexically a float (`1.0`, `2e5`, `3f64`).
+    Float,
+    /// Any other numeric literal.
+    Int,
+    /// Operator or punctuation (multi-char ops like `==`, `::` are fused).
+    Punct,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct SourceModel {
+    /// Token stream with comments and string contents removed.
+    pub tokens: Vec<Token>,
+    /// Raw text of every line (for finding snippets), 0-indexed.
+    pub raw_lines: Vec<String>,
+    /// Concatenated comment text per line (empty when none), 0-indexed.
+    pub comments: Vec<String>,
+    /// Per line: does it carry at least one code token?
+    pub has_code: Vec<bool>,
+    /// Per line: is it inside a `#[cfg(test)]` / `#[test]` / `#[bench]` item?
+    pub is_test: Vec<bool>,
+}
+
+impl SourceModel {
+    /// Number of lines in the file.
+    pub fn n_lines(&self) -> usize {
+        self.raw_lines.len()
+    }
+
+    /// Trimmed snippet of a 1-based line, for finding display.
+    pub fn snippet(&self, line: u32) -> String {
+        self.raw_lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Whether a 1-based line sits in test-only code.
+    pub fn line_is_test(&self, line: u32) -> bool {
+        self.is_test
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Lex a whole file.
+pub fn lex(src: &str) -> SourceModel {
+    let raw_lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+    let n = raw_lines.len();
+    let mut model = SourceModel {
+        tokens: Vec::new(),
+        raw_lines,
+        comments: vec![String::new(); n],
+        has_code: vec![false; n],
+        is_test: vec![false; n],
+    };
+    let cleaned = strip_comments_and_strings(src, &mut model.comments);
+    tokenize(&cleaned, &mut model);
+    mark_test_regions(&mut model);
+    model
+}
+
+/// Replace comment bodies and string/char contents with spaces (preserving
+/// line structure), collecting comment text per line on the way.
+fn strip_comments_and_strings(src: &str, comments: &mut [String]) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut line = 0usize;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied().unwrap_or('\0');
+        match st {
+            St::Code => match c {
+                '/' if next == '/' => {
+                    st = St::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '/' if next == '*' => {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push('"');
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    // r"..", b"..", br"..", r#".."#, etc.: emit the prefix
+                    // (letters + hashes + opening quote) verbatim, then
+                    // blank the body until the matching close.
+                    let mut j = i;
+                    while matches!(chars.get(j), Some('r') | Some('b')) {
+                        out.push(chars[j]);
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        out.push('#');
+                        hashes += 1;
+                        j += 1;
+                    }
+                    debug_assert_eq!(chars.get(j), Some(&'"'));
+                    out.push('"');
+                    if hashes == 0 && chars[i..j].iter().all(|&p| p == 'b') {
+                        st = St::Str; // plain byte string: ordinary escapes
+                    } else {
+                        st = St::RawStr(hashes);
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`): a lifetime is
+                    // `'` + ident not followed by a closing quote.
+                    let is_lifetime = next.is_alphabetic() || next == '_';
+                    let closes = chars.get(i + 2) == Some(&'\'');
+                    if is_lifetime && !closes {
+                        out.push(' '); // drop the tick, keep the ident
+                    } else {
+                        st = St::Char;
+                        out.push('\'');
+                    }
+                }
+                '\n' => {
+                    out.push('\n');
+                    line += 1;
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                    line += 1;
+                } else {
+                    if let Some(slot) = comments.get_mut(line) {
+                        slot.push(c);
+                    }
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && next == '/' {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == '*' {
+                    st = St::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '\n' {
+                    out.push('\n');
+                    line += 1;
+                } else {
+                    if let Some(slot) = comments.get_mut(line) {
+                        slot.push(c);
+                    }
+                    out.push(' ');
+                }
+            }
+            St::Str => match c {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 2;
+                    if next == '\n' {
+                        line += 1;
+                        // keep line structure for the escape-newline case
+                        out.pop();
+                        out.pop();
+                        out.push(' ');
+                        out.push('\n');
+                    }
+                    continue;
+                }
+                '"' => {
+                    st = St::Code;
+                    out.push('"');
+                }
+                '\n' => {
+                    out.push('\n');
+                    line += 1;
+                }
+                _ => out.push(' '),
+            },
+            St::RawStr(hashes) => {
+                if c == '"' && raw_str_closes(&chars, i, hashes) {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push('#');
+                    }
+                    st = St::Code;
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+                if c == '\n' {
+                    out.push('\n');
+                    line += 1;
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Char => match c {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '\'' => {
+                    st = St::Code;
+                    out.push('\'');
+                }
+                '\n' => {
+                    out.push('\n');
+                    line += 1;
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Is `chars[i]` the start of a raw/byte string prefix (`r"`, `r#`, `br"`,
+/// `rb"`, `b"`)?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Not a prefix if glued to a preceding ident char (e.g. `hear"..` can't
+    // happen, but `var` endings like `xr` followed by `"` could).
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    while j < chars.len() {
+        match chars[j] {
+            'r' | 'b' if j - i < 2 => j += 1,
+            '#' => j += 1,
+            '"' => return j > i, // at least one prefix char consumed
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Does the `"` at `chars[i]` close a raw string with `hashes` hashes?
+fn raw_str_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    for k in 0..hashes as usize {
+        if chars.get(i + 1 + k) != Some(&'#') {
+            return false;
+        }
+    }
+    true
+}
+
+/// Tokenize cleaned source (comments/strings already blanked).
+fn tokenize(cleaned: &str, model: &mut SourceModel) {
+    for (idx, line) in cleaned.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                push_token(
+                    model,
+                    lineno,
+                    TokKind::Ident,
+                    chars[start..i].iter().collect(),
+                );
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                let mut is_float = false;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_ascii_digit() || d == '_' {
+                        i += 1;
+                    } else if d == '.'
+                        && chars
+                            .get(i + 1)
+                            .map(|n| n.is_ascii_digit())
+                            .unwrap_or(false)
+                    {
+                        is_float = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && chars
+                            .get(i + 1)
+                            .map(|n| n.is_ascii_digit() || *n == '-' || *n == '+')
+                            .unwrap_or(false)
+                        && i > start
+                    {
+                        is_float = true;
+                        i += 2;
+                    } else if d.is_alphanumeric() {
+                        // suffix: f32/f64 force float, u32 etc. stay int
+                        let suffix_start = i;
+                        while i < chars.len() && chars[i].is_alphanumeric() {
+                            i += 1;
+                        }
+                        let suffix: String = chars[suffix_start..i].iter().collect();
+                        if suffix == "f32" || suffix == "f64" {
+                            is_float = true;
+                        }
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                };
+                push_token(model, lineno, kind, chars[start..i].iter().collect());
+                continue;
+            }
+            // Punctuation: fuse the two-char operators the rules care about.
+            let next = chars.get(i + 1).copied().unwrap_or('\0');
+            let fused = matches!(
+                (c, next),
+                ('=', '=') | ('!', '=') | (':', ':') | ('-', '>') | ('=', '>') | ('.', '.')
+            );
+            if fused {
+                push_token(model, lineno, TokKind::Punct, format!("{c}{next}"));
+                i += 2;
+            } else {
+                push_token(model, lineno, TokKind::Punct, c.to_string());
+                i += 1;
+            }
+        }
+    }
+}
+
+fn push_token(model: &mut SourceModel, line: u32, kind: TokKind, text: String) {
+    if let Some(slot) = model.has_code.get_mut(line as usize - 1) {
+        *slot = true;
+    }
+    model.tokens.push(Token { line, kind, text });
+}
+
+/// Mark every line inside a `#[cfg(test)]`, `#[test]`, or `#[bench]` item
+/// as test code. Works on the token stream: after such an attribute, skip
+/// any further attributes, then extend the region to the matching close
+/// brace of the item body (or to the end of a `;`-terminated item).
+fn mark_test_regions(model: &mut SourceModel) {
+    let toks = &model.tokens;
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            let (attr_end, is_test_attr) = scan_attribute(toks, i);
+            if is_test_attr {
+                // Skip trailing attributes before the item itself.
+                let mut j = attr_end;
+                while j < toks.len()
+                    && toks[j].text == "#"
+                    && toks.get(j + 1).map(|t| t.text.as_str()) == Some("[")
+                {
+                    let (end, _) = scan_attribute(toks, j);
+                    j = end;
+                }
+                // Find the item body: first `{` before a top-level `;`.
+                let mut depth = 0i32;
+                let mut k = j;
+                let mut opened = false;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "{" => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        "}" => {
+                            depth -= 1;
+                            if opened && depth == 0 {
+                                regions.push((toks[i].line, toks[k].line));
+                                break;
+                            }
+                        }
+                        ";" if !opened => {
+                            regions.push((toks[i].line, toks[k].line));
+                            break;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                i = k.max(attr_end);
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    for (from, to) in regions {
+        for l in from..=to {
+            if let Some(slot) = model.is_test.get_mut(l as usize - 1) {
+                *slot = true;
+            }
+        }
+    }
+}
+
+/// Scan `#[...]` starting at token `i` (`#`). Returns (index one past the
+/// closing `]`, attribute-is-test-related).
+fn scan_attribute(toks: &[Token], i: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    let mut is_test = false;
+    let mut saw_cfg = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth -= 1;
+                if depth == 0 && t.text == "]" {
+                    return (j + 1, is_test);
+                }
+            }
+            "cfg" => saw_cfg = true,
+            "test" if saw_cfg => is_test = true,
+            // `#[test]` / `#[bench]` directly
+            "test" | "bench" if depth == 1 && j == i + 2 => is_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, is_test)
+}

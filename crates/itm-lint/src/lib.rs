@@ -1,0 +1,89 @@
+//! `itm-lint` — the workspace determinism & panic-safety analyzer.
+//!
+//! The traffic map's headline correctness property is determinism: same
+//! seed, same substrate, same bytes out. That property used to be guarded
+//! only by two integration tests; this crate enforces it statically. An
+//! offline, dependency-free lexer + rule engine scans every workspace
+//! source file for the constructs that historically break it:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D001 | no wall-clock in library crates (virtual time only) |
+//! | D002 | no unseeded randomness (everything flows from the seed) |
+//! | D003 | no `HashMap`/`HashSet` in serialized types (hash order leaks) |
+//! | P001 | no `unwrap`/`expect`/`panic!` in non-test library code |
+//! | F001 | no float `==`/`!=` (exact equality is fragile) |
+//!
+//! A violation that is genuinely sound is waived in place with
+//! `// itm-lint: allow(RULE): <reason>`; the reason is mandatory (A001)
+//! and an allow that suppresses nothing is itself an error (A002), so the
+//! escape hatch cannot rot.
+//!
+//! Run it with `cargo run -p itm-lint`; the self-test in
+//! `tests/self_check.rs` runs the same scan, so `cargo test` fails on any
+//! unallowed finding too.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::{Finding, LintReport};
+pub use rules::FileClass;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Scan one in-memory source file under a given class.
+///
+/// Returns the surviving findings (allow annotations already applied) and
+/// the number of allows that suppressed something.
+pub fn scan_source(src: &str, class: FileClass, rel_path: &str) -> (Vec<Finding>, usize) {
+    let model = lexer::lex(src);
+    let (allows, _) = count_allows(&model);
+    let findings = rules::check(&model, class, rel_path);
+    // Allows-in-use = total well-formed allows minus the ones reported
+    // unused (A002) for this file.
+    let unused = findings.iter().filter(|f| f.rule == "A002").count();
+    (findings, allows.saturating_sub(unused))
+}
+
+fn count_allows(model: &lexer::SourceModel) -> (usize, usize) {
+    let mut well_formed = 0;
+    for comment in &model.comments {
+        let content = comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
+        if let Some(rest) = content.strip_prefix("itm-lint:") {
+            let rest = rest.trim();
+            if let Some(args) = rest.strip_prefix("allow(") {
+                if let Some(close) = args.find(')') {
+                    let rule = args[..close].trim();
+                    let reason_ok = args[close + 1..]
+                        .trim_start()
+                        .strip_prefix(':')
+                        .map(|r| !r.trim().is_empty())
+                        .unwrap_or(false);
+                    if rules::allowable_rule(rule) && reason_ok {
+                        well_formed += 1;
+                    }
+                }
+            }
+        }
+    }
+    (well_formed, 0)
+}
+
+/// Scan a whole workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
+    let files = walk::collect(root)?;
+    let mut findings = Vec::new();
+    let mut allows_used = 0usize;
+    let n = files.len();
+    for f in &files {
+        let src = fs::read_to_string(&f.path)?;
+        let (mut file_findings, used) = scan_source(&src, f.class, &f.rel);
+        allows_used += used;
+        findings.append(&mut file_findings);
+    }
+    Ok(LintReport::new(n, allows_used, findings))
+}

@@ -1,0 +1,116 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! cargo run -p itm-lint [-- --root PATH] [--json PATH] [--no-json] [--list-rules] [-q]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: itm-lint [--root PATH] [--json PATH] [--no-json] [--list-rules] [-q]
+  --root PATH    workspace root to scan (default: nearest ancestor with [workspace])
+  --json PATH    where to write the JSON report (default: <root>/results/lint_report.json)
+  --no-json      skip the JSON report
+  --list-rules   print the rule set and exit
+  -q, --quiet    suppress per-finding output (summary line only)";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut write_json = true;
+    let mut quiet = false;
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage_error("--json needs a path"),
+            },
+            "--no-json" => write_json = false,
+            "--list-rules" => {
+                for (id, desc) in itm_lint::rules::RULES {
+                    println!("{id}  {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-q" | "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match env::current_dir() {
+                Ok(d) => d,
+                Err(e) => return io_error(&format!("cannot determine working directory: {e}")),
+            };
+            match itm_lint::walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => return io_error("no [workspace] Cargo.toml above the working directory"),
+            }
+        }
+    };
+
+    let report = match itm_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => return io_error(&format!("scan failed: {e}")),
+    };
+
+    if write_json {
+        let path = json_path.unwrap_or_else(|| root.join("results").join("lint_report.json"));
+        if let Some(dir) = path.parent() {
+            if let Err(e) = fs::create_dir_all(dir) {
+                return io_error(&format!("cannot create {}: {e}", dir.display()));
+            }
+        }
+        let json = match serde_json::to_string_pretty(&report) {
+            Ok(j) => j,
+            Err(e) => return io_error(&format!("report serialization failed: {e}")),
+        };
+        if let Err(e) = fs::write(&path, json) {
+            return io_error(&format!("cannot write {}: {e}", path.display()));
+        }
+        if !quiet {
+            eprintln!("itm-lint: report written to {}", path.display());
+        }
+    }
+
+    if quiet {
+        let last = report.render();
+        if let Some(summary) = last.lines().last() {
+            println!("{summary}");
+        }
+    } else {
+        print!("{}", report.render());
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("itm-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn io_error(msg: &str) -> ExitCode {
+    eprintln!("itm-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,198 @@
+//! Findings and the machine-readable lint report.
+//!
+//! The JSON report is deterministic: files are scanned in sorted order,
+//! findings are sorted by (file, line, rule), and the by-rule counts use a
+//! `BTreeMap`. Two runs over the same tree produce byte-identical reports.
+
+use std::collections::BTreeMap;
+
+/// One rule violation (or allow-hygiene problem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `"P001"`.
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Trimmed source line, for context.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// The `file:line: [RULE] message` display form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// The full result of a workspace scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// Report schema identifier.
+    pub schema: String,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of allow annotations that suppressed a finding.
+    pub allows_used: usize,
+    /// Surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Finding count per rule id (only rules with hits).
+    pub by_rule: BTreeMap<String, usize>,
+}
+
+impl LintReport {
+    /// Assemble a report from per-file findings (already allow-filtered).
+    pub fn new(files_scanned: usize, allows_used: usize, mut findings: Vec<Finding>) -> LintReport {
+        findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule.as_str(),
+            ))
+        });
+        let mut by_rule: BTreeMap<String, usize> = BTreeMap::new();
+        for f in &findings {
+            *by_rule.entry(f.rule.clone()).or_insert(0) += 1;
+        }
+        LintReport {
+            schema: "itm-lint/1".to_string(),
+            files_scanned,
+            allows_used,
+            findings,
+            by_rule,
+        }
+    }
+
+    /// Is the tree clean?
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable multi-line summary (one block per finding plus a
+    /// one-line tally).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        let tally: Vec<String> = self
+            .by_rule
+            .iter()
+            .map(|(r, n)| format!("{r}×{n}"))
+            .collect();
+        if self.is_clean() {
+            out.push_str(&format!(
+                "itm-lint: clean — {} files scanned, {} allow annotation(s) in use\n",
+                self.files_scanned, self.allows_used
+            ));
+        } else {
+            out.push_str(&format!(
+                "itm-lint: {} finding(s) [{}] across {} files ({} allows in use)\n",
+                self.findings.len(),
+                tally.join(", "),
+                self.files_scanned,
+                self.allows_used
+            ));
+        }
+        out
+    }
+}
+
+impl serde_json::Serialize for LintReport {
+    fn to_json_value(&self) -> serde_json::Value {
+        use serde_json::{Map, Value};
+        serde_json::json!({
+            "schema": (self.schema.clone()),
+            "files_scanned": (self.files_scanned),
+            "allows_used": (self.allows_used),
+            "by_rule": (Value::Object(
+                self.by_rule
+                    .iter()
+                    .map(|(r, n)| (r.clone(), Value::from(*n)))
+                    .collect::<Map>(),
+            )),
+            "findings": (Value::Array(
+                self.findings
+                    .iter()
+                    .map(|f| {
+                        serde_json::json!({
+                            "rule": (f.rule.clone()),
+                            "file": (f.file.clone()),
+                            "line": (f.line as u64),
+                            "message": (f.message.clone()),
+                            "snippet": (f.snippet.clone()),
+                        })
+                    })
+                    .collect(),
+            )),
+        })
+    }
+}
+
+impl serde_json::Deserialize for LintReport {
+    fn from_json_value(v: &serde_json::Value) -> Result<LintReport, serde_json::Error> {
+        use serde_json::{Error, Value};
+        let field = |name: &str| -> Result<&Value, Error> {
+            v.get(name)
+                .ok_or_else(|| Error::new(format!("LintReport: missing field `{name}`")))
+        };
+        let uint = |name: &str| -> Result<u64, Error> {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| Error::new(format!("{name}: expected integer")))
+        };
+        let text = |val: &Value, what: &str| -> Result<String, Error> {
+            val.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| Error::new(format!("{what}: expected string")))
+        };
+        let findings = match field("findings")? {
+            Value::Array(items) => items
+                .iter()
+                .map(|item| {
+                    let get = |name: &str| -> Result<&Value, Error> {
+                        item.get(name)
+                            .ok_or_else(|| Error::new(format!("finding: missing `{name}`")))
+                    };
+                    Ok(Finding {
+                        rule: text(get("rule")?, "rule")?,
+                        file: text(get("file")?, "file")?,
+                        line: get("line")?
+                            .as_u64()
+                            .ok_or_else(|| Error::new("line: expected integer"))?
+                            as u32,
+                        message: text(get("message")?, "message")?,
+                        snippet: text(get("snippet")?, "snippet")?,
+                    })
+                })
+                .collect::<Result<Vec<Finding>, Error>>()?,
+            _ => return Err(Error::new("findings: expected array")),
+        };
+        let by_rule = match field("by_rule")? {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, val)| {
+                    let n = val
+                        .as_u64()
+                        .ok_or_else(|| Error::new("by_rule: expected integer"))?;
+                    Ok((k.clone(), n as usize))
+                })
+                .collect::<Result<BTreeMap<String, usize>, Error>>()?,
+            _ => return Err(Error::new("by_rule: expected object")),
+        };
+        Ok(LintReport {
+            schema: text(field("schema")?, "schema")?,
+            files_scanned: uint("files_scanned")? as usize,
+            allows_used: uint("allows_used")? as usize,
+            findings,
+            by_rule,
+        })
+    }
+}

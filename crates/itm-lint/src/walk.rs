@@ -1,0 +1,105 @@
+//! Workspace file discovery and classification.
+//!
+//! The walk is deterministic (directory entries sorted by name) and
+//! self-contained: `target/`, hidden directories, and the linter's own
+//! violation fixtures are skipped; everything else ending in `.rs` is
+//! classified by path shape.
+
+use crate::rules::FileClass;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with forward slashes (report key).
+    pub rel: String,
+    /// Which rules apply.
+    pub class: FileClass,
+}
+
+/// Classify a workspace-relative path. `None` means "do not scan".
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    // Deliberate-violation fixtures for the linter's own tests.
+    if rel.contains("tests/fixtures/") {
+        return None;
+    }
+    if rel.starts_with("crates/shims/") {
+        return Some(FileClass::Shim);
+    }
+    // Tooling crates and every non-library target: panics and wall-clock
+    // are legitimate (a bench must read the clock; a binary may exit).
+    let harness_crate = rel.starts_with("crates/itm-bench/") || rel.starts_with("crates/itm-lint/");
+    let harness_dir = rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/bin/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/");
+    if harness_crate || harness_dir {
+        return Some(FileClass::Harness);
+    }
+    Some(FileClass::Library)
+}
+
+/// Recursively collect every classifiable `.rs` file under `root`, sorted
+/// by relative path.
+pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if let Some(class) = classify(&rel) {
+                out.push(SourceFile { path, rel, class });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}

@@ -1,0 +1,10 @@
+// Fixture: malformed allow annotations are themselves findings.
+pub fn pick(v: &[u32]) -> u32 {
+    // itm-lint: allow(P001)
+    *v.first().unwrap()
+}
+
+pub fn other(v: &[u32]) -> u32 {
+    // itm-lint: allow(X999): no such rule
+    *v.last().unwrap()
+}

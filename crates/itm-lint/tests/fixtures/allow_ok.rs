@@ -1,0 +1,10 @@
+// Fixture: a valid allow annotation suppresses its finding.
+pub fn observe() -> u128 {
+    // itm-lint: allow(D001): span timing is observability-only wall time
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}
+
+pub fn pick(v: &[u32]) -> u32 {
+    *v.first().unwrap() // itm-lint: allow(P001): caller guarantees non-empty
+}

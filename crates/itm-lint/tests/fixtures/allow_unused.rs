@@ -1,0 +1,5 @@
+// Fixture: an allow that suppresses nothing is flagged.
+pub fn tidy(v: &[u32]) -> u32 {
+    // itm-lint: allow(D001): stale annotation left behind after a refactor
+    v.iter().sum()
+}

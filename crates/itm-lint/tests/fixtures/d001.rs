@@ -1,0 +1,16 @@
+// Fixture: D001 — wall-clock reads. Never compiled; scanned by tests only.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> bool {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    s.elapsed().is_ok() && t.elapsed().as_nanos() > 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clock_in_test_code_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: D002 — unseeded randomness. Never compiled; scanned by tests only.
+use rand::{thread_rng, Rng};
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0.0..1.0) + rand::random::<f64>()
+}
+
+pub fn seeded(rng: &mut impl Rng) -> f64 {
+    // A seeded generator passed in by the caller is fine.
+    rng.gen_range(0.0..1.0)
+}

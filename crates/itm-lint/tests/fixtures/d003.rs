@@ -1,0 +1,20 @@
+// Fixture: D003 — unordered collections in serialized types.
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Exported {
+    pub scores: HashMap<String, f64>,
+    pub seen: HashSet<u32>,
+    pub name: String,
+}
+
+pub struct Internal {
+    // Not serialized: hash order never reaches an output byte.
+    pub cache: HashMap<u64, u64>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Clean {
+    pub totals: std::collections::BTreeMap<String, u64>,
+}

@@ -1,0 +1,13 @@
+// Fixture: F001 — float equality.
+pub fn classify(x: f64, n: u32) -> u32 {
+    if x == 0.5 {
+        return 1;
+    }
+    if 1.0 != x {
+        return 2;
+    }
+    if n == 5 {
+        return 3;
+    }
+    0
+}

@@ -1,0 +1,23 @@
+// Fixture: P001 — panicking calls in library code.
+pub fn risky(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let last = v.last().expect("non-empty");
+    if *first > *last {
+        panic!("inverted");
+    }
+    first + last
+}
+
+pub fn safe(v: &[u32]) -> u32 {
+    // unwrap_or and friends do not panic; the string below is not code.
+    let s = "never unwrap() in prose";
+    v.first().copied().unwrap_or(s.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::safe(&[]).checked_add(1).unwrap(), 25);
+    }
+}

@@ -1,0 +1,33 @@
+//! The gate: the full rule set over the whole workspace must come back
+//! clean. Any new wall-clock read, unseeded RNG, serialized HashMap,
+//! library panic, or float `==` fails `cargo test` right here — with the
+//! same `file:line` findings `cargo run -p itm-lint` prints.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/itm-lint");
+    let report = itm_lint::scan_workspace(root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 100,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "itm-lint found unallowed violations:\n{}",
+        report.render()
+    );
+    // The waivers that do exist must all be live (A002 enforces this
+    // inside the scan) and carry reasons (A001 likewise) — here we just
+    // pin that the workspace actually uses the escape hatch somewhere, so
+    // the suppression path stays exercised.
+    assert!(
+        report.allows_used > 0,
+        "expected at least one reasoned allow"
+    );
+}

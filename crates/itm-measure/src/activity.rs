@@ -15,7 +15,7 @@ use crate::substrate::Substrate;
 use itm_types::stats::{kendall_tau, linear_fit, spearman};
 use itm_types::Asn;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One AS's activity estimate with its per-technique inputs.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -33,7 +33,7 @@ pub struct ActivityEstimate {
 /// The activity estimator.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ActivityEstimator {
-    estimates: HashMap<Asn, ActivityEstimate>,
+    estimates: BTreeMap<Asn, ActivityEstimate>,
 }
 
 impl ActivityEstimator {
@@ -59,7 +59,7 @@ impl ActivityEstimator {
             .filter_map(|a| s.apnic.estimate(a.asn))
             .fold(0.0f64, f64::max);
 
-        let mut estimates = HashMap::new();
+        let mut estimates = BTreeMap::new();
         for a in &s.topo.ases {
             let ch = hit_rates.get(&a.asn).copied();
             let rq = root_act.get(&a.asn).copied();
@@ -210,7 +210,7 @@ mod tests {
         // Seed chosen for clear statistical margins (fused spearman ≈0.6,
         // hit-rate spearman ≈0.77) under the workspace RNG.
         let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let cache = CacheProbeCampaign::default().run(&s, &resolver);
         let root = RootCrawler::default().run(&s, &resolver);
         (s, cache, root)

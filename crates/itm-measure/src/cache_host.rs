@@ -67,9 +67,10 @@ impl LruCache {
         } else {
             self.misses += 1;
             if self.entries.len() > self.capacity {
-                let (&lru_tick, &lru_obj) = self.by_tick.iter().next().expect("non-empty");
-                self.by_tick.remove(&lru_tick);
-                self.entries.remove(&lru_obj);
+                if let Some((&lru_tick, &lru_obj)) = self.by_tick.iter().next() {
+                    self.by_tick.remove(&lru_tick);
+                    self.entries.remove(&lru_obj);
+                }
             }
         }
         hit

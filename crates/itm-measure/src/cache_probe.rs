@@ -13,7 +13,7 @@ use crate::substrate::Substrate;
 use itm_dns::{OpenResolver, ProbeResult};
 use itm_types::{Asn, PopId, PrefixId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,13 +43,13 @@ impl Default for CacheProbeCampaign {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CacheProbeResult {
     /// Prefixes with at least one cache hit.
-    pub discovered: HashSet<PrefixId>,
+    pub discovered: BTreeSet<PrefixId>,
     /// Hits per prefix (discovery strength / activity signal).
-    pub hits_by_prefix: HashMap<PrefixId, u32>,
+    pub hits_by_prefix: BTreeMap<PrefixId, u32>,
     /// Probes issued per prefix (denominator for hit rates).
     pub probes_per_prefix: u32,
     /// Distinct discovered prefixes per open-resolver PoP (Figure 1a).
-    pub discovered_by_pop: HashMap<PopId, u32>,
+    pub discovered_by_pop: BTreeMap<PopId, u32>,
     /// The domains probed.
     pub domains: Vec<String>,
 }
@@ -80,8 +80,8 @@ impl CacheProbeCampaign {
             .max(1.0) as u64;
         let step = self.duration.as_secs() / rounds;
 
-        let mut discovered: HashSet<PrefixId> = HashSet::new();
-        let mut hits_by_prefix: HashMap<PrefixId, u32> = HashMap::new();
+        let mut discovered: BTreeSet<PrefixId> = BTreeSet::new();
+        let mut hits_by_prefix: BTreeMap<PrefixId, u32> = BTreeMap::new();
         let mut issued: u64 = 0;
         for round in 0..rounds {
             let t = SimTime(self.start.as_secs() + round * step);
@@ -102,7 +102,7 @@ impl CacheProbeCampaign {
         itm_obs::counter!("probe.hosts", "technique" => "cache_probe")
             .add(resolver.pops().len() as u64);
 
-        let mut discovered_by_pop: HashMap<PopId, u32> = HashMap::new();
+        let mut discovered_by_pop: BTreeMap<PopId, u32> = BTreeMap::new();
         for &p in &discovered {
             *discovered_by_pop.entry(resolver.pop_of(p)).or_insert(0) += 1;
         }
@@ -119,7 +119,7 @@ impl CacheProbeCampaign {
 
 impl CacheProbeResult {
     /// ASes with at least one discovered prefix.
-    pub fn discovered_ases(&self, s: &Substrate) -> HashSet<Asn> {
+    pub fn discovered_ases(&self, s: &Substrate) -> BTreeSet<Asn> {
         self.discovered
             .iter()
             .map(|&p| s.topo.prefixes.get(p).owner)
@@ -127,8 +127,8 @@ impl CacheProbeResult {
     }
 
     /// Hit counts aggregated per AS (the Fig. 2 x-axis signal).
-    pub fn hits_by_as(&self, s: &Substrate) -> HashMap<Asn, u32> {
-        let mut out: HashMap<Asn, u32> = HashMap::new();
+    pub fn hits_by_as(&self, s: &Substrate) -> BTreeMap<Asn, u32> {
+        let mut out: BTreeMap<Asn, u32> = BTreeMap::new();
         for (&p, &h) in &self.hits_by_prefix {
             *out.entry(s.topo.prefixes.get(p).owner).or_insert(0) += h;
         }
@@ -136,9 +136,9 @@ impl CacheProbeResult {
     }
 
     /// Hit *rate* per AS: hits / probes issued to that AS's prefixes.
-    pub fn hit_rate_by_as(&self, s: &Substrate) -> HashMap<Asn, f64> {
+    pub fn hit_rate_by_as(&self, s: &Substrate) -> BTreeMap<Asn, f64> {
         let hits = self.hits_by_as(s);
-        let mut out = HashMap::new();
+        let mut out = BTreeMap::new();
         for (asn, h) in hits {
             let n_prefixes = s.topo.prefixes.owned_by(asn).len() as f64;
             let probes = n_prefixes * self.probes_per_prefix as f64;
@@ -169,7 +169,7 @@ impl CacheProbeResult {
 mod tests {
     use super::*;
     use crate::substrate::SubstrateConfig;
-    use std::collections::HashSet as HS;
+    use std::collections::BTreeSet as HS;
 
     fn setup() -> Substrate {
         Substrate::build(SubstrateConfig::small(), 103).unwrap()
@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn campaign_discovers_most_traffic() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let result = CacheProbeCampaign::default().run(&s, &resolver);
         assert!(!result.discovered.is_empty());
         // Traffic-weighted coverage should be high: busy prefixes are the
@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn false_discovery_rate_is_tiny() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let result = CacheProbeCampaign::default().run(&s, &resolver);
         let fdr = result.false_discovery_rate(&s);
         assert!(fdr < 0.02, "FDR {fdr:.4}");
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn hit_counts_track_activity() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let result = CacheProbeCampaign::default().run(&s, &resolver);
         // Across discovered prefixes, hits should correlate with traffic.
         let mut xs = Vec::new();
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn per_pop_counts_sum_to_discoveries() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let result = CacheProbeCampaign::default().run(&s, &resolver);
         let sum: u32 = result.discovered_by_pop.values().sum();
         assert_eq!(sum as usize, result.discovered.len());
@@ -236,7 +236,7 @@ mod tests {
     #[test]
     fn more_rounds_discover_no_less() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let short = CacheProbeCampaign {
             rounds_per_day: 2,
             ..Default::default()

@@ -12,13 +12,13 @@ use itm_routing::{GraphView, VantagePoints};
 use itm_topology::Link;
 use itm_types::{Asn, SeedDomain};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Output of the cloud probing campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CloudProbeResult {
     /// Links discovered (canonical endpoint order).
-    pub links: HashSet<(Asn, Asn)>,
+    pub links: BTreeSet<(Asn, Asn)>,
     /// The vantage points used.
     pub vantage: VantagePoints,
 }
@@ -35,11 +35,9 @@ impl CloudProbeResult {
         let vantage = VantagePoints::typical(&s.topo, seeds);
         let links = vantage.cloud_discovered_links(view);
         if itm_obs::trace::enabled() {
-            // HashSet order is nondeterministic; sort before emitting so
-            // the trace stream is byte-stable across runs.
-            let mut sorted: Vec<(Asn, Asn)> = links.iter().copied().collect();
-            sorted.sort_unstable();
-            for (a, b) in sorted {
+            // BTreeSet iteration is already sorted, so the trace stream
+            // is byte-stable across runs without an explicit sort.
+            for &(a, b) in links.iter() {
                 itm_obs::trace::emit(
                     itm_obs::trace::Technique::CloudProbe,
                     itm_obs::trace::EventKind::LinkDiscovered,
@@ -72,7 +70,7 @@ impl CloudProbeResult {
 
     /// Fraction of the clouds' own peering links discovered.
     pub fn cloud_peering_recall(&self, s: &Substrate) -> f64 {
-        let clouds: HashSet<Asn> = s.topo.clouds().into_iter().collect();
+        let clouds: BTreeSet<Asn> = s.topo.clouds().into_iter().collect();
         let relevant: Vec<_> = s
             .topo
             .links

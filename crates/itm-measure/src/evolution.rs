@@ -75,8 +75,7 @@ pub fn evolve(s: &Substrate, days: u64, cfg: &EvolutionConfig) -> Substrate {
     let mut eyeballs: Vec<&itm_topology::AsInfo> = s.topo.ases_of_class(AsClass::Eyeball).collect();
     eyeballs.sort_by(|a, b| {
         b.size_factor
-            .partial_cmp(&a.size_factor)
-            .unwrap()
+            .total_cmp(&a.size_factor)
             .then(a.asn.cmp(&b.asn))
     });
     for hg in s.topo.hypergiants() {
@@ -287,7 +286,7 @@ mod tests {
     #[test]
     fn maps_go_stale_over_time() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let mapping = UserMapping::measure(&s, &resolver);
 
         let e7 = evolve(&s, 7, &EvolutionConfig::default());

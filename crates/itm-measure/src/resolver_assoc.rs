@@ -25,13 +25,13 @@ use itm_dns::{OpenResolver, RootLogs};
 use itm_topology::PrefixKind;
 use itm_types::{Asn, Ipv4Addr, SeedDomain};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Measured resolver→clients association.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ResolverAssociation {
     /// resolver egress address → (client AS → observed visit weight).
-    pub clients_of: HashMap<u32, HashMap<Asn, f64>>,
+    pub clients_of: BTreeMap<u32, BTreeMap<Asn, f64>>,
     /// Number of prefixes observed at least once.
     pub prefixes_observed: usize,
 }
@@ -50,7 +50,7 @@ impl ResolverAssociation {
         seeds: &SeedDomain,
     ) -> ResolverAssociation {
         let seeds = seeds.child("resolver-assoc");
-        let mut clients_of: HashMap<u32, HashMap<Asn, f64>> = HashMap::new();
+        let mut clients_of: BTreeMap<u32, BTreeMap<Asn, f64>> = BTreeMap::new();
         let mut observed = 0usize;
 
         // Mean prefix activity normalizer.
@@ -115,7 +115,7 @@ impl ResolverAssociation {
     }
 
     /// The client-AS weight distribution behind a resolver egress.
-    pub fn clients(&self, egress: Ipv4Addr) -> Option<&HashMap<Asn, f64>> {
+    pub fn clients(&self, egress: Ipv4Addr) -> Option<&BTreeMap<Asn, f64>> {
         self.clients_of.get(&egress.0)
     }
 
@@ -124,7 +124,7 @@ impl ResolverAssociation {
     /// proportionally to the observed visit weights; unknown egresses fall
     /// back to the naive owner-AS attribution.
     pub fn correct_attribution(&self, s: &Substrate, logs: &RootLogs) -> RootCrawlResult {
-        let mut queries_by_as: HashMap<Asn, f64> = HashMap::new();
+        let mut queries_by_as: BTreeMap<Asn, f64> = BTreeMap::new();
         let mut unmapped = 0usize;
         for e in &logs.entries {
             if let Some(dist) = self.clients(e.src) {
@@ -158,7 +158,7 @@ mod tests {
     use crate::substrate::SubstrateConfig;
     use itm_dns::{RootLogs, RootServerSet};
     use itm_types::SimDuration;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn setup() -> Substrate {
         Substrate::build(SubstrateConfig::small(), 179).unwrap()
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn busy_prefixes_are_observed_first() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let assoc = ResolverAssociation::measure(&s, &resolver, 1.0, &SeedDomain::new(179));
         assert!(assoc.prefixes_observed > 0);
         let total_user = s.users.user_prefixes(&s.topo).count();
@@ -180,7 +180,7 @@ mod tests {
     #[test]
     fn association_improves_root_attribution() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let logs = RootLogs::collect(
             &s.topo,
             &s.resolvers,
@@ -195,7 +195,7 @@ mod tests {
         let corrected = assoc.correct_attribution(&s, &logs);
 
         let cov = |r: &RootCrawlResult| {
-            let ases: HashSet<Asn> = r.client_ases(&s).into_iter().collect();
+            let ases: BTreeSet<Asn> = r.client_ases(&s).into_iter().collect();
             s.traffic
                 .provider_coverage_as(&s.topo, &s.users, &s.catalog, &ases, None)
         };
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn corrected_counts_conserve_mass_for_known_egresses() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let logs = RootLogs::collect(
             &s.topo,
             &s.resolvers,

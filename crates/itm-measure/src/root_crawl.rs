@@ -19,7 +19,7 @@ use crate::substrate::Substrate;
 use itm_dns::{OpenResolver, RootLogs, RootServerSet};
 use itm_types::{Asn, SimDuration};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The crawler configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,7 +43,7 @@ impl Default for RootCrawler {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RootCrawlResult {
     /// Queries attributed to each AS (resolver-address origin AS).
-    pub queries_by_as: HashMap<Asn, f64>,
+    pub queries_by_as: BTreeMap<Asn, f64>,
     /// Log sources that could not be mapped to a routed prefix.
     pub unmapped_sources: usize,
     /// Fraction of total root traffic the usable logs covered.
@@ -72,7 +72,7 @@ impl RootCrawler {
             itm_obs::trace::campaign(itm_obs::trace::Technique::RootCrawl, "root DNS log crawl");
         itm_obs::counter!("probe.log_lines", "technique" => "root_crawl")
             .add(logs.entries.len() as u64);
-        let mut queries_by_as: HashMap<Asn, f64> = HashMap::new();
+        let mut queries_by_as: BTreeMap<Asn, f64> = BTreeMap::new();
         let mut unmapped = 0;
         for e in &logs.entries {
             match s.topo.prefixes.lookup(e.src) {
@@ -119,7 +119,7 @@ impl RootCrawlResult {
     /// Relative activity estimate per AS (query count, normalized to the
     /// max — §3.1.3: counts are "roughly proportional to the number of
     /// Chromium clients behind a recursive resolver").
-    pub fn relative_activity(&self, s: &Substrate) -> HashMap<Asn, f64> {
+    pub fn relative_activity(&self, s: &Substrate) -> BTreeMap<Asn, f64> {
         let max = self
             .queries_by_as
             .iter()
@@ -127,7 +127,7 @@ impl RootCrawlResult {
             .map(|(_, q)| *q)
             .fold(0.0f64, f64::max);
         if max <= 0.0 {
-            return HashMap::new();
+            return BTreeMap::new();
         }
         self.queries_by_as
             .iter()
@@ -142,7 +142,7 @@ mod tests {
     use super::*;
     use crate::substrate::SubstrateConfig;
     use itm_dns::ResolverConfig;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn setup() -> Substrate {
         // Seed chosen so crawl coverage lands mid-range (≈0.64, matching
@@ -153,9 +153,9 @@ mod tests {
     #[test]
     fn crawl_finds_substantial_as_coverage() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let result = RootCrawler::default().run(&s, &resolver);
-        let clients: HashSet<Asn> = result.client_ases(&s).into_iter().collect();
+        let clients: BTreeSet<Asn> = result.client_ases(&s).into_iter().collect();
         assert!(!clients.is_empty());
         // Traffic-weighted AS coverage should be sizable but clearly below
         // cache probing's (the 60%-vs-95% ordering of §3.1.2).
@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn open_resolver_traffic_is_attributed_to_operator() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let result = RootCrawler::default().run(&s, &resolver);
         let operator = resolver.operator();
         // The operator AS shows up in raw counts…
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn activity_estimates_track_user_counts() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let result = RootCrawler::default().run(&s, &resolver);
         let act = result.relative_activity(&s);
         let mut xs = Vec::new();
@@ -215,9 +215,9 @@ mod tests {
         let dirty = Substrate::build(cfg, 109).unwrap();
 
         let cov = |s: &Substrate| {
-            let resolver = s.open_resolver();
+            let resolver = s.open_resolver().expect("open resolver");
             let result = RootCrawler::default().run(s, &resolver);
-            let clients: HashSet<Asn> = result.client_ases(s).into_iter().collect();
+            let clients: BTreeSet<Asn> = result.client_ases(s).into_iter().collect();
             // Score against *eyeball/stub* attribution correctness: how
             // much traffic of ASes correctly identified.
             s.traffic
@@ -234,7 +234,7 @@ mod tests {
     #[test]
     fn closed_roots_kill_the_technique() {
         let s = setup();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let crawler = RootCrawler {
             roots: RootServerSet::new(0, 13),
             ..Default::default()

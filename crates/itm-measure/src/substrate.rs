@@ -152,7 +152,10 @@ impl Substrate {
     }
 
     /// Deploy the open resolver (borrows self).
-    pub fn open_resolver(&self) -> OpenResolver<'_> {
+    ///
+    /// Fails only on a degenerate topology with no cities, which
+    /// [`Substrate::build`] already rejects.
+    pub fn open_resolver(&self) -> Result<OpenResolver<'_>> {
         OpenResolver::deploy(
             &self.topo,
             &self.users,
@@ -184,7 +187,7 @@ mod tests {
         assert!(s.traffic.grand_total().raw() > 0.0);
         assert!(!s.routers.is_empty());
         assert!(!s.tls.is_empty());
-        let or = s.open_resolver();
+        let or = s.open_resolver().expect("open resolver");
         assert!(!or.pops().is_empty());
     }
 

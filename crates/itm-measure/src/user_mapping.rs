@@ -18,17 +18,17 @@ use itm_topology::PrefixKind;
 use itm_traffic::DeliveryMode;
 use itm_types::{GeoPoint, Ipv4Addr, PrefixId, ServiceId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The measured user→host mapping.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UserMapping {
     /// (service, prefix) → serving address, for measurable services.
-    pub mapping: HashMap<(ServiceId, PrefixId), Ipv4Addr>,
+    pub mapping: BTreeMap<(ServiceId, PrefixId), Ipv4Addr>,
     /// Services that could not be measured (no ECS or anycast/custom-URL).
     pub unmeasurable: Vec<ServiceId>,
     /// Distinct serving addresses seen per service.
-    pub footprint: HashMap<ServiceId, Vec<Ipv4Addr>>,
+    pub footprint: BTreeMap<ServiceId, Vec<Ipv4Addr>>,
 }
 
 impl UserMapping {
@@ -42,9 +42,9 @@ impl UserMapping {
         );
         let queries = itm_obs::counter!("probe.queries", "technique" => "ecs_mapping");
         let mut issued: u64 = 0;
-        let mut mapping = HashMap::new();
+        let mut mapping = BTreeMap::new();
         let mut unmeasurable = Vec::new();
-        let mut footprint: HashMap<ServiceId, Vec<Ipv4Addr>> = HashMap::new();
+        let mut footprint: BTreeMap<ServiceId, Vec<Ipv4Addr>> = BTreeMap::new();
 
         for svc in &s.catalog.services {
             let measurable = svc.ecs_support && svc.mode == DeliveryMode::DnsRedirection;
@@ -112,7 +112,7 @@ impl UserMapping {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GeolocationResult {
     /// Per-address (estimated location, error in km vs true city).
-    pub estimates: HashMap<u32, (GeoPoint, f64)>,
+    pub estimates: BTreeMap<u32, (GeoPoint, f64)>,
 }
 
 impl GeolocationResult {
@@ -127,7 +127,7 @@ impl GeolocationResult {
             lon_y: f64,
             w: f64,
         }
-        let mut acc: HashMap<u32, Acc> = HashMap::new();
+        let mut acc: BTreeMap<u32, Acc> = BTreeMap::new();
         for (&(_, p), &addr) in &mapping.mapping {
             let rec = s.topo.prefixes.get(p);
             let users = s.users.users_of(p);
@@ -144,7 +144,7 @@ impl GeolocationResult {
             a.w += users;
         }
 
-        let mut estimates = HashMap::new();
+        let mut estimates = BTreeMap::new();
         for (addr, a) in acc {
             if a.w <= 0.0 {
                 continue;
@@ -172,7 +172,7 @@ impl GeolocationResult {
         if errs.is_empty() {
             return None;
         }
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         Some(errs[errs.len() / 2])
     }
 }
@@ -184,7 +184,7 @@ mod tests {
 
     fn setup() -> (Substrate, UserMapping) {
         let s = Substrate::build(SubstrateConfig::small(), 131).unwrap();
-        let resolver = s.open_resolver();
+        let resolver = s.open_resolver().expect("open resolver");
         let m = UserMapping::measure(&s, &resolver);
         (s, m)
     }

@@ -19,7 +19,7 @@
 //! *misses* are excluded too (absence of an answer justifies nothing).
 
 use crate::trace::{EventKind, Subjects, TraceRecord, TraceSnapshot};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An asserted edge plus the observation events supporting it, ascending
 /// by event id (= emission order).
@@ -113,12 +113,12 @@ impl EvidenceChain {
 pub struct ProvenanceIndex {
     records: Vec<TraceRecord>,
     /// Observation records carrying a prefix subject, by prefix.
-    by_prefix: HashMap<u32, Vec<usize>>,
+    by_prefix: BTreeMap<u32, Vec<usize>>,
     /// Endpoint-identification records (cert/SNI/off-net/authoritative),
     /// by front-end address.
-    by_addr: HashMap<u32, Vec<usize>>,
+    by_addr: BTreeMap<u32, Vec<usize>>,
     /// Route-resolution records, by AS.
-    by_route_asn: HashMap<u32, Vec<usize>>,
+    by_route_asn: BTreeMap<u32, Vec<usize>>,
 }
 
 /// Whether a record can serve as evidence for some edge at all.
@@ -149,9 +149,9 @@ impl ProvenanceIndex {
     /// Build the index from a snapshot.
     pub fn build(snap: &TraceSnapshot) -> ProvenanceIndex {
         let records = snap.records.clone();
-        let mut by_prefix: HashMap<u32, Vec<usize>> = HashMap::new();
-        let mut by_addr: HashMap<u32, Vec<usize>> = HashMap::new();
-        let mut by_route_asn: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut by_prefix: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        let mut by_addr: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        let mut by_route_asn: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         for (i, r) in records.iter().enumerate() {
             if !is_observation(r) {
                 continue;

@@ -66,6 +66,7 @@ impl<'a> SpanGuard<'a> {
                 registry,
                 path,
                 depth,
+                // itm-lint: allow(D001): span timing is observability-only wall time and never feeds the map
                 start: Instant::now(),
             }),
         }

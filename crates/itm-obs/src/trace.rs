@@ -349,7 +349,9 @@ impl TraceLog {
         let per = capacity.div_ceil(N_SHARDS).max(1);
         self.cap_per_shard.store(per, Ordering::Relaxed);
         for shard in &self.shards {
-            let mut ring = shard.lock().expect("trace shard poisoned");
+            let mut ring = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             while ring.len() > per {
                 ring.pop_front();
                 self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -452,7 +454,7 @@ impl TraceLog {
         let cap = self.cap_per_shard.load(Ordering::Relaxed);
         let mut ring = self.shards[seq as usize % N_SHARDS]
             .lock()
-            .expect("trace shard poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // A thread can be descheduled between claiming `seq` and taking
         // the shard lock, arriving here after records with later ids.
         // Keep the ring sorted by id so eviction always removes the true
@@ -481,7 +483,9 @@ impl TraceLog {
     pub fn snapshot(&self) -> TraceSnapshot {
         let mut records = Vec::new();
         for shard in &self.shards {
-            let ring = shard.lock().expect("trace shard poisoned");
+            let ring = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             records.extend(ring.iter().cloned());
         }
         records.sort_by_key(|r| r.id);
@@ -496,7 +500,10 @@ impl TraceLog {
     /// from zero. Enabled/seed/capacity settings persist.
     pub fn reset(&self) {
         for shard in &self.shards {
-            shard.lock().expect("trace shard poisoned").clear();
+            shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
         }
         self.seq.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);

@@ -77,8 +77,7 @@ impl AnycastDeployment {
         self.sites.iter().min_by(|a, b| {
             a.location
                 .distance_km(from)
-                .partial_cmp(&b.location.distance_km(from))
-                .unwrap()
+                .total_cmp(&b.location.distance_km(from))
                 .then(a.id.cmp(&b.id))
         })
     }
@@ -123,20 +122,16 @@ impl Catchments {
             let client_loc = topo.as_location(client);
             let chosen = if in_as.len() > 1 && rng.gen_bool(deployment.intra_as_noise) {
                 // Hot-potato artifact: a uniformly random site of the AS.
-                in_as[rng.gen_range(0..in_as.len())]
+                Some(&in_as[rng.gen_range(0..in_as.len())])
             } else {
-                in_as
-                    .iter()
-                    .min_by(|a, b| {
-                        a.location
-                            .distance_km(client_loc)
-                            .partial_cmp(&b.location.distance_km(client_loc))
-                            .unwrap()
-                            .then(a.id.cmp(&b.id))
-                    })
-                    .unwrap()
+                in_as.iter().min_by(|a, b| {
+                    a.location
+                        .distance_km(client_loc)
+                        .total_cmp(&b.location.distance_km(client_loc))
+                        .then(a.id.cmp(&b.id))
+                })
             };
-            *slot = Some(chosen.id);
+            *slot = chosen.map(|site| site.id);
         }
         Catchments { assignment }
     }

@@ -277,7 +277,7 @@ impl RoutingTree {
     /// The origin AS `src`'s traffic ultimately reaches (for anycast trees
     /// this identifies the winning origin).
     pub fn origin_reached(&self, src: Asn) -> Option<Asn> {
-        self.path(src).map(|p| *p.last().unwrap())
+        self.path(src).and_then(|p| p.last().copied())
     }
 
     /// Number of ASes with a route.

@@ -25,7 +25,7 @@ use crate::view::GraphView;
 use itm_topology::{AsRel, Link, LinkClass, Topology};
 use itm_types::Asn;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An inferred relationship for an observed adjacency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,15 +41,15 @@ pub enum InferredRel {
 /// The inference output: per canonical (low, high) AS pair.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InferredRelationships {
-    rels: HashMap<(Asn, Asn), InferredRel>,
+    rels: BTreeMap<(Asn, Asn), InferredRel>,
 }
 
 impl InferredRelationships {
     /// Run Gao-style inference over a set of observed AS paths.
     pub fn infer(paths: &[Vec<Asn>]) -> InferredRelationships {
         // Pass 1: degrees over the observed adjacency.
-        let mut degree: HashMap<Asn, usize> = HashMap::new();
-        let mut seen: std::collections::HashSet<(Asn, Asn)> = std::collections::HashSet::new();
+        let mut degree: BTreeMap<Asn, usize> = BTreeMap::new();
+        let mut seen: std::collections::BTreeSet<(Asn, Asn)> = std::collections::BTreeSet::new();
         for p in paths {
             for w in p.windows(2) {
                 let key = if w[0] <= w[1] {
@@ -66,7 +66,7 @@ impl InferredRelationships {
 
         // Pass 2: transit votes. votes[(a, b)] = times a appeared as the
         // customer of b.
-        let mut votes: HashMap<(Asn, Asn), u32> = HashMap::new();
+        let mut votes: BTreeMap<(Asn, Asn), u32> = BTreeMap::new();
         for p in paths {
             if p.len() < 2 {
                 continue;
@@ -89,7 +89,7 @@ impl InferredRelationships {
         }
 
         // Pass 3: classify each observed adjacency.
-        let mut rels = HashMap::new();
+        let mut rels = BTreeMap::new();
         for &(a, b) in &seen {
             let ab = votes.get(&(a, b)).copied().unwrap_or(0); // a customer of b
             let ba = votes.get(&(b, a)).copied().unwrap_or(0); // b customer of a
@@ -164,7 +164,7 @@ impl InferredRelationships {
     pub fn accuracy(&self, topo: &Topology) -> (usize, usize) {
         let mut correct = 0;
         let mut total = 0;
-        let truth: HashMap<(Asn, Asn), &Link> = topo.links.iter().map(|l| (l.key(), l)).collect();
+        let truth: BTreeMap<(Asn, Asn), &Link> = topo.links.iter().map(|l| (l.key(), l)).collect();
         for (&(a, b), &rel) in &self.rels {
             let Some(l) = truth.get(&(a, b)) else {
                 continue;

@@ -10,7 +10,7 @@ use crate::bgp::RoutingTree;
 use itm_topology::{PrefixKind, Topology};
 use itm_types::{Asn, Ipv4Addr, RouterId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Speed of light in fibre, km per millisecond (≈ 2/3 c).
 const FIBRE_KM_PER_MS: f64 = 200.0;
@@ -21,9 +21,9 @@ pub struct RouterMap {
     /// (asn, city, interface address) per router, indexed by RouterId.
     routers: Vec<RouterRecord>,
     /// (asn, city) -> RouterId
-    by_pop: HashMap<(Asn, u32), RouterId>,
+    by_pop: BTreeMap<(Asn, u32), RouterId>,
     /// interface address -> RouterId
-    by_addr: HashMap<u32, RouterId>,
+    by_addr: BTreeMap<u32, RouterId>,
 }
 
 /// One router.
@@ -45,8 +45,8 @@ impl RouterMap {
     /// first address of their first prefix.
     pub fn build(topo: &Topology) -> RouterMap {
         let mut routers = Vec::new();
-        let mut by_pop = HashMap::new();
-        let mut by_addr = HashMap::new();
+        let mut by_pop = BTreeMap::new();
+        let mut by_addr = BTreeMap::new();
         for a in &topo.ases {
             // Address pool: infra prefixes first, else anything it owns.
             let owned = topo.prefixes.owned_by(a.asn);
@@ -118,8 +118,10 @@ impl RouterMap {
         self.by_addr.get(&addr.0).copied()
     }
 
-    /// The AS's router nearest to a given city (geodesically).
-    pub fn nearest_router_of(&self, topo: &Topology, asn: Asn, city: u32) -> RouterId {
+    /// The AS's router nearest to a given city (geodesically), `None` for
+    /// an AS with no cities (rejected by topology invariants, but the map
+    /// never panics on a hand-built one).
+    pub fn nearest_router_of(&self, topo: &Topology, asn: Asn, city: u32) -> Option<RouterId> {
         let target = topo.city_location(city);
         let a = topo.as_info(asn);
         let best_city = a
@@ -128,12 +130,10 @@ impl RouterMap {
             .min_by(|&&x, &&y| {
                 topo.city_location(x)
                     .distance_km(target)
-                    .partial_cmp(&topo.city_location(y).distance_km(target))
-                    .unwrap()
+                    .total_cmp(&topo.city_location(y).distance_km(target))
             })
-            .copied()
-            .expect("AS has cities");
-        self.at_pop(asn, best_city).expect("router exists per PoP")
+            .copied()?;
+        self.at_pop(asn, best_city)
     }
 }
 
@@ -180,7 +180,7 @@ impl Traceroute {
         let mut rtt = 0.0f64;
         let mut prev_loc = topo.city_location(cur_city);
         for &asn in &path {
-            let rid = routers.nearest_router_of(topo, asn, cur_city);
+            let rid = routers.nearest_router_of(topo, asn, cur_city)?;
             let rec = routers.get(rid);
             let loc = topo.city_location(rec.city);
             rtt += 2.0 * prev_loc.distance_km(loc) / FIBRE_KM_PER_MS + 0.3;
@@ -284,7 +284,7 @@ mod tests {
         let (t, r) = setup();
         let hg = t.hypergiants()[0];
         let some_city = t.ases[0].cities[0];
-        let rid = r.nearest_router_of(&t, hg, some_city);
+        let rid = r.nearest_router_of(&t, hg, some_city).expect("hg has PoPs");
         assert_eq!(r.get(rid).asn, hg);
         assert!(t.as_info(hg).cities.contains(&r.get(rid).city));
     }

@@ -14,7 +14,7 @@ use itm_types::rng::SeedDomain;
 use itm_types::Asn;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A set of measurement vantage points.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -63,8 +63,8 @@ impl VantagePoints {
     ///
     /// This is the §3.3.2 observation that cloud vantage points recover
     /// cloud–edge peering that collectors miss.
-    pub fn cloud_discovered_links(&self, view: &GraphView) -> HashSet<(Asn, Asn)> {
-        let mut found = HashSet::new();
+    pub fn cloud_discovered_links(&self, view: &GraphView) -> BTreeSet<(Asn, Asn)> {
+        let mut found = BTreeSet::new();
         // Forward: cloud -> everyone. One tree per destination would be
         // O(V) trees; instead exploit symmetry of the link *set*: paths
         // toward the cloud (one tree per cloud) cover reverse paths, and
@@ -138,7 +138,7 @@ mod tests {
             assert!(t.has_link(a, b));
         }
         // A healthy share of the clouds' own peering links gets found.
-        let clouds: HashSet<Asn> = vp.cloud_vms.iter().copied().collect();
+        let clouds: BTreeSet<Asn> = vp.cloud_vms.iter().copied().collect();
         let cloud_peerings: Vec<_> = t
             .links
             .iter()

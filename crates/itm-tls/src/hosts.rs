@@ -20,7 +20,7 @@ use itm_topology::Topology;
 use itm_traffic::{ServiceCatalog, ServiceOwner};
 use itm_types::{Asn, Ipv4Addr, ServiceId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How one serving address behaves.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,13 +44,13 @@ pub enum HostProfile {
 /// All TLS-speaking addresses of the Internet, with their behaviour.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TlsHostRegistry {
-    hosts: HashMap<u32, HostProfile>,
+    hosts: BTreeMap<u32, HostProfile>,
     /// Cached per-hypergiant infra certificates.
-    hg_certs: HashMap<Asn, Certificate>,
+    hg_certs: BTreeMap<Asn, Certificate>,
     /// Cached per-tenant certificates.
-    tenant_certs: HashMap<ServiceId, Certificate>,
+    tenant_certs: BTreeMap<ServiceId, Certificate>,
     /// Default cloud certs.
-    cloud_certs: HashMap<Asn, Certificate>,
+    cloud_certs: BTreeMap<Asn, Certificate>,
 }
 
 impl TlsHostRegistry {
@@ -60,10 +60,10 @@ impl TlsHostRegistry {
         catalog: &ServiceCatalog,
         frontends: &FrontendDirectory,
     ) -> TlsHostRegistry {
-        let mut hosts: HashMap<u32, HostProfile> = HashMap::new();
-        let mut hg_certs = HashMap::new();
-        let mut tenant_certs = HashMap::new();
-        let mut cloud_certs = HashMap::new();
+        let mut hosts: BTreeMap<u32, HostProfile> = BTreeMap::new();
+        let mut hg_certs = BTreeMap::new();
+        let mut tenant_certs = BTreeMap::new();
+        let mut cloud_certs = BTreeMap::new();
 
         for s in &catalog.services {
             match s.owner {

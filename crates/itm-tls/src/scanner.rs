@@ -14,7 +14,7 @@ use itm_types::rng::SeedDomain;
 use itm_types::Ipv4Addr;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bytes-equivalent cost of one TLS handshake attempt (client hello +
 /// server response; the order of magnitude real zgrab campaigns budget).
@@ -125,7 +125,7 @@ impl TlsScan {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SniScan {
     /// domain -> responding addresses (sorted).
-    pub footprint: HashMap<String, Vec<Ipv4Addr>>,
+    pub footprint: BTreeMap<String, Vec<Ipv4Addr>>,
     /// How many (address, domain) handshakes were attempted.
     pub attempted: usize,
 }
@@ -147,7 +147,7 @@ impl SniScan {
         let _campaign =
             itm_obs::trace::campaign(itm_obs::trace::Technique::SniScan, "SNI-directed TLS scan");
         let mut rng = seeds.child("sni-scan").rng("sweep");
-        let mut footprint: HashMap<String, Vec<Ipv4Addr>> = HashMap::new();
+        let mut footprint: BTreeMap<String, Vec<Ipv4Addr>> = BTreeMap::new();
         let mut attempted = 0;
         for domain in domains {
             let mut hits = Vec::new();

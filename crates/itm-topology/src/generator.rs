@@ -97,7 +97,10 @@ fn pick_country(world: &World, rng: &mut StdRng) -> Country {
         .iter()
         .map(|c| c.population_weight)
         .collect();
-    let i = weighted_choice(rng, &weights).expect("countries have weight");
+    // `weighted_choice` is None only for an all-zero table; population
+    // weights are strictly positive, and country 0 is a deterministic
+    // fallback rather than a panic.
+    let i = weighted_choice(rng, &weights).unwrap_or(0);
     Country(i as u16)
 }
 
@@ -107,7 +110,7 @@ fn country_cities_by_size(world: &World, c: Country) -> Vec<u32> {
         .cities_of(c)
         .map(|city| (city.id, city.size_weight))
         .collect();
-    cities.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    cities.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     cities.into_iter().map(|(id, _)| id).collect()
 }
 
@@ -121,7 +124,7 @@ fn global_cities_by_size(world: &World) -> Vec<u32> {
             (c.id, c.size_weight * cw)
         })
         .collect();
-    cities.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    cities.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     cities.into_iter().map(|(id, _)| id).collect()
 }
 
@@ -722,8 +725,7 @@ fn make_offnets(
         .collect();
     eyeballs.sort_by(|a, b| {
         b.size_factor
-            .partial_cmp(&a.size_factor)
-            .unwrap()
+            .total_cmp(&a.size_factor)
             .then(a.asn.cmp(&b.asn))
     });
 

@@ -10,7 +10,7 @@
 
 use itm_types::{Asn, PrefixId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One hypergiant cache cluster hosted inside a foreign AS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,8 +30,8 @@ pub struct OffnetDeployment {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct OffnetTable {
     deployments: Vec<OffnetDeployment>,
-    by_hypergiant: HashMap<Asn, Vec<usize>>,
-    by_host: HashMap<Asn, Vec<usize>>,
+    by_hypergiant: BTreeMap<Asn, Vec<usize>>,
+    by_host: BTreeMap<Asn, Vec<usize>>,
 }
 
 impl OffnetTable {

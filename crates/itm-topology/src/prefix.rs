@@ -8,7 +8,7 @@
 
 use itm_types::{Asn, Ipv4Addr, Ipv4Net, PrefixId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What a prefix is used for. Drives which prefixes have users (traffic
 /// model), which host serving infrastructure (TLS scans), and which are
@@ -59,9 +59,9 @@ pub struct PrefixRecord {
 pub struct PrefixTable {
     records: Vec<PrefixRecord>,
     /// base address of /24 -> PrefixId
-    by_net: HashMap<u32, PrefixId>,
+    by_net: BTreeMap<u32, PrefixId>,
     /// per-AS prefix lists
-    by_owner: HashMap<Asn, Vec<PrefixId>>,
+    by_owner: BTreeMap<Asn, Vec<PrefixId>>,
 }
 
 impl PrefixTable {
@@ -165,6 +165,7 @@ impl Slash24Allocator {
         self.next = self
             .next
             .checked_add(256)
+            // itm-lint: allow(P001): overflow needs ~16.7M allocations; config validation caps generation far below
             .expect("exhausted IPv4 space — configuration far too large");
         net
     }

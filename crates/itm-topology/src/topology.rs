@@ -169,6 +169,7 @@ impl Topology {
     /// Representative location for an AS: its first (primary) city.
     pub fn as_location(&self, asn: Asn) -> GeoPoint {
         let a = self.as_info(asn);
+        // itm-lint: allow(P001): check_invariants rejects city-less ASes at generation time
         self.city_location(*a.cities.first().expect("AS has at least one city"))
     }
 

@@ -23,7 +23,7 @@ use crate::users::UserModel;
 use itm_topology::Topology;
 use itm_types::{Asn, Bps, DiurnalCurve, PrefixId, SeedDomain, ServiceId, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Traffic model parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -182,7 +182,7 @@ impl TrafficModel {
             *acc.entry(s.owner.serving_as()).or_insert(0.0) += self.service_total[s.id.index()];
         }
         let mut v: Vec<(Asn, Bps)> = acc.into_iter().map(|(a, x)| (a, Bps(x))).collect();
-        v.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1 .0.total_cmp(&a.1 .0).then(a.0.cmp(&b.0)));
         v
     }
 
@@ -196,7 +196,7 @@ impl TrafficModel {
         topo: &Topology,
         users: &UserModel,
         catalog: &ServiceCatalog,
-        prefixes: &HashSet<PrefixId>,
+        prefixes: &BTreeSet<PrefixId>,
         provider: Option<Asn>,
     ) -> f64 {
         // All-services coverage reduces to the cached per-prefix totals
@@ -243,10 +243,10 @@ impl TrafficModel {
         topo: &Topology,
         users: &UserModel,
         catalog: &ServiceCatalog,
-        ases: &HashSet<Asn>,
+        ases: &BTreeSet<Asn>,
         provider: Option<Asn>,
     ) -> f64 {
-        let all: HashSet<PrefixId> = topo
+        let all: BTreeSet<PrefixId> = topo
             .prefixes
             .iter()
             .filter(|r| ases.contains(&r.owner))
@@ -343,13 +343,13 @@ mod tests {
     #[test]
     fn full_prefix_set_covers_everything() {
         let (t, u, c, m) = setup();
-        let all: HashSet<PrefixId> = u.user_prefixes(&t).collect();
+        let all: BTreeSet<PrefixId> = u.user_prefixes(&t).collect();
         let cov = m.provider_coverage(&t, &u, &c, &all, None);
         assert!((cov - 1.0).abs() < 1e-9);
         let hg = t.hypergiants()[0];
         let cov_hg = m.provider_coverage(&t, &u, &c, &all, Some(hg));
         assert!((cov_hg - 1.0).abs() < 1e-9);
-        let none: HashSet<PrefixId> = HashSet::new();
+        let none: BTreeSet<PrefixId> = BTreeSet::new();
         assert_eq!(m.provider_coverage(&t, &u, &c, &none, None), 0.0);
     }
 
@@ -357,7 +357,7 @@ mod tests {
     fn as_coverage_matches_prefix_coverage() {
         let (t, u, c, m) = setup();
         // Coverage by all eyeball+stub ASes == coverage by all user prefixes.
-        let ases: HashSet<Asn> = t.ases.iter().map(|a| a.asn).collect();
+        let ases: BTreeSet<Asn> = t.ases.iter().map(|a| a.asn).collect();
         let cov = m.provider_coverage_as(&t, &u, &c, &ases, None);
         assert!((cov - 1.0).abs() < 1e-9);
     }

@@ -146,15 +146,18 @@ impl ServiceCatalog {
             // ~0.95 toward the configured share.
             let p_hg =
                 cfg.hypergiant_share + (0.95 - cfg.hypergiant_share) / (1.0 + rank as f64 / 8.0);
+            // `weighted_choice` is None only for an all-zero weight table;
+            // size factors are strictly positive, and the first entry is a
+            // deterministic fallback rather than a panic.
             let owner = if rng.gen_bool(p_hg.clamp(0.0, 1.0)) {
                 ServiceOwner::Hypergiant(
-                    hypergiants[weighted_choice(&mut rng, &hg_weights).unwrap()],
+                    hypergiants[weighted_choice(&mut rng, &hg_weights).unwrap_or(0)],
                 )
             } else if clouds.is_empty() {
                 ServiceOwner::Hypergiant(hypergiants[0])
             } else {
                 ServiceOwner::CloudTenant {
-                    cloud: clouds[weighted_choice(&mut rng, &cloud_weights).unwrap()],
+                    cloud: clouds[weighted_choice(&mut rng, &cloud_weights).unwrap_or(0)],
                 }
             };
             // Delivery mode: video-scale top properties use custom URLs;
@@ -242,7 +245,7 @@ impl ServiceCatalog {
             .filter(|a| matches!(a.class, AsClass::Hypergiant | AsClass::Cloud))
             .map(|a| (a.asn, self.provider_share(a.asn)))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 }

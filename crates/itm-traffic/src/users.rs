@@ -102,7 +102,7 @@ impl UserModel {
             .filter(|a| a.class.is_eyeball() && a.home_country == c)
             .map(|a| (a.asn, self.subscribers(a.asn)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 
@@ -190,7 +190,7 @@ mod tests {
             .ases_of_class(AsClass::Eyeball)
             .map(|a| u.subscribers(a.asn))
             .collect();
-        subs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        subs.sort_by(|a, b| b.total_cmp(a));
         let total: f64 = subs.iter().sum();
         let top10: f64 = subs.iter().take(subs.len() / 10 + 1).sum();
         assert!(

@@ -33,7 +33,7 @@ impl Ecdf {
             .into_iter()
             .filter(|(v, w)| v.is_finite() && w.is_finite() && *w > 0.0)
             .collect();
-        s.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        s.sort_by(|a, b| a.0.total_cmp(&b.0));
         let total: f64 = s.iter().map(|(_, w)| w).sum();
         let mut points = Vec::with_capacity(s.len());
         let mut acc = 0.0;
@@ -55,10 +55,7 @@ impl Ecdf {
 
     /// `P(X <= x)`.
     pub fn fraction_at(&self, x: f64) -> f64 {
-        match self
-            .points
-            .binary_search_by(|(v, _)| v.partial_cmp(&x).unwrap())
-        {
+        match self.points.binary_search_by(|(v, _)| v.total_cmp(&x)) {
             Ok(i) => self.points[i].1,
             Err(0) => 0.0,
             Err(i) => self.points[i - 1].1,
@@ -105,11 +102,13 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    // itm-lint: allow(F001): exact zero-guard before division, not a tolerance check
     if sxx == 0.0 {
         return None;
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
+    // itm-lint: allow(F001): exact zero-guard before division, not a tolerance check
     let r2 = if syy == 0.0 {
         1.0
     } else {
@@ -129,6 +128,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
     let my = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    // itm-lint: allow(F001): exact zero-guard before division, not a tolerance check
     if sxx == 0.0 || syy == 0.0 {
         return None;
     }
@@ -139,7 +139,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 /// Average ranks, assigning tied values the mean of their rank range.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap());
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut r = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -194,9 +194,10 @@ pub fn gini(values: &[f64]) -> f64 {
     if v.is_empty() {
         return 0.0;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len() as f64;
     let sum: f64 = v.iter().sum();
+    // itm-lint: allow(F001): exact zero-guard before division, not a tolerance check
     if sum == 0.0 {
         return 0.0;
     }
@@ -213,7 +214,7 @@ pub fn gini(values: &[f64]) -> f64 {
 /// form ("a handful of providers carry 90% of traffic").
 pub fn top_k_for_share(values: &[f64], fraction: f64) -> usize {
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    v.sort_by(|a, b| b.total_cmp(a));
     let total: f64 = v.iter().sum();
     if total <= 0.0 {
         return 0;

@@ -29,7 +29,7 @@ fn main() {
     );
 
     let t1 = Instant::now();
-    let map = TrafficMap::build(&s, &MapConfig::default());
+    let map = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
     println!("map built in {:.1?}", t1.elapsed());
 
     let report = CoverageReport::score(&s, &map, None);

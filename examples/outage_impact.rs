@@ -14,7 +14,7 @@ use itm::measure::{Substrate, SubstrateConfig};
 
 fn main() {
     let s = Substrate::build(SubstrateConfig::small(), 7).expect("valid config");
-    let map = TrafficMap::build(&s, &MapConfig::default());
+    let map = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
 
     // Scenario 1: the largest hypergiant's own network goes dark.
     let hg = s.topo.hypergiants()[0];

@@ -23,7 +23,7 @@ fn main() {
     println!("total traffic:   {}", s.traffic.grand_total());
 
     // Run every §3 technique and assemble the map.
-    let map = TrafficMap::build(&s, &MapConfig::default());
+    let map = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
     println!("\n== Internet Traffic Map ==");
     println!("user prefixes found:  {}", map.user_prefixes.len());
     println!("ASes with activity:   {}", map.activity.len());

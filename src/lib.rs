@@ -36,7 +36,7 @@
 //! // A small synthetic Internet (≈120 ASes), fully deterministic.
 //! let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
 //! // Run the full measurement pipeline and assemble the map.
-//! let map = TrafficMap::build(&s, &MapConfig::default());
+//! let map = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
 //! // Score it the way the paper scores its techniques.
 //! let report = CoverageReport::score(&s, &map, None);
 //! assert!(report.cache_probe_traffic > report.root_logs_traffic);

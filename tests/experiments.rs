@@ -13,7 +13,7 @@ fn setup() -> &'static (Substrate, TrafficMap) {
     static FIXTURE: OnceLock<(Substrate, TrafficMap)> = OnceLock::new();
     FIXTURE.get_or_init(|| {
         let s = Substrate::build(SubstrateConfig::small(), 2024).expect("valid config");
-        let map = TrafficMap::build(&s, &MapConfig::default());
+        let map = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
         (s, map)
     })
 }

@@ -19,7 +19,7 @@ fn shared() -> &'static (Substrate, TrafficMap) {
     static FIXTURE: std::sync::OnceLock<(Substrate, TrafficMap)> = std::sync::OnceLock::new();
     FIXTURE.get_or_init(|| {
         let s = substrate(1001);
-        let map = TrafficMap::build(&s, &MapConfig::default());
+        let map = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
         (s, map)
     })
 }
@@ -44,8 +44,8 @@ fn full_pipeline_end_to_end() {
 fn map_is_reproducible_across_runs() {
     let s1 = substrate(1002);
     let s2 = substrate(1002);
-    let m1 = TrafficMap::build(&s1, &MapConfig::default());
-    let m2 = TrafficMap::build(&s2, &MapConfig::default());
+    let m1 = TrafficMap::build(&s1, &MapConfig::default()).expect("map build");
+    let m2 = TrafficMap::build(&s2, &MapConfig::default()).expect("map build");
     assert_eq!(m1.user_prefixes, m2.user_prefixes);
     assert_eq!(m1.known_server_count(), m2.known_server_count());
     assert_eq!(m1.user_mapping.mapping.len(), m2.user_mapping.mapping.len());
@@ -62,7 +62,7 @@ fn measured_mapping_agrees_with_dns_ground_truth() {
     // different code paths through two crates.
     let (s, map) = shared();
     let auth = s.authoritative();
-    let resolver = s.open_resolver();
+    let resolver = s.open_resolver().expect("open resolver");
     let mut checked = 0;
     for (&(svc, p), &addr) in map.user_mapping.mapping.iter().take(200) {
         let rec = s.topo.prefixes.get(p);
