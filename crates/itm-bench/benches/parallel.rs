@@ -1,0 +1,25 @@
+//! Parallel map-build scaling: the same `TrafficMap::build_with` at 1, 2,
+//! and 8 worker threads. Output is byte-identical at every point (pinned
+//! by `tests/parallel_determinism.rs`); this group measures only the
+//! wall-clock side of the sharded executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itm_core::{MapConfig, ParallelExecutor, TrafficMap};
+use itm_measure::{Substrate, SubstrateConfig};
+
+fn bench_parallel_map_build(c: &mut Criterion) {
+    let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
+    let cfg = MapConfig::default();
+    let mut g = c.benchmark_group("par");
+    g.sample_size(10);
+    for threads in [1usize, 2, 8] {
+        let exec = ParallelExecutor::new(threads);
+        g.bench_function(&format!("map_build_{threads}"), |b| {
+            b.iter(|| TrafficMap::build_with(&s, &cfg, &exec).expect("map build"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_map_build);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! cargo run --release -p itm-bench --bin repro -- --ablations  # D1–D5 too
 //! cargo run --release -p itm-bench --bin repro -- --exp coverage --metrics
 //! cargo run --release -p itm-bench --bin repro -- --exp map --trace
+//! cargo run --release -p itm-bench --bin repro -- --exp map --threads 8
 //! cargo run --release -p itm-bench --bin repro -- --size small --explain pfx0 svc0
 //! ```
 //!
@@ -16,10 +17,12 @@
 //! `results/metrics.json`; `--trace [path]` records the causal event
 //! trace in Chrome trace format (load it in Perfetto / `chrome://tracing`);
 //! `--explain <prefix> <service>` builds the map with tracing on and
-//! prints the evidence chain behind one asserted map edge.
+//! prints the evidence chain behind one asserted map edge;
+//! `--threads N` sizes the map-build worker pool (default: available
+//! parallelism) — output is byte-identical at any thread count.
 
 use itm_bench::{ablations, experiments, ExperimentResult};
-use itm_core::{MapConfig, MapSummary, TrafficMap};
+use itm_core::{MapConfig, MapSummary, ParallelExecutor, TrafficMap};
 use itm_measure::{Substrate, SubstrateConfig};
 use itm_obs::ProvenanceIndex;
 use itm_topology::TopologyConfig;
@@ -63,6 +66,10 @@ struct Args {
     ablations: bool,
     out_dir: String,
     metrics: bool,
+    /// Worker threads for the map build (0 was rejected at parse time);
+    /// defaults to the machine's available parallelism. Any value produces
+    /// byte-identical output — shards are fixed, threads only run them.
+    threads: usize,
     /// `--trace` was given; `Some(path)` if it carried an explicit output
     /// path, `None` for the default `<out>/trace.json`.
     trace: Option<Option<String>>,
@@ -73,7 +80,7 @@ struct Args {
 fn usage() -> String {
     format!(
         "usage: repro [--exp <id>] [--seed N] [--size small|default|large] \
-         [--ablations] [--metrics] [--trace [FILE]] \
+         [--threads N] [--ablations] [--metrics] [--trace [FILE]] \
          [--explain PREFIX SERVICE] [--out DIR]\n\
          PREFIX is pfxN, a bare index, or a /24 like 10.0.0.0/24;\n\
          SERVICE is svcN, a bare index, or a domain like svc0.example\n\
@@ -92,6 +99,9 @@ fn parse_args() -> Args {
         ablations: false,
         out_dir: "results".into(),
         metrics: false,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         trace: None,
         explain: None,
     };
@@ -124,6 +134,17 @@ fn parse_args() -> Args {
             "--ablations" => {
                 args.ablations = true;
                 i += 1;
+            }
+            "--threads" => {
+                let raw = value(i).unwrap_or_default();
+                args.threads = match raw.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--threads expects a positive integer, got {raw:?}");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
             }
             "--metrics" => {
                 args.metrics = true;
@@ -199,6 +220,22 @@ fn ensure_out_dir(dir: &str) {
     let _ = std::fs::remove_file(&probe);
 }
 
+/// Verify an output file path is writable before doing any expensive
+/// work, exiting with status 2 otherwise — the same preflight contract as
+/// `ensure_out_dir`, so `--trace FILE` can no longer burn a full map
+/// build and then fail at the final write. Opens in append mode so an
+/// existing file's contents survive a later abort.
+fn require_writable_file(path: &str) {
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        eprintln!("output file {path} is not writable: {e}");
+        std::process::exit(2);
+    }
+}
+
 /// Turn tracing on for this process: virtual timestamps seeded from the
 /// run seed, ring reset so event ids start from zero. The metrics registry
 /// is enabled too so span enter/exit events appear as Chrome durations.
@@ -270,6 +307,16 @@ fn main() {
     let args = parse_args();
     ensure_out_dir(&args.out_dir);
 
+    // Resolve the trace destination now and preflight it alongside the
+    // output dir: both failure modes exit 2 before the substrate build.
+    let trace_file: Option<String> = args.trace.as_ref().map(|t| {
+        t.clone()
+            .unwrap_or_else(|| format!("{}/trace.json", args.out_dir))
+    });
+    if let Some(path) = &trace_file {
+        require_writable_file(path);
+    }
+
     if args.trace.is_some() || args.explain.is_some() {
         enable_tracing(args.seed);
     }
@@ -321,8 +368,9 @@ fn main() {
         .any(|id| want(id) && needs_map(id))
     {
         let t1 = Instant::now();
-        eprintln!("running measurement pipeline…");
-        let m = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
+        eprintln!("running measurement pipeline ({} threads)…", args.threads);
+        let exec = ParallelExecutor::new(args.threads);
+        let m = TrafficMap::build_with(&s, &MapConfig::default(), &exec).expect("map build");
         eprintln!("  map built [{:.1?}]", t1.elapsed());
         Some(m)
     } else {
@@ -427,14 +475,11 @@ fn main() {
         eprintln!("wrote {path}");
     }
 
-    if let Some(trace_path) = &args.trace {
+    if let Some(path) = &trace_file {
         let snap = itm_obs::trace::snapshot();
-        let path = trace_path
-            .clone()
-            .unwrap_or_else(|| format!("{}/trace.json", args.out_dir));
         let v = itm_obs::chrome_trace(&snap);
         let text = serde_json::to_string(&v).expect("serializable");
-        std::fs::write(&path, text).expect("write trace");
+        std::fs::write(path, text).expect("write trace");
         eprintln!(
             "wrote {path} ({} events, {} dropped; open in Perfetto or chrome://tracing)",
             snap.records.len(),

@@ -1,0 +1,75 @@
+//! CLI contract tests for the `repro` binary: bad invocations must exit
+//! with status 2 *before* any expensive work, for both `--out` and
+//! `--trace` (the two output-path preflights share one contract).
+//!
+//! Unwritable paths are made via ENOTDIR — a path whose parent is a
+//! regular file — because permission bits don't stop a root test runner.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A scratch directory unique to this test process.
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A path that cannot be created: its parent is a regular file.
+fn unwritable(name: &str) -> String {
+    let blocker = scratch().join(format!("blocker-{name}"));
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    blocker.join(name).to_string_lossy().into_owned()
+}
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn unwritable_out_dir_exits_2() {
+    let out = repro(&["--exp", "map", "--out", &unwritable("outdir")]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot create output dir"), "{err}");
+}
+
+#[test]
+fn unwritable_trace_file_exits_2() {
+    let out_dir = scratch().join("trace-ok-out");
+    let out = repro(&[
+        "--exp",
+        "map",
+        "--out",
+        out_dir.to_str().unwrap(),
+        "--trace",
+        &unwritable("trace.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    // The preflight fires before the substrate build starts.
+    assert!(err.contains("is not writable"), "{err}");
+    assert!(!err.contains("building substrate"), "{err}");
+}
+
+#[test]
+fn bad_threads_exits_2() {
+    for bad in ["0", "eight"] {
+        let out = repro(&["--threads", bad]);
+        assert_eq!(out.status.code(), Some(2), "--threads {bad}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--threads expects a positive integer"),
+            "{err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_experiment_exits_2() {
+    let out = repro(&["--exp", "definitely-not-an-experiment"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -1,0 +1,128 @@
+//! Deterministic shard executor for the map build.
+//!
+//! Campaigns split their input into a fixed number of shards — a function
+//! of the input size, never of the machine — and hand the executor a pure
+//! per-shard job. The executor only decides *where* shards run; results
+//! always come back in shard-index order, so the merged output is
+//! byte-identical whether one thread or sixteen did the work.
+//!
+//! This is the only file in the workspace allowed to spawn threads
+//! (enforced by lint rule D004): all other code must route parallelism
+//! through here so the seed-domain discipline (one derived RNG stream per
+//! shard, see `SeedDomain::shard`) cannot be bypassed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A worker pool that maps pure shard jobs to index-ordered results.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor running up to `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> ParallelExecutor {
+        ParallelExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The sequential executor: shards run in index order on the calling
+    /// thread. `build` and `build_with(.., &sequential())` are the same
+    /// computation by construction.
+    pub fn sequential() -> ParallelExecutor {
+        ParallelExecutor { threads: 1 }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    pub fn available() -> ParallelExecutor {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ParallelExecutor { threads }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `job(0..n)` and return the results in index order.
+    ///
+    /// `job` must be pure with respect to the shard index: the output for
+    /// shard `k` may not depend on which worker runs it or in what order.
+    /// With one thread (or one shard) the jobs run inline on the calling
+    /// thread, preserving the sequential path exactly.
+    pub fn map<T, F>(&self, n: usize, job: &F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync + ?Sized,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(job).collect();
+        }
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= n {
+                                break;
+                            }
+                            out.push((k, job(k)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => indexed.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        // Completion order is scheduler-dependent; index order is not.
+        indexed.sort_by_key(|&(k, _)| k);
+        indexed.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 8] {
+            let exec = ParallelExecutor::new(threads);
+            let out = exec.map(100, &|k| k * k);
+            assert_eq!(out, (0..100).map(|k| k * k).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let exec = ParallelExecutor::new(8);
+        assert!(exec.map(0, &|k| k).is_empty());
+        assert_eq!(exec.map(1, &|k| k + 7), vec![7]);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(ParallelExecutor::new(0).threads(), 1);
+        assert!(ParallelExecutor::available().threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = ParallelExecutor::sequential().map(257, &|k| (k, k as u64 * 31));
+        let par = ParallelExecutor::new(8).map(257, &|k| (k, k as u64 * 31));
+        assert_eq!(seq, par);
+    }
+}

@@ -28,6 +28,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod coverage;
+pub mod exec;
 pub mod map;
 pub mod outage;
 pub mod predict;
@@ -36,6 +37,7 @@ pub mod summary;
 pub mod weighted;
 
 pub use coverage::{CoverageReport, Table1Row};
+pub use exec::ParallelExecutor;
 pub use map::{MapConfig, TrafficMap};
 pub use outage::{OutageImpact, OutageScenario};
 pub use predict::{PredictionExperiment, PredictionReport};

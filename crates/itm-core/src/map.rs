@@ -13,6 +13,7 @@
 //! The result is self-contained and serializable (minus the prediction
 //! view, which is recomputed from stored links).
 
+use crate::exec::ParallelExecutor;
 use itm_measure::{
     ActivityEstimator, CacheProbeCampaign, CacheProbeResult, CloudProbeResult, RootCrawlResult,
     RootCrawler, Substrate, UserMapping,
@@ -85,6 +86,20 @@ impl TrafficMap {
     /// Fails only when a measurement substrate component cannot be
     /// deployed (e.g. a degenerate topology with no cities).
     pub fn build(s: &Substrate, cfg: &MapConfig) -> Result<TrafficMap> {
+        Self::build_with(s, cfg, &ParallelExecutor::sequential())
+    }
+
+    /// Run the full pipeline with a shard executor.
+    ///
+    /// Campaigns split into a fixed number of shards (a function of input
+    /// size only) and `exec` decides how many threads run them; partial
+    /// results merge in shard-index order, so the map — and its JSON
+    /// summary — is byte-identical for any thread count.
+    pub fn build_with(
+        s: &Substrate,
+        cfg: &MapConfig,
+        exec: &ParallelExecutor,
+    ) -> Result<TrafficMap> {
         let _span = itm_obs::span("map.build");
         let _campaign = itm_obs::trace::campaign(
             itm_obs::trace::Technique::MapAssembly,
@@ -94,15 +109,22 @@ impl TrafficMap {
         // ---- Component 1: users + activity ----
         let users_span = itm_obs::span("users.activity");
         let resolver = s.open_resolver()?;
-        let cache_result = cfg.cache_probe.run(s, &resolver);
-        let root_result = cfg.root_crawl.run(s, &resolver);
-        let activity = ActivityEstimator::fuse(s, &cache_result, &root_result);
+        let cache_result = cfg
+            .cache_probe
+            .run_with(s, &resolver, |n, job| exec.map(n, job));
+        let root_result = cfg
+            .root_crawl
+            .run_with(s, &resolver, |n, job| exec.map(n, job));
+        let activity =
+            ActivityEstimator::fuse_with(s, &cache_result, &root_result, |n, job| exec.map(n, job));
         let user_prefixes = cache_result.discovered.clone();
         drop(users_span);
 
         // ---- Component 2: services ----
         let services_span = itm_obs::span("services.scan");
-        let scan = TlsScan::run(&s.topo, &s.tls, &cfg.scan, &s.seeds);
+        let scan = TlsScan::run_with(&s.topo, &s.tls, &cfg.scan, &s.seeds, |n, job| {
+            exec.map(n, job)
+        });
         let (onnet_servers, offnet_servers) = detect_offnets(&s.topo, &s.tls, &scan);
         let candidates: Vec<Ipv4Addr> = scan.observations.iter().map(|o| o.addr).collect();
         let domains: Vec<String> = s
@@ -111,27 +133,39 @@ impl TrafficMap {
             .iter()
             .map(|x| x.domain.clone())
             .collect();
-        let sni = SniScan::run(&s.tls, &candidates, &domains, &cfg.scan, &s.seeds);
+        let sni = SniScan::run_with(
+            &s.tls,
+            &candidates,
+            &domains,
+            &cfg.scan,
+            &s.seeds,
+            |n, job| exec.map(n, job),
+        );
         let sni_footprints: BTreeMap<ServiceId, Vec<Ipv4Addr>> = s
             .catalog
             .services
             .iter()
             .map(|svc| (svc.id, sni.addresses_of(&svc.domain).to_vec()))
             .collect();
-        let user_mapping = UserMapping::measure(s, &resolver);
+        let user_mapping = UserMapping::measure_with(s, &resolver, |n, job| exec.map(n, job));
         drop(services_span);
 
-        // Anycast catchments for anycast services.
+        // Anycast catchments for anycast services: one shard per anycast
+        // service, merged into a BTreeMap (disjoint service keys).
         let anycast_span = itm_obs::span("services.anycast");
         let full = s.full_view();
-        let mut catchments = BTreeMap::new();
-        for svc in &s.catalog.services {
-            if svc.mode != DeliveryMode::Anycast {
-                continue;
-            }
+        let anycast_services: Vec<ServiceId> = s
+            .catalog
+            .services
+            .iter()
+            .filter(|svc| svc.mode == DeliveryMode::Anycast)
+            .map(|svc| svc.id)
+            .collect();
+        let computed = exec.map(anycast_services.len(), &|k| {
+            let svc = anycast_services[k];
             let sites: Vec<(Asn, u32)> = s
                 .frontends
-                .endpoints(svc.id)
+                .endpoints(svc)
                 .iter()
                 .map(|e| {
                     let host = e.offnet_host.unwrap_or(e.asn);
@@ -139,18 +173,20 @@ impl TrafficMap {
                 })
                 .collect();
             let dep = AnycastDeployment::new(&s.topo, &sites, cfg.anycast_noise);
-            catchments.insert(
-                svc.id,
+            (
+                svc,
                 Catchments::compute(&s.topo, &full, &dep, &s.seeds.child("map-anycast")),
-            );
-        }
+            )
+        });
+        let catchments: BTreeMap<ServiceId, Catchments> = computed.into_iter().collect();
         drop(anycast_span);
 
         // ---- Component 3: routes ----
         let routes_span = itm_obs::span("routes.assemble");
         let collectors = CollectorSet::typical(&s.topo, &s.seeds);
         let (public_view, visibility) = collectors.public_view(&s.topo);
-        let cloud_result = CloudProbeResult::run(s, &full, &s.seeds);
+        let cloud_result =
+            CloudProbeResult::run_with(s, &full, &s.seeds, |n, job| exec.map(n, job));
         let extra = cloud_result.as_links(s);
         let route_view = public_view.with_extra_links(extra.iter());
         drop(routes_span);

@@ -58,15 +58,8 @@ impl PathLengthAnalysis {
             .find(|a| a.class == itm_topology::AsClass::Stub)
             .map(|a| a.asn)
             .unwrap_or(Asn(0));
-        let mut unweighted_lens = Vec::new();
-        for dst in 0..s.topo.n_ases() {
-            let t = RoutingTree::compute(view, Asn(dst as u32));
-            if let Some(l) = t.path_len(vantage) {
-                if dst as u32 != vantage.raw() {
-                    unweighted_lens.push(l as f64);
-                }
-            }
-        }
+        let unweighted_lens =
+            unweighted_path_lengths(view, s.topo.ases.iter().map(|a| a.asn), vantage);
 
         // Weighted: for each user AS, its effective distance to the
         // provider: 0 if it hosts an off-net of hg, else its BGP path
@@ -113,6 +106,30 @@ impl PathLengthAnalysis {
             weighted,
         }
     }
+}
+
+/// Unweighted AS-path lengths from `vantage` to each destination in
+/// `dsts` (skipping the vantage itself and unreachable destinations).
+///
+/// Destinations are typed `Asn`s taken from the topology, never dense
+/// indices cast to `Asn`: a view whose ASNs exceed its AS count (sparse
+/// numbering, 32-bit ASNs) would silently alias vantage points under the
+/// old index-as-ASN arithmetic.
+pub fn unweighted_path_lengths(
+    view: &GraphView,
+    dsts: impl Iterator<Item = Asn>,
+    vantage: Asn,
+) -> Vec<f64> {
+    let mut lens = Vec::new();
+    for dst in dsts {
+        let t = RoutingTree::compute(view, dst);
+        if let Some(l) = t.path_len(vantage) {
+            if dst != vantage {
+                lens.push(l as f64);
+            }
+        }
+    }
+    lens
 }
 
 /// The E6 anycast-optimality experiment output.
@@ -268,6 +285,33 @@ mod tests {
         assert!(a.users_within_500km > 0.6, "{:.3}", a.users_within_500km);
         // Neither metric is degenerate.
         assert!(a.routes_to_closest > 0.05 && a.routes_to_closest < 1.0);
+    }
+
+    #[test]
+    fn path_lengths_survive_asns_above_u16() {
+        // A sparse view whose ASNs (all > u16::MAX) are far above its AS
+        // count: the old index-as-ASN loop (`Asn(dst as u32)` over
+        // `0..n_ases`) computed trees for ASes 0..3, which don't exist
+        // here, and returned nothing.
+        use itm_topology::{Link, LinkClass};
+        use itm_types::IxpId;
+        let base = 70_000u32;
+        assert!(base > u16::MAX as u32);
+        let links = [
+            Link::transit(Asn(base), Asn(base + 1)),
+            Link::peering(
+                Asn(base + 1),
+                Asn(base + 2),
+                LinkClass::PublicPeering(IxpId(0)),
+            ),
+        ];
+        let view = GraphView::from_links(base as usize + 3, links.iter());
+        let dsts = (0..3).map(|i| Asn(base + i));
+        let mut lens = super::unweighted_path_lengths(&view, dsts, Asn(base));
+        lens.sort_by(f64::total_cmp);
+        // 70000 -> 70001 is one hop; 70000 -> 70002 climbs to the provider
+        // then crosses its peering, two hops. The vantage itself is skipped.
+        assert_eq!(lens, vec![1.0, 2.0]);
     }
 
     #[test]

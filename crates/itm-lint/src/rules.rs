@@ -41,6 +41,10 @@ pub const RULES: &[(&str, &str)] = &[
         "HashMap/HashSet field in a Serialize/Deserialize type (unordered iteration feeds output)",
     ),
     (
+        "D004",
+        "thread spawn outside registered executor code (parallelism must flow through ParallelExecutor)",
+    ),
+    (
         "P001",
         "unwrap/expect/panic in non-test library code (return ItmError instead)",
     ),
@@ -120,6 +124,9 @@ pub fn check(model: &SourceModel, class: FileClass, file: &str) -> Vec<Finding> 
     }
     if class.applies("D003") {
         rule_d003(model, &mut raw, &mut mk);
+    }
+    if class.applies("D004") {
+        rule_d004(model, &mut raw, &mut mk, file);
     }
     if class.applies("P001") {
         rule_p001(model, &mut raw, &mut mk);
@@ -404,6 +411,53 @@ fn rule_d003(
             m += 1;
         }
         i = m + 1;
+    }
+}
+
+/// Library files allowed to spawn threads: the deterministic shard
+/// executor. Everything else must route parallelism through it so the
+/// per-shard seed-domain discipline cannot be bypassed.
+const EXECUTOR_FILES: &[&str] = &["crates/itm-core/src/exec.rs"];
+
+/// D004: `thread::spawn` / `thread::scope` / `.spawn(` outside registered
+/// executor files.
+fn rule_d004(
+    model: &SourceModel,
+    out: &mut Vec<Finding>,
+    mk: &mut impl FnMut(&'static str, u32, String) -> Finding,
+    file: &str,
+) {
+    if EXECUTOR_FILES.iter().any(|f| file.ends_with(f)) {
+        return;
+    }
+    let toks = &model.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || model.line_is_test(t.line) {
+            continue;
+        }
+        let after_thread_path = i >= 2
+            && toks[i - 1].text == "::"
+            && matches!(toks[i - 2].text.as_str(), "thread" | "scope");
+        let called = toks.get(i + 1).map(|x| x.text.as_str()) == Some("(");
+        let hit = match t.text.as_str() {
+            // `thread::spawn(...)` or any `.spawn(...)` builder call
+            // (std::thread::Builder, scope handles).
+            "spawn" => called && (after_thread_path || (i > 0 && toks[i - 1].text == ".")),
+            // `thread::scope(...)`.
+            "scope" => called && after_thread_path,
+            _ => false,
+        };
+        if hit {
+            out.push(mk(
+                "D004",
+                t.line,
+                format!(
+                    "`{}` spawns threads outside the registered executor; route parallelism through itm_core::ParallelExecutor",
+                    t.text
+                ),
+            ));
+        }
     }
 }
 

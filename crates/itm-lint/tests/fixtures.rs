@@ -43,6 +43,32 @@ fn d003_flags_only_serialized_unordered_fields() {
 }
 
 #[test]
+fn d004_flags_thread_spawns_in_library_code() {
+    let (pairs, _) = hits("d004.rs");
+    assert_eq!(pairs, owned(&[("D004", 5), ("D004", 6), ("D004", 7)]));
+}
+
+#[test]
+fn d004_is_silent_in_registered_executor_files() {
+    let src = fixture("d004.rs");
+    let (findings, _) = scan_source(&src, FileClass::Library, "crates/itm-core/src/exec.rs");
+    assert!(
+        findings.is_empty(),
+        "the registered executor may spawn threads: {findings:?}"
+    );
+}
+
+#[test]
+fn d004_does_not_apply_to_harness_code() {
+    let src = fixture("d004.rs");
+    let (findings, _) = scan_source(&src, FileClass::Harness, "d004.rs");
+    assert!(
+        findings.is_empty(),
+        "test/bench code may spawn threads: {findings:?}"
+    );
+}
+
+#[test]
 fn p001_flags_panics_not_prose_or_tests() {
     let (pairs, _) = hits("p001.rs");
     assert_eq!(pairs, owned(&[("P001", 3), ("P001", 4), ("P001", 6)]));

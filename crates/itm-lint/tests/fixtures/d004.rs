@@ -1,0 +1,19 @@
+// Fixture: D004 — ad-hoc threads. Never compiled; scanned by tests only.
+use std::thread;
+
+pub fn fan_out() -> i32 {
+    let h = thread::spawn(|| 1 + 1);
+    thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    h.join().unwrap_or(0)
+}
+
+pub fn spawn(work: usize) -> usize {
+    // A free function merely *named* `spawn` is not a thread spawn.
+    work
+}
+
+pub fn dispatch() -> usize {
+    spawn(3)
+}

@@ -12,6 +12,7 @@
 use crate::cache_probe::CacheProbeResult;
 use crate::root_crawl::RootCrawlResult;
 use crate::substrate::Substrate;
+use itm_types::rng::{shard_bounds, DEFAULT_SHARDS};
 use itm_types::stats::{kendall_tau, linear_fit, spearman};
 use itm_types::Asn;
 use serde::{Deserialize, Serialize};
@@ -48,6 +49,30 @@ impl ActivityEstimator {
         cache: &CacheProbeResult,
         root: &RootCrawlResult,
     ) -> ActivityEstimator {
+        Self::fuse_with(s, cache, root, |n, job| (0..n).map(job).collect())
+    }
+
+    /// How many shards fusion splits into (a property of the AS count).
+    pub fn shard_count(s: &Substrate) -> usize {
+        s.topo.ases.len().clamp(1, DEFAULT_SHARDS)
+    }
+
+    /// Fuse with a caller-supplied shard runner (see
+    /// `CacheProbeCampaign::run_with`). Per-technique inputs and their
+    /// normalizers are computed once up front; shards then fuse disjoint
+    /// AS slices, so the merged map is schedule-independent.
+    pub fn fuse_with<R>(
+        s: &Substrate,
+        cache: &CacheProbeResult,
+        root: &RootCrawlResult,
+        run_shards: R,
+    ) -> ActivityEstimator
+    where
+        R: FnOnce(
+            usize,
+            &(dyn Fn(usize) -> BTreeMap<Asn, ActivityEstimate> + Sync),
+        ) -> Vec<BTreeMap<Asn, ActivityEstimate>>,
+    {
         let hit_rates = cache.hit_rate_by_as(s);
         let root_act = root.relative_activity(s);
 
@@ -59,41 +84,51 @@ impl ActivityEstimator {
             .filter_map(|a| s.apnic.estimate(a.asn))
             .fold(0.0f64, f64::max);
 
+        let n_shards = Self::shard_count(s);
+        let parts = run_shards(n_shards, &|shard| {
+            let (lo, hi) = shard_bounds(s.topo.ases.len(), shard, n_shards);
+            let mut out = BTreeMap::new();
+            for a in &s.topo.ases[lo..hi] {
+                let ch = hit_rates.get(&a.asn).copied();
+                let rq = root_act.get(&a.asn).copied();
+                let ap = s.apnic.estimate(a.asn);
+                if ch.is_none() && rq.is_none() && ap.is_none() {
+                    continue;
+                }
+                let mut acc = 0.0;
+                let mut n = 0.0;
+                if let Some(v) = ch {
+                    if max_hit > 0.0 {
+                        acc += v / max_hit;
+                        n += 1.0;
+                    }
+                }
+                if let Some(v) = rq {
+                    acc += v; // already max-normalized
+                    n += 1.0;
+                }
+                if let Some(v) = ap {
+                    if max_apnic > 0.0 {
+                        acc += v / max_apnic;
+                        n += 1.0;
+                    }
+                }
+                out.insert(
+                    a.asn,
+                    ActivityEstimate {
+                        cache_hit_rate: ch,
+                        root_queries: rq,
+                        apnic_users: ap,
+                        fused: if n > 0.0 { acc / n } else { 0.0 },
+                    },
+                );
+            }
+            out
+        });
+
         let mut estimates = BTreeMap::new();
-        for a in &s.topo.ases {
-            let ch = hit_rates.get(&a.asn).copied();
-            let rq = root_act.get(&a.asn).copied();
-            let ap = s.apnic.estimate(a.asn);
-            if ch.is_none() && rq.is_none() && ap.is_none() {
-                continue;
-            }
-            let mut acc = 0.0;
-            let mut n = 0.0;
-            if let Some(v) = ch {
-                if max_hit > 0.0 {
-                    acc += v / max_hit;
-                    n += 1.0;
-                }
-            }
-            if let Some(v) = rq {
-                acc += v; // already max-normalized
-                n += 1.0;
-            }
-            if let Some(v) = ap {
-                if max_apnic > 0.0 {
-                    acc += v / max_apnic;
-                    n += 1.0;
-                }
-            }
-            estimates.insert(
-                a.asn,
-                ActivityEstimate {
-                    cache_hit_rate: ch,
-                    root_queries: rq,
-                    apnic_users: ap,
-                    fused: if n > 0.0 { acc / n } else { 0.0 },
-                },
-            );
+        for part in parts {
+            estimates.extend(part);
         }
         if itm_obs::trace::enabled() {
             itm_obs::trace::emit(

@@ -11,6 +11,7 @@
 
 use crate::substrate::Substrate;
 use itm_dns::{OpenResolver, ProbeResult};
+use itm_types::rng::{shard_bounds, DEFAULT_SHARDS};
 use itm_types::{Asn, PopId, PrefixId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -68,32 +69,55 @@ impl CacheProbeCampaign {
             .collect()
     }
 
-    /// Run the campaign.
+    /// How many shards the campaign splits into (a property of the input
+    /// size, never of the machine running it).
+    pub fn shard_count(&self, s: &Substrate) -> usize {
+        s.topo.prefixes.len().clamp(1, DEFAULT_SHARDS)
+    }
+
+    /// Run the campaign sequentially (shards executed in index order).
     pub fn run(&self, s: &Substrate, resolver: &OpenResolver<'_>) -> CacheProbeResult {
+        self.run_with(s, resolver, |n, job| (0..n).map(job).collect())
+    }
+
+    /// Run the campaign with a caller-supplied shard runner.
+    ///
+    /// `run_shards(n, job)` must return `job(0..n)` results in shard-index
+    /// order; whether the jobs execute sequentially or on a worker pool is
+    /// the caller's business. Each shard probes a fixed contiguous slice
+    /// of the prefix table, and the merge is a union of disjoint per-shard
+    /// maps, so the result is identical for any execution schedule.
+    pub fn run_with<R>(
+        &self,
+        s: &Substrate,
+        resolver: &OpenResolver<'_>,
+        run_shards: R,
+    ) -> CacheProbeResult
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> CacheProbeShard + Sync)) -> Vec<CacheProbeShard>,
+    {
         let _span = itm_obs::span("cache_probe.run");
         let _campaign =
             itm_obs::trace::campaign(itm_obs::trace::Technique::CacheProbe, "ecs cache probing");
         let queries = itm_obs::counter!("probe.queries", "technique" => "cache_probe");
         let domains = self.pick_domains(s);
-        let rounds = (self.duration.as_secs() as f64 / 86_400.0 * self.rounds_per_day as f64)
-            .round()
-            .max(1.0) as u64;
-        let step = self.duration.as_secs() / rounds;
+        let (rounds, _) = self.schedule();
 
+        let n_shards = self.shard_count(s);
+        let parts = run_shards(n_shards, &|shard| {
+            self.probe_shard(s, resolver, &domains, shard, n_shards)
+        });
+
+        // Merge in shard-index order. Shards cover disjoint prefix slices,
+        // so the unions below are order-insensitive anyway — the fixed
+        // order is the convention every sharded campaign follows.
         let mut discovered: BTreeSet<PrefixId> = BTreeSet::new();
         let mut hits_by_prefix: BTreeMap<PrefixId, u32> = BTreeMap::new();
         let mut issued: u64 = 0;
-        for round in 0..rounds {
-            let t = SimTime(self.start.as_secs() + round * step);
-            for rec in s.topo.prefixes.iter() {
-                for d in &domains {
-                    issued += 1;
-                    if let ProbeResult::Hit(_) = resolver.probe(rec.net, d, t) {
-                        discovered.insert(rec.id);
-                        *hits_by_prefix.entry(rec.id).or_insert(0) += 1;
-                    }
-                }
-            }
+        for part in parts {
+            discovered.extend(part.discovered);
+            hits_by_prefix.extend(part.hits_by_prefix);
+            issued += part.issued;
         }
         queries.add(issued);
         // One DNS query ≈ 80 bytes on the wire each way; the campaign's
@@ -115,6 +139,56 @@ impl CacheProbeCampaign {
             domains,
         }
     }
+
+    /// The probe cadence: `(rounds, seconds between rounds)`, a pure
+    /// function of the campaign parameters.
+    fn schedule(&self) -> (u64, u64) {
+        let rounds = (self.duration.as_secs() as f64 / 86_400.0 * self.rounds_per_day as f64)
+            .round()
+            .max(1.0) as u64;
+        (rounds, self.duration.as_secs() / rounds)
+    }
+
+    /// Probe one shard's slice of the prefix table. Pure given the shard
+    /// index: the resolver's cache oracle is deterministic per
+    /// (prefix, domain, time), so no shard sees another's state.
+    fn probe_shard(
+        &self,
+        s: &Substrate,
+        resolver: &OpenResolver<'_>,
+        domains: &[String],
+        shard: usize,
+        n_shards: usize,
+    ) -> CacheProbeShard {
+        let (rounds, step) = self.schedule();
+        let (lo, hi) = shard_bounds(s.topo.prefixes.len(), shard, n_shards);
+        let mut part = CacheProbeShard {
+            discovered: BTreeSet::new(),
+            hits_by_prefix: BTreeMap::new(),
+            issued: 0,
+        };
+        for round in 0..rounds {
+            let t = SimTime(self.start.as_secs() + round * step);
+            for rec in s.topo.prefixes.iter().skip(lo).take(hi - lo) {
+                for d in domains {
+                    part.issued += 1;
+                    if let ProbeResult::Hit(_) = resolver.probe(rec.net, d, t) {
+                        part.discovered.insert(rec.id);
+                        *part.hits_by_prefix.entry(rec.id).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        part
+    }
+}
+
+/// One shard's partial campaign output (disjoint prefix slice).
+#[derive(Debug, Clone)]
+pub struct CacheProbeShard {
+    discovered: BTreeSet<PrefixId>,
+    hits_by_prefix: BTreeMap<PrefixId, u32>,
+    issued: u64,
 }
 
 impl CacheProbeResult {

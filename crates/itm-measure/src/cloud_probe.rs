@@ -27,13 +27,41 @@ impl CloudProbeResult {
     /// Run the campaign over the ground-truth view (the measurements see
     /// real paths; only their *vantage* is limited).
     pub fn run(s: &Substrate, view: &GraphView, seeds: &SeedDomain) -> CloudProbeResult {
+        Self::run_with(s, view, seeds, |n, job| (0..n).map(job).collect())
+    }
+
+    /// Run with a caller-supplied shard runner (see
+    /// `CacheProbeCampaign::run_with`). One shard per cloud VM: each VM's
+    /// routing tree is independent, and the merged link set is a union of
+    /// sorted sets, so the result is schedule-independent.
+    pub fn run_with<R>(
+        s: &Substrate,
+        view: &GraphView,
+        seeds: &SeedDomain,
+        run_shards: R,
+    ) -> CloudProbeResult
+    where
+        R: FnOnce(
+            usize,
+            &(dyn Fn(usize) -> BTreeSet<(Asn, Asn)> + Sync),
+        ) -> Vec<BTreeSet<(Asn, Asn)>>,
+    {
         let _span = itm_obs::span("cloud_probe.run");
         let _campaign = itm_obs::trace::campaign(
             itm_obs::trace::Technique::CloudProbe,
             "cloud vantage-point traceroutes",
         );
+        // Vantage selection draws from one RNG stream — stays sequential.
         let vantage = VantagePoints::typical(&s.topo, seeds);
-        let links = vantage.cloud_discovered_links(view);
+        let n_shards = vantage.cloud_vms.len().max(1);
+        let parts = run_shards(n_shards, &|shard| match vantage.cloud_vms.get(shard) {
+            Some(&vm) => VantagePoints::links_from_cloud(view, vm),
+            None => BTreeSet::new(),
+        });
+        let mut links: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+        for part in parts {
+            links.extend(part);
+        }
         if itm_obs::trace::enabled() {
             // BTreeSet iteration is already sorted, so the trace stream
             // is byte-stable across runs without an explicit sort.

@@ -17,6 +17,7 @@
 
 use crate::substrate::Substrate;
 use itm_dns::{OpenResolver, RootLogs, RootServerSet};
+use itm_types::rng::{shard_bounds, DEFAULT_SHARDS};
 use itm_types::{Asn, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -53,6 +54,21 @@ pub struct RootCrawlResult {
 impl RootCrawler {
     /// Simulate the collection and crawl it.
     pub fn run(&self, s: &Substrate, resolver: &OpenResolver<'_>) -> RootCrawlResult {
+        self.run_with(s, resolver, |n, job| (0..n).map(job).collect())
+    }
+
+    /// Run with a caller-supplied shard runner (see `CacheProbeCampaign::run_with`).
+    /// Log collection itself stays sequential — it draws from one RNG
+    /// stream — only the crawl over the collected lines is sharded.
+    pub fn run_with<R>(
+        &self,
+        s: &Substrate,
+        resolver: &OpenResolver<'_>,
+        run_shards: R,
+    ) -> RootCrawlResult
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> RootCrawlShard + Sync)) -> Vec<RootCrawlShard>,
+    {
         let _span = itm_obs::span("root_crawl.run");
         let logs = RootLogs::collect(
             &s.topo,
@@ -63,18 +79,68 @@ impl RootCrawler {
             self.window,
             &s.seeds,
         );
-        self.crawl(s, &logs)
+        self.crawl_with(s, &logs, run_shards)
     }
 
     /// Crawl pre-collected logs.
     pub fn crawl(&self, s: &Substrate, logs: &RootLogs) -> RootCrawlResult {
+        self.crawl_with(s, logs, |n, job| (0..n).map(job).collect())
+    }
+
+    /// How many shards the crawl splits into (a property of the log size).
+    pub fn shard_count(&self, logs: &RootLogs) -> usize {
+        logs.entries.len().clamp(1, DEFAULT_SHARDS)
+    }
+
+    /// Crawl pre-collected logs with a caller-supplied shard runner.
+    ///
+    /// Each shard attributes a contiguous slice of log lines; partial
+    /// per-AS sums are merged in shard-index order so the floating-point
+    /// accumulation order — and hence the output bytes — never depend on
+    /// the execution schedule.
+    pub fn crawl_with<R>(&self, s: &Substrate, logs: &RootLogs, run_shards: R) -> RootCrawlResult
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> RootCrawlShard + Sync)) -> Vec<RootCrawlShard>,
+    {
         let _campaign =
             itm_obs::trace::campaign(itm_obs::trace::Technique::RootCrawl, "root DNS log crawl");
         itm_obs::counter!("probe.log_lines", "technique" => "root_crawl")
             .add(logs.entries.len() as u64);
+        let n_shards = self.shard_count(logs);
+        let parts = run_shards(n_shards, &|shard| {
+            self.crawl_shard(s, logs, shard, n_shards)
+        });
         let mut queries_by_as: BTreeMap<Asn, f64> = BTreeMap::new();
         let mut unmapped = 0;
-        for e in &logs.entries {
+        for part in parts {
+            for (a, q) in part.queries_by_as {
+                *queries_by_as.entry(a).or_insert(0.0) += q;
+            }
+            unmapped += part.unmapped;
+        }
+        itm_obs::counter!("probe.unmapped_sources", "technique" => "root_crawl")
+            .add(unmapped as u64);
+        RootCrawlResult {
+            queries_by_as,
+            unmapped_sources: unmapped,
+            usable_fraction: logs.usable_fraction,
+        }
+    }
+
+    /// Attribute one shard's slice of log lines to origin ASes.
+    fn crawl_shard(
+        &self,
+        s: &Substrate,
+        logs: &RootLogs,
+        shard: usize,
+        n_shards: usize,
+    ) -> RootCrawlShard {
+        let (lo, hi) = shard_bounds(logs.entries.len(), shard, n_shards);
+        let mut part = RootCrawlShard {
+            queries_by_as: BTreeMap::new(),
+            unmapped: 0,
+        };
+        for e in &logs.entries[lo..hi] {
             match s.topo.prefixes.lookup(e.src) {
                 Some(rec) => {
                     itm_obs::trace::emit(
@@ -86,19 +152,20 @@ impl RootCrawler {
                             .prefix(rec.id.raw()),
                         "",
                     );
-                    *queries_by_as.entry(rec.owner).or_insert(0.0) += e.queries;
+                    *part.queries_by_as.entry(rec.owner).or_insert(0.0) += e.queries;
                 }
-                None => unmapped += 1,
+                None => part.unmapped += 1,
             }
         }
-        itm_obs::counter!("probe.unmapped_sources", "technique" => "root_crawl")
-            .add(unmapped as u64);
-        RootCrawlResult {
-            queries_by_as,
-            unmapped_sources: unmapped,
-            usable_fraction: logs.usable_fraction,
-        }
+        part
     }
+}
+
+/// One shard's partial crawl output (disjoint log-line slice).
+#[derive(Debug, Clone)]
+pub struct RootCrawlShard {
+    queries_by_as: BTreeMap<Asn, f64>,
+    unmapped: usize,
 }
 
 impl RootCrawlResult {

@@ -16,6 +16,7 @@ use crate::substrate::Substrate;
 use itm_dns::OpenResolver;
 use itm_topology::PrefixKind;
 use itm_traffic::DeliveryMode;
+use itm_types::rng::{shard_bounds, DEFAULT_SHARDS};
 use itm_types::{GeoPoint, Ipv4Addr, PrefixId, ServiceId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -35,38 +36,57 @@ impl UserMapping {
     /// Run the mapping campaign over all user prefixes × DNS-redirected
     /// ECS services.
     pub fn measure(s: &Substrate, resolver: &OpenResolver<'_>) -> UserMapping {
+        Self::measure_with(s, resolver, |n, job| (0..n).map(job).collect())
+    }
+
+    /// How many shards the campaign splits into (a property of the input
+    /// size, never of the machine running it).
+    pub fn shard_count(s: &Substrate) -> usize {
+        s.topo.prefixes.len().clamp(1, DEFAULT_SHARDS)
+    }
+
+    /// Run the campaign with a caller-supplied shard runner (see
+    /// `CacheProbeCampaign::run_with`). Shards cover disjoint prefix
+    /// slices; per-service footprints are re-sorted after concatenation,
+    /// so the output is byte-identical for any execution schedule.
+    pub fn measure_with<R>(s: &Substrate, resolver: &OpenResolver<'_>, run_shards: R) -> UserMapping
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> UserMappingShard + Sync)) -> Vec<UserMappingShard>,
+    {
         let _span = itm_obs::span("user_mapping.measure");
         let _campaign = itm_obs::trace::campaign(
             itm_obs::trace::Technique::EcsMapping,
             "ECS user-to-frontend mapping",
         );
         let queries = itm_obs::counter!("probe.queries", "technique" => "ecs_mapping");
+
+        let n_shards = Self::shard_count(s);
+        let parts = run_shards(n_shards, &|shard| {
+            Self::measure_shard(s, resolver, shard, n_shards)
+        });
+
         let mut issued: u64 = 0;
         let mut mapping = BTreeMap::new();
+        let mut seen: BTreeMap<ServiceId, Vec<Ipv4Addr>> = BTreeMap::new();
+        for part in parts {
+            mapping.extend(part.mapping);
+            for (svc, addrs) in part.seen {
+                seen.entry(svc).or_default().extend(addrs);
+            }
+            issued += part.issued;
+        }
+
         let mut unmeasurable = Vec::new();
         let mut footprint: BTreeMap<ServiceId, Vec<Ipv4Addr>> = BTreeMap::new();
-
         for svc in &s.catalog.services {
-            let measurable = svc.ecs_support && svc.mode == DeliveryMode::DnsRedirection;
-            if !measurable {
+            if svc.ecs_support && svc.mode == DeliveryMode::DnsRedirection {
+                let mut addrs = seen.remove(&svc.id).unwrap_or_default();
+                addrs.sort_unstable();
+                addrs.dedup();
+                footprint.insert(svc.id, addrs);
+            } else {
                 unmeasurable.push(svc.id);
-                continue;
             }
-            let mut seen: Vec<Ipv4Addr> = Vec::new();
-            for rec in s.topo.prefixes.iter() {
-                if rec.kind != PrefixKind::UserAccess {
-                    continue;
-                }
-                issued += 1;
-                if let Some(ans) = resolver.resolve_for_client(rec.id, &svc.domain) {
-                    mapping.insert((svc.id, rec.id), ans.addr);
-                    if !seen.contains(&ans.addr) {
-                        seen.push(ans.addr);
-                    }
-                }
-            }
-            seen.sort_unstable();
-            footprint.insert(svc.id, seen);
         }
 
         queries.add(issued);
@@ -76,6 +96,41 @@ impl UserMapping {
             unmeasurable,
             footprint,
         }
+    }
+
+    /// Resolve one shard's slice of the prefix table against every
+    /// measurable service.
+    fn measure_shard(
+        s: &Substrate,
+        resolver: &OpenResolver<'_>,
+        shard: usize,
+        n_shards: usize,
+    ) -> UserMappingShard {
+        let (lo, hi) = shard_bounds(s.topo.prefixes.len(), shard, n_shards);
+        let mut part = UserMappingShard {
+            mapping: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            issued: 0,
+        };
+        for svc in &s.catalog.services {
+            if !(svc.ecs_support && svc.mode == DeliveryMode::DnsRedirection) {
+                continue;
+            }
+            for rec in s.topo.prefixes.iter().skip(lo).take(hi - lo) {
+                if rec.kind != PrefixKind::UserAccess {
+                    continue;
+                }
+                part.issued += 1;
+                if let Some(ans) = resolver.resolve_for_client(rec.id, &svc.domain) {
+                    part.mapping.insert((svc.id, rec.id), ans.addr);
+                    let seen = part.seen.entry(svc.id).or_default();
+                    if !seen.contains(&ans.addr) {
+                        seen.push(ans.addr);
+                    }
+                }
+            }
+        }
+        part
     }
 
     /// Fraction of (prefix, service) cells whose measured front-end equals
@@ -106,6 +161,14 @@ impl UserMapping {
             .sum();
         measured
     }
+}
+
+/// One shard's partial mapping output (disjoint prefix slice).
+#[derive(Debug, Clone)]
+pub struct UserMappingShard {
+    mapping: BTreeMap<(ServiceId, PrefixId), Ipv4Addr>,
+    seen: BTreeMap<ServiceId, Vec<Ipv4Addr>>,
+    issued: u64,
 }
 
 /// Geolocation of serving addresses from the client side \[13\].

@@ -1,0 +1,63 @@
+//! Saturation stress: when many shards hammer a full ring in the same
+//! instant, the drop accounting must stay *exact* — every emitted event
+//! is either in the ring or counted in `dropped_events`, never both,
+//! never neither.
+
+use itm_obs::trace::{EventKind, Subjects, Technique, TraceLog};
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 8;
+const EXTRA: usize = 37;
+
+/// N threads each emit `capacity + K` events into one shared ring, so the
+/// ring saturates almost immediately and nearly every push races the
+/// eviction path. The invariant `recorded + dropped == emitted` must hold
+/// exactly at the end, for capacities below, at, and far above the
+/// internal shard count.
+#[test]
+fn recorded_plus_dropped_equals_emitted_under_saturation() {
+    for requested in [1usize, 15, 16, 17, 100, 1_024] {
+        let log = Arc::new(TraceLog::new(requested));
+        // Capacity is rounded up to a shard multiple; assert against the
+        // effective value, not the requested one.
+        let capacity = log.capacity();
+        let per_thread = capacity + EXTRA;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                thread::spawn(move || {
+                    for i in 0..per_thread {
+                        log.emit(
+                            Technique::CacheProbe,
+                            EventKind::CacheHit,
+                            Subjects::none().prefix(i as u32).asn(t as u32),
+                            "",
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let emitted = (THREADS * per_thread) as u64;
+        assert_eq!(log.emitted(), emitted, "capacity {requested}");
+        let snap = log.snapshot();
+        assert_eq!(
+            snap.records.len() as u64 + snap.dropped_events,
+            emitted,
+            "capacity {requested}: {} recorded + {} dropped != {emitted} emitted",
+            snap.records.len(),
+            snap.dropped_events
+        );
+        // The ring is saturated, so the recorded side is exactly full.
+        assert_eq!(snap.records.len(), capacity, "capacity {requested}");
+        // No event counted twice: ids are unique among survivors.
+        let mut ids: Vec<u64> = snap.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), capacity, "capacity {requested}: duplicate ids");
+    }
+}

@@ -65,27 +65,30 @@ impl VantagePoints {
     /// cloud–edge peering that collectors miss.
     pub fn cloud_discovered_links(&self, view: &GraphView) -> BTreeSet<(Asn, Asn)> {
         let mut found = BTreeSet::new();
-        // Forward: cloud -> everyone. One tree per destination would be
-        // O(V) trees; instead exploit symmetry of the link *set*: paths
-        // toward the cloud (one tree per cloud) cover reverse paths, and
-        // forward paths cloud->dst are covered by computing trees toward
-        // every dst only for links adjacent to the cloud... To stay exact,
-        // we compute one tree per cloud (paths of everyone toward the
-        // cloud = reverse paths) and one tree per cloud *from* it by
-        // recomputing destinations that the cloud routes to via peering:
-        // forward paths are read from per-destination trees lazily below.
         for &c in &self.cloud_vms {
-            let tree = RoutingTree::compute(view, c);
-            for i in 0..view.n_ases() {
-                if let Some(path) = tree.path(Asn(i as u32)) {
-                    for w in path.windows(2) {
-                        let key = if w[0] <= w[1] {
-                            (w[0], w[1])
-                        } else {
-                            (w[1], w[0])
-                        };
-                        found.insert(key);
-                    }
+            found.extend(Self::links_from_cloud(view, c));
+        }
+        found
+    }
+
+    /// Links on any best path toward one cloud AS. Forward: cloud ->
+    /// everyone. One tree per destination would be O(V) trees; instead
+    /// exploit symmetry of the link *set*: paths toward the cloud (one
+    /// tree per cloud) cover reverse paths, and forward paths cloud->dst
+    /// traverse the same link set. Each VM's tree is independent of every
+    /// other VM's, which is what lets the campaign shard per VM.
+    pub fn links_from_cloud(view: &GraphView, cloud: Asn) -> BTreeSet<(Asn, Asn)> {
+        let mut found = BTreeSet::new();
+        let tree = RoutingTree::compute(view, cloud);
+        for i in 0..view.n_ases() {
+            if let Some(path) = tree.path(Asn(i as u32)) {
+                for w in path.windows(2) {
+                    let key = if w[0] <= w[1] {
+                        (w[0], w[1])
+                    } else {
+                        (w[1], w[0])
+                    };
+                    found.insert(key);
                 }
             }
         }

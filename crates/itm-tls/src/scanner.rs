@@ -10,7 +10,7 @@
 use crate::certs::Certificate;
 use crate::hosts::TlsHostRegistry;
 use itm_topology::Topology;
-use itm_types::rng::SeedDomain;
+use itm_types::rng::{shard_bounds, SeedDomain, DEFAULT_SHARDS};
 use itm_types::Ipv4Addr;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -68,27 +68,46 @@ impl TlsScan {
         cfg: &ScanConfig,
         seeds: &SeedDomain,
     ) -> TlsScan {
+        Self::run_with(topo, registry, cfg, seeds, |n, job| {
+            (0..n).map(job).collect()
+        })
+    }
+
+    /// How many shards the sweep splits into (a property of the prefix
+    /// table, never of the machine running it).
+    pub fn shard_count(topo: &Topology) -> usize {
+        topo.prefixes.len().clamp(1, DEFAULT_SHARDS)
+    }
+
+    /// Run the sweep with a caller-supplied shard runner.
+    ///
+    /// Each shard sweeps a contiguous prefix slice with its own RNG
+    /// stream derived via [`SeedDomain::shard`], so the response-rate
+    /// coin flips never depend on how many threads execute the shards.
+    pub fn run_with<R>(
+        topo: &Topology,
+        registry: &TlsHostRegistry,
+        cfg: &ScanConfig,
+        seeds: &SeedDomain,
+        run_shards: R,
+    ) -> TlsScan
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> TlsScanShard + Sync)) -> Vec<TlsScanShard>,
+    {
         let _span = itm_obs::span("tls_scan.run");
         let _campaign = itm_obs::trace::campaign(
             itm_obs::trace::Technique::TlsScan,
             "internet-wide TLS sweep",
         );
-        let mut rng = seeds.child("tls-scan").rng("sweep");
+        let n_shards = Self::shard_count(topo);
+        let parts = run_shards(n_shards, &|shard| {
+            Self::sweep_shard(topo, registry, cfg, seeds, shard, n_shards)
+        });
         let mut observations = Vec::new();
         let mut attempted = 0;
-        for r in topo.prefixes.iter() {
-            for &off in &cfg.offsets {
-                attempted += 1;
-                let addr = r.net.addr(off);
-                if let Some(cert) = registry.handshake(addr, None) {
-                    if rng.gen_bool(cfg.response_rate.clamp(0.0, 1.0)) {
-                        observations.push(ScanObservation {
-                            addr,
-                            cert: cert.clone(),
-                        });
-                    }
-                }
-            }
+        for part in parts {
+            observations.extend(part.observations);
+            attempted += part.attempted;
         }
         observations.sort_by_key(|o| o.addr);
         observations.dedup_by_key(|o| o.addr);
@@ -112,12 +131,51 @@ impl TlsScan {
         }
     }
 
+    /// Sweep one shard's slice of the prefix table.
+    fn sweep_shard(
+        topo: &Topology,
+        registry: &TlsHostRegistry,
+        cfg: &ScanConfig,
+        seeds: &SeedDomain,
+        shard: usize,
+        n_shards: usize,
+    ) -> TlsScanShard {
+        let (lo, hi) = shard_bounds(topo.prefixes.len(), shard, n_shards);
+        let mut rng = seeds.shard("tls-scan", shard as u64).rng("sweep");
+        let mut part = TlsScanShard {
+            observations: Vec::new(),
+            attempted: 0,
+        };
+        for r in topo.prefixes.iter().skip(lo).take(hi - lo) {
+            for &off in &cfg.offsets {
+                part.attempted += 1;
+                let addr = r.net.addr(off);
+                if let Some(cert) = registry.handshake(addr, None) {
+                    if rng.gen_bool(cfg.response_rate.clamp(0.0, 1.0)) {
+                        part.observations.push(ScanObservation {
+                            addr,
+                            cert: cert.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        part
+    }
+
     /// Hits presenting a certificate from a given issuer.
     pub fn by_issuer<'a>(&'a self, issuer: &'a str) -> impl Iterator<Item = &'a ScanObservation> {
         self.observations
             .iter()
             .filter(move |o| o.cert.issuer == issuer)
     }
+}
+
+/// One shard's partial sweep output (disjoint prefix slice).
+#[derive(Debug, Clone)]
+pub struct TlsScanShard {
+    observations: Vec<ScanObservation>,
+    attempted: usize,
 }
 
 /// Results of an SNI scan: for each target domain, the addresses that
@@ -143,16 +201,73 @@ impl SniScan {
         cfg: &ScanConfig,
         seeds: &SeedDomain,
     ) -> SniScan {
+        Self::run_with(registry, candidates, domains, cfg, seeds, |n, job| {
+            (0..n).map(job).collect()
+        })
+    }
+
+    /// How many shards the scan splits into (a property of the domain
+    /// list, never of the machine running it).
+    pub fn shard_count(domains: &[String]) -> usize {
+        domains.len().clamp(1, DEFAULT_SHARDS)
+    }
+
+    /// Run the scan with a caller-supplied shard runner. Shards cover
+    /// disjoint domain slices, each with its own [`SeedDomain::shard`] RNG
+    /// stream; the footprint merge is a union of disjoint keys.
+    pub fn run_with<R>(
+        registry: &TlsHostRegistry,
+        candidates: &[Ipv4Addr],
+        domains: &[String],
+        cfg: &ScanConfig,
+        seeds: &SeedDomain,
+        run_shards: R,
+    ) -> SniScan
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> SniScanShard + Sync)) -> Vec<SniScanShard>,
+    {
         let _span = itm_obs::span("sni_scan.run");
         let _campaign =
             itm_obs::trace::campaign(itm_obs::trace::Technique::SniScan, "SNI-directed TLS scan");
-        let mut rng = seeds.child("sni-scan").rng("sweep");
+        let n_shards = Self::shard_count(domains);
+        let parts = run_shards(n_shards, &|shard| {
+            Self::scan_shard(registry, candidates, domains, cfg, seeds, shard, n_shards)
+        });
         let mut footprint: BTreeMap<String, Vec<Ipv4Addr>> = BTreeMap::new();
         let mut attempted = 0;
-        for domain in domains {
+        for part in parts {
+            footprint.extend(part.footprint);
+            attempted += part.attempted;
+        }
+        itm_obs::counter!("probe.connects", "technique" => "sni_scan").add(attempted as u64);
+        itm_obs::counter!("probe.bytes", "technique" => "sni_scan")
+            .add(attempted as u64 * HANDSHAKE_BYTES);
+        SniScan {
+            footprint,
+            attempted,
+        }
+    }
+
+    /// Scan one shard's slice of the domain list against all candidates.
+    fn scan_shard(
+        registry: &TlsHostRegistry,
+        candidates: &[Ipv4Addr],
+        domains: &[String],
+        cfg: &ScanConfig,
+        seeds: &SeedDomain,
+        shard: usize,
+        n_shards: usize,
+    ) -> SniScanShard {
+        let (lo, hi) = shard_bounds(domains.len(), shard, n_shards);
+        let mut rng = seeds.shard("sni-scan", shard as u64).rng("sweep");
+        let mut part = SniScanShard {
+            footprint: BTreeMap::new(),
+            attempted: 0,
+        };
+        for domain in &domains[lo..hi] {
             let mut hits = Vec::new();
             for &addr in candidates {
-                attempted += 1;
+                part.attempted += 1;
                 if let Some(cert) = registry.handshake(addr, Some(domain)) {
                     if cert.covers(domain) && rng.gen_bool(cfg.response_rate.clamp(0.0, 1.0)) {
                         hits.push(addr);
@@ -170,21 +285,22 @@ impl SniScan {
                     );
                 }
             }
-            footprint.insert(domain.clone(), hits);
+            part.footprint.insert(domain.clone(), hits);
         }
-        itm_obs::counter!("probe.connects", "technique" => "sni_scan").add(attempted as u64);
-        itm_obs::counter!("probe.bytes", "technique" => "sni_scan")
-            .add(attempted as u64 * HANDSHAKE_BYTES);
-        SniScan {
-            footprint,
-            attempted,
-        }
+        part
     }
 
     /// Addresses serving a domain.
     pub fn addresses_of(&self, domain: &str) -> &[Ipv4Addr] {
         self.footprint.get(domain).map(Vec::as_slice).unwrap_or(&[])
     }
+}
+
+/// One shard's partial scan output (disjoint domain slice).
+#[derive(Debug, Clone)]
+pub struct SniScanShard {
+    footprint: BTreeMap<String, Vec<Ipv4Addr>>,
+    attempted: usize,
 }
 
 #[cfg(test)]

@@ -17,6 +17,20 @@ pub struct SeedDomain {
     master: u64,
 }
 
+/// Default shard count for sharded measurement campaigns.
+///
+/// The shard count is a property of the *campaign*, never of the machine:
+/// a campaign always splits into the same shards regardless of how many
+/// worker threads execute them, so its merged output is byte-identical at
+/// any `--threads N`. 32 comfortably out-divides the core counts we run
+/// on while keeping per-shard state (one `BTreeMap` apiece) cheap.
+pub const DEFAULT_SHARDS: usize = 32;
+
+/// Domain-separation tag mixed into [`SeedDomain::shard`] derivations so a
+/// shard domain can never alias a [`SeedDomain::child`] or
+/// [`SeedDomain::rng_indexed`] stream of the same name.
+const SHARD_TAG: u64 = 0x7368_6172_645F_7631; // "shard_v1"
+
 /// SplitMix64 finalizer: a high-quality 64-bit mix used to turn
 /// (master, name-hash, index) tuples into statistically independent seeds.
 /// Public because several crates derive deterministic per-entity draws
@@ -74,6 +88,34 @@ impl SeedDomain {
             master: self.seed(name),
         }
     }
+
+    /// The seed domain of one shard of a sharded campaign.
+    ///
+    /// Each shard of a parallel campaign draws from its own domain, keyed
+    /// by `(campaign, shard_id)`, so the values a shard consumes depend
+    /// only on which shard it is — never on which worker thread runs it or
+    /// in what order shards complete. Derivation is domain-separated from
+    /// [`SeedDomain::child`] and [`SeedDomain::rng_indexed`], so a shard
+    /// domain cannot collide with a same-named sequential stream.
+    pub fn shard(&self, campaign: &str, shard_id: u64) -> SeedDomain {
+        SeedDomain {
+            master: mix64(self.seed(campaign) ^ mix64(shard_id) ^ SHARD_TAG),
+        }
+    }
+}
+
+/// Half-open index range `[start, end)` covered by `shard` when `len`
+/// items are split into `n_shards` contiguous, near-equal chunks.
+///
+/// The split depends only on `(len, n_shards)` — never on thread count or
+/// scheduling — so sharded campaigns partition their work identically on
+/// every run. Concatenating the ranges for `0..n_shards` exactly tiles
+/// `0..len`.
+pub fn shard_bounds(len: usize, shard: usize, n_shards: usize) -> (usize, usize) {
+    let n = n_shards.max(1);
+    let lo = shard.min(n);
+    let hi = (shard + 1).min(n);
+    (len * lo / n, len * hi / n)
 }
 
 /// Sample from a bounded Zipf distribution over ranks `1..=n`.
@@ -198,6 +240,45 @@ mod tests {
         let _ = d.rng_indexed("as", 4); // consuming 4 first must not matter
         assert_eq!(v5, d.rng_indexed("as", 5).gen::<u64>());
         assert_ne!(v5, d.rng_indexed("as", 6).gen::<u64>());
+    }
+
+    #[test]
+    fn shard_bounds_tile_the_range() {
+        for len in [0usize, 1, 7, 31, 32, 33, 1000] {
+            for n in [1usize, 2, 8, 32] {
+                let mut covered = 0;
+                for k in 0..n {
+                    let (lo, hi) = shard_bounds(len, k, n);
+                    assert_eq!(lo, covered, "gap at shard {k} (len {len}, n {n})");
+                    assert!(hi >= lo);
+                    covered = hi;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_domains_are_stable_and_distinct() {
+        let d = SeedDomain::new(7);
+        // Stable: same (campaign, shard) pair, same domain.
+        assert_eq!(
+            d.shard("tls-scan", 3).seed("sweep"),
+            d.shard("tls-scan", 3).seed("sweep")
+        );
+        // Distinct across shard ids and campaigns.
+        assert_ne!(
+            d.shard("tls-scan", 3).master(),
+            d.shard("tls-scan", 4).master()
+        );
+        assert_ne!(
+            d.shard("tls-scan", 3).master(),
+            d.shard("sni-scan", 3).master()
+        );
+        // Domain-separated from child and indexed derivations.
+        assert_ne!(d.shard("x", 0).master(), d.child("x").master());
+        let indexed: u64 = d.rng_indexed("x", 0).gen();
+        assert_ne!(d.shard("x", 0).rng("x").gen::<u64>(), indexed);
     }
 
     #[test]

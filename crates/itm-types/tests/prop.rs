@@ -90,6 +90,39 @@ proptest! {
         prop_assert_ne!(a, b);
     }
 
+    #[test]
+    fn shard_domains_never_collide(
+        master in any::<u64>(),
+        campaigns in proptest::collection::vec("[a-z-]{1,16}", 1..6),
+        n_shards in 1u64..64,
+    ) {
+        // Every (campaign, shard) pair must get its own stream: a collision
+        // would make two parallel shards replay identical randomness, and
+        // the merged campaign output would silently lose independence.
+        use std::collections::HashSet;
+        let d = SeedDomain::new(master);
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut pairs = 0usize;
+        for c in &campaigns {
+            for k in 0..n_shards {
+                seen.insert(d.shard(c, k).master());
+                pairs += 1;
+            }
+        }
+        // Distinct campaign *names* only — duplicate names in the input
+        // legitimately produce identical domains, so count unique pairs.
+        let unique: HashSet<(&str, u64)> = campaigns
+            .iter()
+            .flat_map(|c| (0..n_shards).map(move |k| (c.as_str(), k)))
+            .collect();
+        prop_assert_eq!(seen.len(), unique.len());
+        prop_assert!(pairs >= unique.len());
+        // And no shard domain aliases its campaign's sequential child.
+        for c in &campaigns {
+            prop_assert!(!seen.contains(&d.child(c).master()));
+        }
+    }
+
     // ---------- distributions ----------
 
     #[test]

@@ -1,0 +1,46 @@
+//! Determinism under parallelism: the whole point of the sharded
+//! executor is that thread count is a pure performance knob. The map —
+//! witnessed through its JSON summary, the artifact `repro` publishes —
+//! must be byte-identical for any `--threads N`, and across repeat runs
+//! at the same seed.
+
+use itm::core::{MapConfig, MapSummary, ParallelExecutor, TrafficMap};
+use itm::measure::{Substrate, SubstrateConfig};
+
+fn summary_json(s: &Substrate, exec: &ParallelExecutor) -> String {
+    let map = TrafficMap::build_with(s, &MapConfig::default(), exec).expect("map build");
+    MapSummary::extract(s, &map)
+        .to_json()
+        .expect("serializable")
+}
+
+#[test]
+fn map_summary_is_byte_identical_across_thread_counts() {
+    let s = Substrate::build(SubstrateConfig::small(), 2024).expect("valid config");
+    let one = summary_json(&s, &ParallelExecutor::new(1));
+    let two = summary_json(&s, &ParallelExecutor::new(2));
+    let eight = summary_json(&s, &ParallelExecutor::new(8));
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "1-thread and 2-thread summaries differ");
+    assert_eq!(one, eight, "1-thread and 8-thread summaries differ");
+}
+
+#[test]
+fn build_and_sequential_executor_agree() {
+    let s = Substrate::build(SubstrateConfig::small(), 2025).expect("valid config");
+    let plain = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
+    let plain_json = MapSummary::extract(&s, &plain)
+        .to_json()
+        .expect("serializable");
+    let seq = summary_json(&s, &ParallelExecutor::sequential());
+    assert_eq!(plain_json, seq, "build() and build_with(sequential) differ");
+}
+
+#[test]
+fn repeat_runs_at_same_seed_are_identical() {
+    let s = Substrate::build(SubstrateConfig::small(), 2026).expect("valid config");
+    let exec = ParallelExecutor::new(8);
+    let a = summary_json(&s, &exec);
+    let b = summary_json(&s, &exec);
+    assert_eq!(a, b, "two 8-thread runs at one seed differ");
+}
