@@ -9,6 +9,7 @@
 //! cargo run --release -p itm-bench --bin repro -- --exp map --trace
 //! cargo run --release -p itm-bench --bin repro -- --exp map --threads 8
 //! cargo run --release -p itm-bench --bin repro -- --size small --explain pfx0 svc0
+//! cargo run --release -p itm-bench --bin repro -- --exp map --faults light
 //! ```
 //!
 //! Results land in `results/<id>.csv` plus a combined
@@ -19,13 +20,18 @@
 //! `--explain <prefix> <service>` builds the map with tracing on and
 //! prints the evidence chain behind one asserted map edge;
 //! `--threads N` sizes the map-build worker pool (default: available
-//! parallelism) — output is byte-identical at any thread count.
+//! parallelism) — output is byte-identical at any thread count;
+//! `--faults PROFILE` runs the campaigns under a deterministic fault plan
+//! (`off` | `light` | `heavy` | a JSON plan file) — the same profile is
+//! byte-reproducible across runs and thread counts, and `--faults off`
+//! (the default) is byte-identical to not passing the flag at all.
 
 use itm_bench::{ablations, experiments, ExperimentResult};
 use itm_core::{MapConfig, MapSummary, ParallelExecutor, TrafficMap};
 use itm_measure::{Substrate, SubstrateConfig};
 use itm_obs::ProvenanceIndex;
 use itm_topology::TopologyConfig;
+use itm_types::FaultPlan;
 use std::io::Write;
 use std::time::Instant;
 
@@ -75,15 +81,19 @@ struct Args {
     trace: Option<Option<String>>,
     /// `--explain <prefix> <service>`: explain one map edge and exit.
     explain: Option<(String, String)>,
+    /// Fault plan the map build runs under (default: off).
+    faults: FaultPlan,
 }
 
 fn usage() -> String {
     format!(
         "usage: repro [--exp <id>] [--seed N] [--size small|default|large] \
          [--threads N] [--ablations] [--metrics] [--trace [FILE]] \
-         [--explain PREFIX SERVICE] [--out DIR]\n\
+         [--explain PREFIX SERVICE] [--faults off|light|heavy|FILE] [--out DIR]\n\
          PREFIX is pfxN, a bare index, or a /24 like 10.0.0.0/24;\n\
-         SERVICE is svcN, a bare index, or a domain like svc0.example\n\
+         SERVICE is svcN, a bare index, or a domain like svc0.example;\n\
+         a --faults FILE is a JSON object with any of: loss, timeout, \
+         refusal, churn, max_retries, backoff_base_secs, backoff_cap_secs\n\
          experiment ids: {}\n\
          ablation ids (with --exp): {}",
         EXPERIMENT_IDS.join(" "),
@@ -104,6 +114,7 @@ fn parse_args() -> Args {
             .unwrap_or(1),
         trace: None,
         explain: None,
+        faults: FaultPlan::off(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -168,6 +179,11 @@ fn parse_args() -> Args {
                 args.explain = Some((pfx, svc));
                 i += 3;
             }
+            "--faults" => {
+                let raw = value(i).unwrap_or_default();
+                args.faults = parse_fault_plan(&raw);
+                i += 2;
+            }
             "--out" => {
                 args.out_dir = value(i).unwrap_or_else(|| "results".into());
                 i += 2;
@@ -191,6 +207,82 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Resolve a `--faults` argument: a named profile (`off`, `light`,
+/// `heavy`) or a path to a JSON plan file. Unknown profiles, unreadable
+/// files, malformed JSON, and out-of-range rates are all usage errors
+/// (exit 2) caught before the expensive substrate build.
+fn parse_fault_plan(raw: &str) -> FaultPlan {
+    if raw.is_empty() {
+        eprintln!("--faults expects off|light|heavy|FILE\n{}", usage());
+        std::process::exit(2);
+    }
+    if let Some(plan) = FaultPlan::profile(raw) {
+        return plan;
+    }
+    // Not a named profile: treat as a JSON plan file. Bare words that
+    // were meant as profile names fall through here and fail the read
+    // with a clear message either way.
+    let text = match std::fs::read_to_string(raw) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "--faults: {raw:?} is neither a profile (off|light|heavy) \
+                 nor a readable plan file: {e}\n{}",
+                usage()
+            );
+            std::process::exit(2);
+        }
+    };
+    let plan = match fault_plan_from_json(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("--faults: cannot parse plan file {raw}: {e}\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = plan.validate() {
+        eprintln!("--faults: invalid plan in {raw}: {e}\n{}", usage());
+        std::process::exit(2);
+    }
+    plan
+}
+
+/// Parse a JSON fault plan: an object whose fields all default to the
+/// off plan's zeros, so `{}` is a valid (clean) plan and a partial file
+/// like `{"loss": 0.1, "max_retries": 2}` works as expected.
+fn fault_plan_from_json(text: &str) -> Result<FaultPlan, serde_json::Error> {
+    use serde_json::{Error, Value};
+    let v: Value = serde_json::from_str(text)?;
+    if !matches!(v, Value::Object(_)) {
+        return Err(Error::new("fault plan: expected a JSON object"));
+    }
+    let rate = |name: &str| -> Result<f64, Error> {
+        match v.get(name) {
+            None => Ok(0.0),
+            Some(x) => x
+                .as_f64()
+                .ok_or_else(|| Error::new(format!("fault plan: {name} must be a number"))),
+        }
+    };
+    let count = |name: &str| -> Result<u64, Error> {
+        match v.get(name) {
+            None => Ok(0),
+            Some(x) => x.as_u64().ok_or_else(|| {
+                Error::new(format!("fault plan: {name} must be a non-negative integer"))
+            }),
+        }
+    };
+    Ok(FaultPlan {
+        loss: rate("loss")?,
+        timeout: rate("timeout")?,
+        refusal: rate("refusal")?,
+        churn: rate("churn")?,
+        max_retries: count("max_retries")?.min(u64::from(u32::MAX)) as u32,
+        backoff_base_secs: count("backoff_base_secs")?,
+        backoff_cap_secs: count("backoff_cap_secs")?,
+    })
 }
 
 fn config_for(size: &str) -> SubstrateConfig {
@@ -266,8 +358,10 @@ fn parse_service(s: &Substrate, raw: &str) -> Option<u32> {
 }
 
 /// The `--explain` mode: build the map with tracing on, index the trace,
-/// and print the evidence chain behind one asserted edge.
-fn explain_edge(s: &Substrate, pfx_arg: &str, svc_arg: &str) -> ! {
+/// and print the evidence chain behind one asserted edge. When the edge
+/// is missing and the build ran under a fault plan, the recorded probe
+/// failures for that cell explain the gap.
+fn explain_edge(s: &Substrate, pfx_arg: &str, svc_arg: &str, faults: &FaultPlan) -> ! {
     let Some(prefix) = parse_prefix(s, pfx_arg) else {
         eprintln!("cannot resolve prefix {pfx_arg:?}\n{}", usage());
         std::process::exit(2);
@@ -278,7 +372,11 @@ fn explain_edge(s: &Substrate, pfx_arg: &str, svc_arg: &str) -> ! {
     };
     let t = Instant::now();
     eprintln!("building map with tracing enabled…");
-    let _map = TrafficMap::build(s, &MapConfig::default()).expect("map build");
+    let map_cfg = MapConfig {
+        faults: faults.clone(),
+        ..Default::default()
+    };
+    let _map = TrafficMap::build(s, &map_cfg).expect("map build");
     eprintln!("  map built [{:.1?}]", t.elapsed());
     let snap = itm_obs::trace::snapshot();
     eprintln!(
@@ -293,11 +391,32 @@ fn explain_edge(s: &Substrate, pfx_arg: &str, svc_arg: &str) -> ! {
             std::process::exit(0);
         }
         None => {
-            eprintln!(
-                "no edge asserted for pfx{prefix} × svc{service}; the map \
-                 did not measure that cell (try a user-access prefix and an \
-                 ECS service, or list edges via a larger trace capacity)"
-            );
+            let failures = index.failures(prefix, service);
+            if failures.is_empty() {
+                eprintln!(
+                    "no edge asserted for pfx{prefix} × svc{service}; the map \
+                     did not measure that cell (try a user-access prefix and an \
+                     ECS service, or list edges via a larger trace capacity)"
+                );
+            } else {
+                eprintln!(
+                    "no edge asserted for pfx{prefix} × svc{service}; \
+                     {} recorded probe failure(s) explain the gap:",
+                    failures.len()
+                );
+                const FAILURE_CAP: usize = 20;
+                for r in failures.iter().take(FAILURE_CAP) {
+                    eprintln!(
+                        "  [{} {}] {}",
+                        r.technique.as_str(),
+                        r.kind.as_str(),
+                        r.detail
+                    );
+                }
+                if failures.len() > FAILURE_CAP {
+                    eprintln!("  … and {} more", failures.len() - FAILURE_CAP);
+                }
+            }
             std::process::exit(1);
         }
     }
@@ -351,7 +470,7 @@ fn main() {
     );
 
     if let Some((pfx_arg, svc_arg)) = &args.explain {
-        explain_edge(&s, pfx_arg, svc_arg);
+        explain_edge(&s, pfx_arg, svc_arg, &args.faults);
     }
 
     // Experiments that need the full map share one build.
@@ -368,9 +487,26 @@ fn main() {
         .any(|id| want(id) && needs_map(id))
     {
         let t1 = Instant::now();
-        eprintln!("running measurement pipeline ({} threads)…", args.threads);
+        if args.faults.is_off() {
+            eprintln!("running measurement pipeline ({} threads)…", args.threads);
+        } else {
+            eprintln!(
+                "running measurement pipeline ({} threads, faults on: \
+                 loss={} timeout={} refusal={} churn={} retries={})…",
+                args.threads,
+                args.faults.loss,
+                args.faults.timeout,
+                args.faults.refusal,
+                args.faults.churn,
+                args.faults.max_retries
+            );
+        }
         let exec = ParallelExecutor::new(args.threads);
-        let m = TrafficMap::build_with(&s, &MapConfig::default(), &exec).expect("map build");
+        let map_cfg = MapConfig {
+            faults: args.faults.clone(),
+            ..Default::default()
+        };
+        let m = TrafficMap::build_with(&s, &map_cfg, &exec).expect("map build");
         eprintln!("  map built [{:.1?}]", t1.elapsed());
         Some(m)
     } else {

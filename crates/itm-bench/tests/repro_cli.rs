@@ -73,3 +73,107 @@ fn unknown_experiment_exits_2() {
     let out = repro(&["--exp", "definitely-not-an-experiment"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
+
+#[test]
+fn unknown_fault_profile_exits_2_with_usage() {
+    let out = repro(&["--exp", "map", "--faults", "bogus"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("neither a profile"), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+    // The rejection fires before any expensive work.
+    assert!(!err.contains("building substrate"), "{err}");
+}
+
+#[test]
+fn unreadable_fault_file_exits_2_with_usage() {
+    let missing = scratch().join("no-such-plan.json");
+    let out = repro(&["--faults", missing.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("nor a readable plan file"), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+}
+
+#[test]
+fn malformed_fault_file_exits_2() {
+    let dir = scratch();
+    let garbled = dir.join("garbled-plan.json");
+    std::fs::write(&garbled, b"{ this is not json").unwrap();
+    let out = repro(&["--faults", garbled.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse plan file"), "{err}");
+
+    // Parseable but invalid: rates above 1 fail validation.
+    let invalid = dir.join("invalid-plan.json");
+    std::fs::write(&invalid, br#"{"loss": 2.0}"#).unwrap();
+    let out = repro(&["--faults", invalid.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid plan"), "{err}");
+}
+
+#[test]
+fn named_profiles_and_plan_files_are_accepted() {
+    let out_dir = scratch().join("faults-light-out");
+    let out = repro(&[
+        "--exp",
+        "map",
+        "--size",
+        "small",
+        "--seed",
+        "11",
+        "--faults",
+        "light",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let summary = std::fs::read_to_string(out_dir.join("map_summary.json")).unwrap();
+    assert!(
+        summary.contains("\"faults\""),
+        "faulted summary lacks accounting: {summary}"
+    );
+
+    // A custom plan file works end to end; `{}` is the valid clean plan.
+    let plan = scratch().join("clean-plan.json");
+    std::fs::write(&plan, b"{}").unwrap();
+    let out = repro(&[
+        "--exp",
+        "map",
+        "--size",
+        "small",
+        "--seed",
+        "11",
+        "--faults",
+        plan.to_str().unwrap(),
+        "--out",
+        scratch().join("faults-file-out").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn faults_default_is_off_and_byte_identical() {
+    let plain_dir = scratch().join("faults-default-out");
+    let off_dir = scratch().join("faults-off-out");
+    let base = ["--exp", "map", "--size", "small", "--seed", "23", "--out"];
+    let mut plain_args: Vec<&str> = base.to_vec();
+    let plain_path = plain_dir.to_str().unwrap().to_owned();
+    plain_args.push(&plain_path);
+    let out = repro(&plain_args);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    let off_path = off_dir.to_str().unwrap().to_owned();
+    let mut off_args: Vec<&str> = base.to_vec();
+    off_args.push(&off_path);
+    off_args.extend(["--faults", "off"]);
+    let out = repro(&off_args);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    let plain = std::fs::read(plain_dir.join("map_summary.json")).unwrap();
+    let off = std::fs::read(off_dir.join("map_summary.json")).unwrap();
+    assert_eq!(plain, off, "--faults off is not the no-flag pipeline");
+    assert!(!String::from_utf8_lossy(&off).contains("\"faults\""));
+}

@@ -3,7 +3,7 @@
 
 use crate::map::TrafficMap;
 use itm_measure::Substrate;
-use itm_types::{Asn, Country, PopId, PrefixId};
+use itm_types::{Asn, Country, FaultStats, PopId, PrefixId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -27,6 +27,10 @@ pub struct CoverageReport {
     pub prefixes_found: usize,
     /// Count of client ASes identified (either technique).
     pub ases_found: usize,
+    /// Per-technique fault accounting carried over from the map build
+    /// (`observed + degraded + lost` equals the probes issued per
+    /// technique; empty for clean builds).
+    pub faults: BTreeMap<String, FaultStats>,
 }
 
 impl CoverageReport {
@@ -85,7 +89,18 @@ impl CoverageReport {
             },
             prefixes_found: map.cache_result.discovered.len(),
             ases_found: found_ases.len(),
+            faults: map.fault_report.clone(),
         }
+    }
+
+    /// Probes lost across all techniques (0 for a clean build).
+    pub fn total_lost(&self) -> u64 {
+        self.faults.values().map(|st| st.lost).sum()
+    }
+
+    /// Probes that needed retries across all techniques.
+    pub fn total_degraded(&self) -> u64 {
+        self.faults.values().map(|st| st.degraded).sum()
     }
 }
 

@@ -23,7 +23,9 @@ use itm_routing::{
 };
 use itm_tls::{detect_offnets, OffnetFinding, ScanConfig, SniScan, TlsScan};
 use itm_traffic::DeliveryMode;
-use itm_types::{Asn, Ipv4Addr, PrefixId, Result, ServiceId};
+use itm_types::{
+    Asn, FaultInjector, FaultPlan, FaultStats, Ipv4Addr, ItmError, PrefixId, Result, ServiceId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -38,6 +40,9 @@ pub struct MapConfig {
     pub scan: ScanConfig,
     /// Anycast intra-AS site-selection noise (hot-potato artifacts).
     pub anycast_noise: f64,
+    /// Fault plan the campaigns run under (off by default: the clean,
+    /// byte-identical-to-seed pipeline).
+    pub faults: FaultPlan,
 }
 
 impl Default for MapConfig {
@@ -47,6 +52,7 @@ impl Default for MapConfig {
             root_crawl: RootCrawler::default(),
             scan: ScanConfig::default(),
             anycast_noise: 0.15,
+            faults: FaultPlan::off(),
         }
     }
 }
@@ -78,6 +84,10 @@ pub struct TrafficMap {
     pub root_result: RootCrawlResult,
     /// Cloud-probing output kept for scoring.
     pub cloud_result: CloudProbeResult,
+    /// Per-technique fault accounting (`observed + degraded + lost` per
+    /// technique equals the probes issued). Empty when the map was built
+    /// with faults off, so clean builds stay byte-identical.
+    pub fault_report: BTreeMap<String, FaultStats>,
 }
 
 impl TrafficMap {
@@ -106,15 +116,23 @@ impl TrafficMap {
             "traffic map assembly",
         );
 
+        let injector = |campaign: &str| FaultInjector::new(cfg.faults.clone(), &s.seeds, campaign);
+
         // ---- Component 1: users + activity ----
         let users_span = itm_obs::span("users.activity");
-        let resolver = s.open_resolver()?;
-        let cache_result = cfg
-            .cache_probe
-            .run_with(s, &resolver, |n, job| exec.map(n, job));
-        let root_result = cfg
-            .root_crawl
-            .run_with(s, &resolver, |n, job| exec.map(n, job));
+        let resolver = s
+            .open_resolver()
+            .map_err(|e| ItmError::in_campaign("map.build", e))?;
+        let cache_result =
+            cfg.cache_probe
+                .run_with_faults(s, &resolver, &injector("cache_probe"), |n, job| {
+                    exec.map(n, job)
+                });
+        let root_result =
+            cfg.root_crawl
+                .run_with_faults(s, &resolver, &injector("root_crawl"), |n, job| {
+                    exec.map(n, job)
+                });
         let activity =
             ActivityEstimator::fuse_with(s, &cache_result, &root_result, |n, job| exec.map(n, job));
         let user_prefixes = cache_result.discovered.clone();
@@ -122,9 +140,14 @@ impl TrafficMap {
 
         // ---- Component 2: services ----
         let services_span = itm_obs::span("services.scan");
-        let scan = TlsScan::run_with(&s.topo, &s.tls, &cfg.scan, &s.seeds, |n, job| {
-            exec.map(n, job)
-        });
+        let scan = TlsScan::run_with_faults(
+            &s.topo,
+            &s.tls,
+            &cfg.scan,
+            &s.seeds,
+            &injector("tls-scan"),
+            |n, job| exec.map(n, job),
+        );
         let (onnet_servers, offnet_servers) = detect_offnets(&s.topo, &s.tls, &scan);
         let candidates: Vec<Ipv4Addr> = scan.observations.iter().map(|o| o.addr).collect();
         let domains: Vec<String> = s
@@ -133,12 +156,13 @@ impl TrafficMap {
             .iter()
             .map(|x| x.domain.clone())
             .collect();
-        let sni = SniScan::run_with(
+        let sni = SniScan::run_with_faults(
             &s.tls,
             &candidates,
             &domains,
             &cfg.scan,
             &s.seeds,
+            &injector("sni-scan"),
             |n, job| exec.map(n, job),
         );
         let sni_footprints: BTreeMap<ServiceId, Vec<Ipv4Addr>> = s
@@ -147,7 +171,10 @@ impl TrafficMap {
             .iter()
             .map(|svc| (svc.id, sni.addresses_of(&svc.domain).to_vec()))
             .collect();
-        let user_mapping = UserMapping::measure_with(s, &resolver, |n, job| exec.map(n, job));
+        let user_mapping =
+            UserMapping::measure_with_faults(s, &resolver, &injector("user_mapping"), |n, job| {
+                exec.map(n, job)
+            });
         drop(services_span);
 
         // Anycast catchments for anycast services: one shard per anycast
@@ -185,8 +212,13 @@ impl TrafficMap {
         let routes_span = itm_obs::span("routes.assemble");
         let collectors = CollectorSet::typical(&s.topo, &s.seeds);
         let (public_view, visibility) = collectors.public_view(&s.topo);
-        let cloud_result =
-            CloudProbeResult::run_with(s, &full, &s.seeds, |n, job| exec.map(n, job));
+        let cloud_result = CloudProbeResult::run_with_faults(
+            s,
+            &full,
+            &s.seeds,
+            &injector("cloud_probe"),
+            |n, job| exec.map(n, job),
+        );
         let extra = cloud_result.as_links(s);
         let route_view = public_view.with_extra_links(extra.iter());
         drop(routes_span);
@@ -220,6 +252,19 @@ impl TrafficMap {
             }
         }
 
+        // Per-technique fault accounting. Populated only when the plan is
+        // on: a clean build carries no report, which keeps its JSON
+        // summary byte-identical to builds that predate fault injection.
+        let mut fault_report: BTreeMap<String, FaultStats> = BTreeMap::new();
+        if !cfg.faults.is_off() {
+            fault_report.insert("cache_probe".into(), cache_result.fault_stats);
+            fault_report.insert("root_crawl".into(), root_result.fault_stats);
+            fault_report.insert("tls_scan".into(), scan.fault_stats);
+            fault_report.insert("sni_scan".into(), sni.fault_stats);
+            fault_report.insert("ecs_mapping".into(), user_mapping.fault_stats);
+            fault_report.insert("cloud_probe".into(), cloud_result.fault_stats);
+        }
+
         Ok(TrafficMap {
             user_prefixes,
             activity,
@@ -233,6 +278,7 @@ impl TrafficMap {
             cache_result,
             root_result,
             cloud_result,
+            fault_report,
         })
     }
 

@@ -8,7 +8,7 @@
 
 use crate::map::TrafficMap;
 use itm_measure::Substrate;
-use itm_types::{Asn, Ipv4Net, ServiceId};
+use itm_types::{Asn, FaultStats, Ipv4Net, ServiceId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -33,6 +33,11 @@ pub struct MapSummary {
     pub route_edges: usize,
     /// Visibility: fraction of peering invisible to collectors.
     pub invisible_peering: f64,
+    /// Per-technique fault accounting (`observed + degraded + lost`
+    /// equals the probes issued per technique). Empty for clean builds —
+    /// and omitted from the JSON entirely, so clean summaries stay
+    /// byte-identical to pre-fault-injection output.
+    pub faults: BTreeMap<String, FaultStats>,
 }
 
 // The offline serde shim has no derive-driven data model, so the one type
@@ -57,7 +62,7 @@ impl serde_json::Serialize for MapSummary {
             .map(|(k, v)| (*k, *v))
             .collect();
         sizes.sort_unstable();
-        serde_json::json!({
+        let mut out = serde_json::json!({
             "seed": (self.seed),
             "n_ases": (self.n_ases),
             "user_prefixes": (Value::Array(
@@ -76,7 +81,30 @@ impl serde_json::Serialize for MapSummary {
             "mapping_cells": (self.mapping_cells),
             "route_edges": (self.route_edges),
             "invisible_peering": (self.invisible_peering),
-        })
+        });
+        // Present only for fault-injected builds: clean summaries must
+        // stay byte-identical to output that predates the fault model.
+        if !self.faults.is_empty() {
+            let techniques: Map = self
+                .faults
+                .iter()
+                .map(|(name, st)| {
+                    (
+                        name.clone(),
+                        serde_json::json!({
+                            "observed": (st.observed),
+                            "degraded": (st.degraded),
+                            "lost": (st.lost),
+                            "retries": (st.retries),
+                        }),
+                    )
+                })
+                .collect();
+            if let Value::Object(ref mut m) = out {
+                m.insert("faults".to_string(), Value::Object(techniques));
+            }
+        }
+        out
     }
 }
 
@@ -133,6 +161,27 @@ impl serde_json::Deserialize for MapSummary {
                 .as_u64()
                 .ok_or_else(|| Error::new(format!("{name}: expected integer")))
         };
+        // Optional: absent in clean summaries and in files written before
+        // the fault model existed.
+        let mut faults: BTreeMap<String, FaultStats> = BTreeMap::new();
+        if let Some(Value::Object(m)) = v.get("faults") {
+            for (name, st) in m.iter() {
+                let count = |key: &str| -> Result<u64, Error> {
+                    st.get(key)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| Error::new(format!("faults.{name}.{key}: expected integer")))
+                };
+                faults.insert(
+                    name.clone(),
+                    FaultStats {
+                        observed: count("observed")?,
+                        degraded: count("degraded")?,
+                        lost: count("lost")?,
+                        retries: count("retries")?,
+                    },
+                );
+            }
+        }
         Ok(MapSummary {
             seed: uint("seed")?,
             n_ases: uint("n_ases")? as usize,
@@ -148,6 +197,7 @@ impl serde_json::Deserialize for MapSummary {
             invisible_peering: field("invisible_peering")?
                 .as_f64()
                 .ok_or_else(|| Error::new("invisible_peering: expected number"))?,
+            faults,
         })
     }
 }
@@ -191,6 +241,7 @@ impl MapSummary {
                 .visibility
                 .invisible_fraction("all-peering")
                 .unwrap_or(0.0),
+            faults: map.fault_report.clone(),
         }
     }
 

@@ -11,7 +11,7 @@
 use crate::frontends::FrontendDirectory;
 use itm_topology::Topology;
 use itm_traffic::{DeliveryMode, ServiceCatalog};
-use itm_types::{Ipv4Addr, Ipv4Net, ServiceId};
+use itm_types::{FaultInjector, Ipv4Addr, Ipv4Net, ProbeFate, ServiceId};
 use serde::{Deserialize, Serialize};
 
 /// The scope of a DNS answer: which clients it is valid (cacheable) for.
@@ -148,6 +148,65 @@ impl<'a> AuthoritativeDns<'a> {
             },
         );
         ans
+    }
+
+    /// [`AuthoritativeDns::resolve`] under fault injection: the
+    /// authoritative server may *refuse* the query (loss and timeouts
+    /// belong to the resolver hop, so only the plan's refusal rate
+    /// applies here). Refusals are retried per the plan's policy; when
+    /// retries exhaust, the answer is dropped and a `ProbeFailed` trace
+    /// event records the gap. `client_key` is a stable identifier of the
+    /// querying client (prefix raw id) so the draw is entity-keyed.
+    pub fn resolve_with_faults(
+        &self,
+        service: ServiceId,
+        resolver_city: u32,
+        ecs: Option<Ipv4Net>,
+        faults: &FaultInjector,
+        client_key: u64,
+    ) -> (Option<DnsAnswer>, ProbeFate) {
+        if faults.is_off() {
+            return (
+                Some(self.resolve(service, resolver_city, ecs)),
+                ProbeFate::Observed,
+            );
+        }
+        let fate = faults.refusal_fate(service.raw() as u64, client_key, resolver_city as u64);
+        let subjects = || {
+            let mut s = itm_obs::trace::Subjects::none().service(service.raw());
+            if let Some(net) = ecs {
+                if let Some(rec) = self.topo.prefixes.find(net) {
+                    s = s.prefix(rec.id.raw());
+                }
+            }
+            s
+        };
+        match fate {
+            ProbeFate::Observed => {}
+            ProbeFate::Degraded { retries } => {
+                itm_obs::counter!("faults.auth.retried").inc();
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::Dns,
+                    itm_obs::trace::EventKind::ProbeRetried,
+                    subjects(),
+                    &format!(
+                        "refused, retries={retries} backoff={}s",
+                        faults.total_backoff_secs(service.raw() as u64 ^ client_key, retries)
+                    ),
+                );
+            }
+            ProbeFate::Lost => {
+                itm_obs::counter!("faults.auth.lost").inc();
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::Dns,
+                    itm_obs::trace::EventKind::ProbeFailed,
+                    subjects(),
+                    "refused on every attempt",
+                );
+                return (None, ProbeFate::Lost);
+            }
+        }
+        (Some(self.resolve(service, resolver_city, ecs)), fate)
     }
 
     /// The domain → service lookup for query parsing.

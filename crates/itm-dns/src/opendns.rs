@@ -26,8 +26,10 @@ use crate::authoritative::{AuthoritativeDns, DnsAnswer};
 use crate::resolvers::ResolverAssignment;
 use itm_topology::Topology;
 use itm_traffic::{ServiceCatalog, TrafficModel, UserModel};
+use itm_types::rng::stable_hash;
 use itm_types::{
-    GeoPoint, Ipv4Addr, Ipv4Net, ItmError, PopId, PrefixId, SeedDomain, ServiceId, SimTime,
+    FaultInjector, GeoPoint, Ipv4Addr, Ipv4Net, ItmError, PopId, PrefixId, ProbeFate, SeedDomain,
+    ServiceId, SimTime,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -320,6 +322,71 @@ impl<'a> OpenResolver<'a> {
         }
     }
 
+    /// [`OpenResolver::probe`] under fault injection. The probe's fate is
+    /// keyed by `(ecs prefix, domain, round)` — stable entity identifiers,
+    /// never emission order — so faulted sweeps are byte-reproducible at
+    /// any thread count. A lost probe returns `None` (the campaign records
+    /// the gap); a degraded one returns the *same* result a clean probe
+    /// would, after virtual-time backoff.
+    pub fn probe_with_faults(
+        &self,
+        ecs: Ipv4Net,
+        domain: &str,
+        t: SimTime,
+        faults: &FaultInjector,
+        round: u64,
+    ) -> (Option<ProbeResult>, ProbeFate) {
+        if faults.is_off() {
+            return (Some(self.probe(ecs, domain, t)), ProbeFate::Observed);
+        }
+        let key_a = ecs.addr(0).0 as u64;
+        let key_b = stable_hash(domain);
+        let fate = faults.fate(key_a, key_b, round);
+        let subjects = || {
+            let mut s = itm_obs::trace::Subjects::none();
+            if let Some(rec) = self.topo.prefixes.find(ecs) {
+                s = s.prefix(rec.id.raw()).pop(self.pop_of(rec.id).raw());
+            }
+            if let Some(sid) = self.auth.service_for_domain(domain) {
+                s = s.service(sid.raw());
+            }
+            s
+        };
+        match fate {
+            ProbeFate::Observed => (Some(self.probe(ecs, domain, t)), fate),
+            ProbeFate::Degraded { retries } => {
+                itm_obs::counter!("faults.probe.retried").inc();
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::CacheProbe,
+                    itm_obs::trace::EventKind::ProbeRetried,
+                    subjects(),
+                    &format!(
+                        "retries={retries} backoff={}s",
+                        faults.total_backoff_secs(key_a ^ key_b, retries)
+                    ),
+                );
+                (Some(self.probe(ecs, domain, t)), fate)
+            }
+            ProbeFate::Lost => {
+                itm_obs::counter!("faults.probe.lost").inc();
+                let kind = faults
+                    .first_fault(key_a, key_b, round)
+                    .map(|k| k.as_str())
+                    .unwrap_or("fault");
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::CacheProbe,
+                    itm_obs::trace::EventKind::ProbeFailed,
+                    subjects(),
+                    &format!(
+                        "{kind}, retries exhausted after {} attempts",
+                        faults.plan().max_retries + 1
+                    ),
+                );
+                (None, fate)
+            }
+        }
+    }
+
     /// A *recursive* query as a client stub would issue (fills caches in
     /// the event-level simulation; the analytic path does not need it).
     pub fn resolve_for_client(&self, client: PrefixId, domain: &str) -> Option<DnsAnswer> {
@@ -345,6 +412,87 @@ impl<'a> OpenResolver<'a> {
             );
         }
         Some(ans)
+    }
+
+    /// [`OpenResolver::resolve_for_client`] under fault injection. Two
+    /// hops can fault: the resolver hop (loss/timeout/refusal per the
+    /// full plan) and the authoritative hop (refusals only, applied by
+    /// [`AuthoritativeDns::resolve_with_faults`]). The combined fate is
+    /// lost-dominant with retries added across hops.
+    pub fn resolve_for_client_with_faults(
+        &self,
+        client: PrefixId,
+        domain: &str,
+        faults: &FaultInjector,
+    ) -> (Option<DnsAnswer>, ProbeFate) {
+        if faults.is_off() {
+            return (self.resolve_for_client(client, domain), ProbeFate::Observed);
+        }
+        let Some(sid) = self.auth.service_for_domain(domain) else {
+            // NXDOMAIN is an answer, not a fault.
+            return (None, ProbeFate::Observed);
+        };
+        let key_a = client.raw() as u64;
+        let key_b = stable_hash(domain);
+        let hop = faults.fate(key_a, key_b, 0);
+        if let ProbeFate::Lost = hop {
+            itm_obs::counter!("faults.resolve.lost").inc();
+            let kind = faults
+                .first_fault(key_a, key_b, 0)
+                .map(|k| k.as_str())
+                .unwrap_or("fault");
+            itm_obs::trace::emit(
+                itm_obs::trace::Technique::EcsMapping,
+                itm_obs::trace::EventKind::ProbeFailed,
+                itm_obs::trace::Subjects::none()
+                    .prefix(client.raw())
+                    .service(sid.raw())
+                    .pop(self.pop_of(client).raw()),
+                &format!("{kind}, retries exhausted"),
+            );
+            return (None, ProbeFate::Lost);
+        }
+        let svc = self.catalog.get(sid);
+        let rec = self.topo.prefixes.get(client);
+        let pop_city = self.pops[self.pop_of(client).index()].city;
+        let ecs = svc.ecs_support.then_some(rec.net);
+        let (ans, auth_fate) =
+            self.auth
+                .resolve_with_faults(sid, pop_city, ecs, faults, client.raw() as u64);
+        let combined = hop.combine(auth_fate);
+        let Some(ans) = ans else {
+            return (None, ProbeFate::Lost);
+        };
+        if let ProbeFate::Degraded { retries } = combined {
+            itm_obs::counter!("faults.resolve.retried").inc();
+            itm_obs::trace::emit(
+                itm_obs::trace::Technique::EcsMapping,
+                itm_obs::trace::EventKind::ProbeRetried,
+                itm_obs::trace::Subjects::none()
+                    .prefix(client.raw())
+                    .service(sid.raw()),
+                &format!(
+                    "retries={retries} backoff={}s",
+                    faults.total_backoff_secs(key_a ^ key_b, retries)
+                ),
+            );
+        }
+        if matches!(
+            ans.scope,
+            crate::authoritative::AnswerScope::ClientPrefix(_)
+        ) {
+            itm_obs::trace::emit(
+                itm_obs::trace::Technique::EcsMapping,
+                itm_obs::trace::EventKind::EcsScopedAnswer,
+                itm_obs::trace::Subjects::none()
+                    .prefix(client.raw())
+                    .service(sid.raw())
+                    .addr(ans.addr.0)
+                    .pop(self.pop_of(client).raw()),
+                domain,
+            );
+        }
+        (Some(ans), combined)
     }
 }
 

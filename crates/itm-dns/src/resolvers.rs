@@ -10,9 +10,10 @@
 
 use itm_topology::{AsClass, PrefixKind, Topology};
 use itm_types::rng::SeedDomain;
-use itm_types::{Asn, Ipv4Addr, PrefixId};
+use itm_types::{Asn, FaultInjector, Ipv4Addr, PrefixId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Identifier of an ISP resolver (dense).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -190,6 +191,26 @@ impl ResolverAssignment {
         } else {
             0.0
         }
+    }
+
+    /// Source addresses of ISP resolvers that churn away under the given
+    /// fault plan — hosts rebooted, renumbered, or decommissioned
+    /// mid-campaign. Root-log crawling loses every log line such a
+    /// resolver would have contributed. Draws are keyed by the resolver's
+    /// dense id, so the churned set is identical across runs, shards, and
+    /// thread counts.
+    pub fn churned_sources(&self, faults: &FaultInjector) -> BTreeSet<Ipv4Addr> {
+        if faults.is_off() {
+            return BTreeSet::new();
+        }
+        self.resolvers
+            .iter()
+            .filter(|r| faults.churned(r.id.0 as u64))
+            .map(|r| {
+                itm_obs::counter!("faults.resolver.churned").inc();
+                r.addr
+            })
+            .collect()
     }
 
     /// Overall open-resolver query share, weighted by a per-prefix weight

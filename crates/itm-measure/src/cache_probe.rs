@@ -12,7 +12,7 @@
 use crate::substrate::Substrate;
 use itm_dns::{OpenResolver, ProbeResult};
 use itm_types::rng::{shard_bounds, DEFAULT_SHARDS};
-use itm_types::{Asn, PopId, PrefixId, SimDuration, SimTime};
+use itm_types::{Asn, FaultInjector, FaultPlan, FaultStats, PopId, PrefixId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -53,6 +53,9 @@ pub struct CacheProbeResult {
     pub discovered_by_pop: BTreeMap<PopId, u32>,
     /// The domains probed.
     pub domains: Vec<String>,
+    /// Per-probe fate accounting: `observed + degraded + lost` equals the
+    /// probes issued (all-observed when the campaign ran without faults).
+    pub fault_stats: FaultStats,
 }
 
 impl CacheProbeCampaign {
@@ -96,6 +99,24 @@ impl CacheProbeCampaign {
     where
         R: FnOnce(usize, &(dyn Fn(usize) -> CacheProbeShard + Sync)) -> Vec<CacheProbeShard>,
     {
+        let faults = FaultInjector::new(FaultPlan::off(), &s.seeds, "cache_probe");
+        self.run_with_faults(s, resolver, &faults, run_shards)
+    }
+
+    /// Run the campaign under a fault plan. Probe fates are keyed by
+    /// `(prefix address, domain, round)`, so the set of lost probes is a
+    /// pure function of the plan — identical across runs and thread
+    /// counts. With an off plan this is exactly `run_with`.
+    pub fn run_with_faults<R>(
+        &self,
+        s: &Substrate,
+        resolver: &OpenResolver<'_>,
+        faults: &FaultInjector,
+        run_shards: R,
+    ) -> CacheProbeResult
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> CacheProbeShard + Sync)) -> Vec<CacheProbeShard>,
+    {
         let _span = itm_obs::span("cache_probe.run");
         let _campaign =
             itm_obs::trace::campaign(itm_obs::trace::Technique::CacheProbe, "ecs cache probing");
@@ -105,7 +126,7 @@ impl CacheProbeCampaign {
 
         let n_shards = self.shard_count(s);
         let parts = run_shards(n_shards, &|shard| {
-            self.probe_shard(s, resolver, &domains, shard, n_shards)
+            self.probe_shard(s, resolver, &domains, faults, shard, n_shards)
         });
 
         // Merge in shard-index order. Shards cover disjoint prefix slices,
@@ -114,10 +135,12 @@ impl CacheProbeCampaign {
         let mut discovered: BTreeSet<PrefixId> = BTreeSet::new();
         let mut hits_by_prefix: BTreeMap<PrefixId, u32> = BTreeMap::new();
         let mut issued: u64 = 0;
+        let mut fault_stats = FaultStats::default();
         for part in parts {
             discovered.extend(part.discovered);
             hits_by_prefix.extend(part.hits_by_prefix);
             issued += part.issued;
+            fault_stats.merge(&part.stats);
         }
         queries.add(issued);
         // One DNS query ≈ 80 bytes on the wire each way; the campaign's
@@ -137,6 +160,7 @@ impl CacheProbeCampaign {
             probes_per_prefix: (rounds as u32) * domains.len() as u32,
             discovered_by_pop,
             domains,
+            fault_stats,
         }
     }
 
@@ -157,6 +181,7 @@ impl CacheProbeCampaign {
         s: &Substrate,
         resolver: &OpenResolver<'_>,
         domains: &[String],
+        faults: &FaultInjector,
         shard: usize,
         n_shards: usize,
     ) -> CacheProbeShard {
@@ -166,13 +191,16 @@ impl CacheProbeCampaign {
             discovered: BTreeSet::new(),
             hits_by_prefix: BTreeMap::new(),
             issued: 0,
+            stats: FaultStats::default(),
         };
         for round in 0..rounds {
             let t = SimTime(self.start.as_secs() + round * step);
             for rec in s.topo.prefixes.iter().skip(lo).take(hi - lo) {
                 for d in domains {
                     part.issued += 1;
-                    if let ProbeResult::Hit(_) = resolver.probe(rec.net, d, t) {
+                    let (res, fate) = resolver.probe_with_faults(rec.net, d, t, faults, round);
+                    part.stats.record(fate);
+                    if let Some(ProbeResult::Hit(_)) = res {
                         part.discovered.insert(rec.id);
                         *part.hits_by_prefix.entry(rec.id).or_insert(0) += 1;
                     }
@@ -189,6 +217,7 @@ pub struct CacheProbeShard {
     discovered: BTreeSet<PrefixId>,
     hits_by_prefix: BTreeMap<PrefixId, u32>,
     issued: u64,
+    stats: FaultStats,
 }
 
 impl CacheProbeResult {

@@ -10,7 +10,7 @@
 use crate::substrate::Substrate;
 use itm_routing::{GraphView, VantagePoints};
 use itm_topology::Link;
-use itm_types::{Asn, SeedDomain};
+use itm_types::{Asn, FaultInjector, FaultPlan, FaultStats, SeedDomain};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -19,8 +19,12 @@ use std::collections::BTreeSet;
 pub struct CloudProbeResult {
     /// Links discovered (canonical endpoint order).
     pub links: BTreeSet<(Asn, Asn)>,
-    /// The vantage points used.
+    /// The vantage points used (post-churn: VMs that survived).
     pub vantage: VantagePoints,
+    /// Per-VM fate accounting: a churned VM contributes no links and
+    /// counts as lost; `observed + degraded + lost` equals the VMs
+    /// launched.
+    pub fault_stats: FaultStats,
 }
 
 impl CloudProbeResult {
@@ -46,13 +50,41 @@ impl CloudProbeResult {
             &(dyn Fn(usize) -> BTreeSet<(Asn, Asn)> + Sync),
         ) -> Vec<BTreeSet<(Asn, Asn)>>,
     {
+        let faults = FaultInjector::new(FaultPlan::off(), seeds, "cloud_probe");
+        Self::run_with_faults(s, view, seeds, &faults, run_shards)
+    }
+
+    /// Run under a fault plan: cloud VMs churn away mid-campaign (quota
+    /// reclaims, maintenance) and contribute no links at all. Churn is
+    /// keyed by the VM's AS number, so the surviving set — and hence the
+    /// shard layout — is identical across runs and thread counts.
+    pub fn run_with_faults<R>(
+        s: &Substrate,
+        view: &GraphView,
+        seeds: &SeedDomain,
+        faults: &FaultInjector,
+        run_shards: R,
+    ) -> CloudProbeResult
+    where
+        R: FnOnce(
+            usize,
+            &(dyn Fn(usize) -> BTreeSet<(Asn, Asn)> + Sync),
+        ) -> Vec<BTreeSet<(Asn, Asn)>>,
+    {
         let _span = itm_obs::span("cloud_probe.run");
         let _campaign = itm_obs::trace::campaign(
             itm_obs::trace::Technique::CloudProbe,
             "cloud vantage-point traceroutes",
         );
         // Vantage selection draws from one RNG stream — stays sequential.
-        let vantage = VantagePoints::typical(&s.topo, seeds);
+        let mut vantage = VantagePoints::typical(&s.topo, seeds);
+        let vms_launched = vantage.cloud_vms.len();
+        vantage.apply_churn(faults);
+        let fault_stats = FaultStats {
+            observed: vantage.cloud_vms.len() as u64,
+            lost: (vms_launched - vantage.cloud_vms.len()) as u64,
+            ..FaultStats::default()
+        };
         let n_shards = vantage.cloud_vms.len().max(1);
         let parts = run_shards(n_shards, &|shard| match vantage.cloud_vms.get(shard) {
             Some(&vm) => VantagePoints::links_from_cloud(view, vm),
@@ -81,7 +113,11 @@ impl CloudProbeResult {
             .add((vantage.cloud_vms.len() * s.topo.n_ases()) as u64);
         itm_obs::counter!("probe.links_discovered", "technique" => "cloud_probe")
             .add(links.len() as u64);
-        CloudProbeResult { links, vantage }
+        CloudProbeResult {
+            links,
+            vantage,
+            fault_stats,
+        }
     }
 
     /// The discovered links as `Link` values (relationships taken from

@@ -18,7 +18,10 @@
 use crate::substrate::Substrate;
 use itm_routing::IpidCounter;
 use itm_topology::AsClass;
-use itm_types::{Asn, DiurnalCurve, RouterId, SimDuration, SimTime};
+use itm_types::{
+    Asn, DiurnalCurve, FaultInjector, FaultPlan, FaultStats, ProbeFate, RouterId, SimDuration,
+    SimTime,
+};
 use serde::{Deserialize, Serialize};
 
 /// Campaign parameters.
@@ -85,6 +88,10 @@ impl IpidObservation {
 pub struct IpidResult {
     /// Per-router observations.
     pub observations: Vec<IpidObservation>,
+    /// Per-ping fate accounting: `observed + degraded + lost` equals the
+    /// interval pings issued. A lost ping leaves a velocity gap (the next
+    /// sample cannot be paired with the missing one).
+    pub fault_stats: FaultStats,
 }
 
 /// Ground-truth mean forwarded traffic of an AS in Mbps (own demand plus
@@ -108,6 +115,15 @@ pub fn forwarded_mbps(s: &Substrate, asn: Asn) -> f64 {
 impl IpidCampaign {
     /// Probe the routers of every transit and tier-1 AS.
     pub fn run(&self, s: &Substrate) -> IpidResult {
+        let faults = FaultInjector::new(FaultPlan::off(), &s.seeds, "ipid_probe");
+        self.run_with_faults(s, &faults)
+    }
+
+    /// Probe under a fault plan: individual pings drop at the plan's
+    /// rates, keyed by `(router id, step)`. The router's counter advances
+    /// regardless (real traffic does not stop for our probe), so a lost
+    /// ping leaves a gap in the velocity series rather than a zero.
+    pub fn run_with_faults(&self, s: &Substrate, faults: &FaultInjector) -> IpidResult {
         let _span = itm_obs::span("ipid_probe.run");
         let _campaign = itm_obs::trace::campaign(
             itm_obs::trace::Technique::IpidProbe,
@@ -118,6 +134,8 @@ impl IpidCampaign {
         let mut sent: u64 = 0;
         let diurnal = DiurnalCurve::default();
         let mut observations = Vec::new();
+        let mut fault_stats = FaultStats::default();
+        let faults_on = !faults.is_off();
 
         for rec in s.routers.iter() {
             let class = s.topo.as_info(rec.asn).class;
@@ -147,6 +165,7 @@ impl IpidCampaign {
             let mut times = Vec::with_capacity(steps as usize);
             let mut prev_sample = counter.sample();
             let mut prev_t = SimTime::ZERO;
+            let mut have_prev = true;
             for k in 1..=steps {
                 let t = SimTime(k * self.interval.as_secs());
                 // Load over the interval ≈ load at the midpoint.
@@ -154,13 +173,38 @@ impl IpidCampaign {
                 let mean = diurnal.daily_mean();
                 let load = as_load * diurnal.at(mid, offset) / mean;
                 counter.advance(t, load);
+                let fate = if faults_on {
+                    faults.fate(rec.id.raw() as u64, k, 0)
+                } else {
+                    ProbeFate::Observed
+                };
+                fault_stats.record(fate);
+                if !fate.succeeded() {
+                    itm_obs::counter!("faults.ping.lost").inc();
+                    if itm_obs::trace::enabled() {
+                        itm_obs::trace::emit(
+                            itm_obs::trace::Technique::IpidProbe,
+                            itm_obs::trace::EventKind::ProbeFailed,
+                            itm_obs::trace::Subjects::none().asn(rec.asn.raw()),
+                            &format!("ping to router {} lost at step {k}", rec.id.raw()),
+                        );
+                    }
+                    // The counter keeps running; we just missed the read.
+                    prev_t = t;
+                    have_prev = false;
+                    continue;
+                }
                 let sample = counter.sample();
-                if let Some(v) = IpidCounter::estimate_velocity(prev_sample, prev_t, sample, t) {
-                    velocities.push(v);
-                    times.push(mid);
+                if have_prev {
+                    if let Some(v) = IpidCounter::estimate_velocity(prev_sample, prev_t, sample, t)
+                    {
+                        velocities.push(v);
+                        times.push(mid);
+                    }
                 }
                 prev_sample = sample;
                 prev_t = t;
+                have_prev = true;
             }
             if itm_obs::trace::enabled() {
                 itm_obs::trace::emit(
@@ -183,7 +227,10 @@ impl IpidCampaign {
         }
         pings.add(sent);
         itm_obs::counter!("probe.bytes", "technique" => "ipid_probe").add(sent * 64);
-        IpidResult { observations }
+        IpidResult {
+            observations,
+            fault_stats,
+        }
     }
 }
 

@@ -147,6 +147,7 @@ impl ResolverAssociation {
             queries_by_as,
             unmapped_sources: unmapped,
             usable_fraction: logs.usable_fraction,
+            fault_stats: itm_types::FaultStats::default(),
         }
     }
 }

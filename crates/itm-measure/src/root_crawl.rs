@@ -18,9 +18,9 @@
 use crate::substrate::Substrate;
 use itm_dns::{OpenResolver, RootLogs, RootServerSet};
 use itm_types::rng::{shard_bounds, DEFAULT_SHARDS};
-use itm_types::{Asn, SimDuration};
+use itm_types::{Asn, FaultInjector, FaultPlan, FaultStats, Ipv4Addr, ProbeFate, SimDuration};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The crawler configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,6 +49,9 @@ pub struct RootCrawlResult {
     pub unmapped_sources: usize,
     /// Fraction of total root traffic the usable logs covered.
     pub usable_fraction: f64,
+    /// Per-log-line fate accounting: `observed + degraded + lost` equals
+    /// the lines collected. Lines from churned resolvers count as lost.
+    pub fault_stats: FaultStats,
 }
 
 impl RootCrawler {
@@ -69,6 +72,25 @@ impl RootCrawler {
     where
         R: FnOnce(usize, &(dyn Fn(usize) -> RootCrawlShard + Sync)) -> Vec<RootCrawlShard>,
     {
+        let faults = FaultInjector::new(FaultPlan::off(), &s.seeds, "root_crawl");
+        self.run_with_faults(s, resolver, &faults, run_shards)
+    }
+
+    /// Simulate the collection and crawl it under a fault plan: resolvers
+    /// that churn away contribute no usable lines, and individual lines
+    /// go missing at the plan's loss rate (truncated captures, transfer
+    /// failures). Fates are keyed by `(source address, global line
+    /// index)`, so the lost set is identical across thread counts.
+    pub fn run_with_faults<R>(
+        &self,
+        s: &Substrate,
+        resolver: &OpenResolver<'_>,
+        faults: &FaultInjector,
+        run_shards: R,
+    ) -> RootCrawlResult
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> RootCrawlShard + Sync)) -> Vec<RootCrawlShard>,
+    {
         let _span = itm_obs::span("root_crawl.run");
         let logs = RootLogs::collect(
             &s.topo,
@@ -79,7 +101,7 @@ impl RootCrawler {
             self.window,
             &s.seeds,
         );
-        self.crawl_with(s, &logs, run_shards)
+        self.crawl_with_faults(s, &logs, faults, run_shards)
     }
 
     /// Crawl pre-collected logs.
@@ -102,21 +124,40 @@ impl RootCrawler {
     where
         R: FnOnce(usize, &(dyn Fn(usize) -> RootCrawlShard + Sync)) -> Vec<RootCrawlShard>,
     {
+        let faults = FaultInjector::new(FaultPlan::off(), &s.seeds, "root_crawl");
+        self.crawl_with_faults(s, logs, &faults, run_shards)
+    }
+
+    /// Crawl pre-collected logs under a fault plan (see
+    /// `run_with_faults`).
+    pub fn crawl_with_faults<R>(
+        &self,
+        s: &Substrate,
+        logs: &RootLogs,
+        faults: &FaultInjector,
+        run_shards: R,
+    ) -> RootCrawlResult
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> RootCrawlShard + Sync)) -> Vec<RootCrawlShard>,
+    {
         let _campaign =
             itm_obs::trace::campaign(itm_obs::trace::Technique::RootCrawl, "root DNS log crawl");
         itm_obs::counter!("probe.log_lines", "technique" => "root_crawl")
             .add(logs.entries.len() as u64);
+        let churned = s.resolvers.churned_sources(faults);
         let n_shards = self.shard_count(logs);
         let parts = run_shards(n_shards, &|shard| {
-            self.crawl_shard(s, logs, shard, n_shards)
+            self.crawl_shard(s, logs, faults, &churned, shard, n_shards)
         });
         let mut queries_by_as: BTreeMap<Asn, f64> = BTreeMap::new();
         let mut unmapped = 0;
+        let mut fault_stats = FaultStats::default();
         for part in parts {
             for (a, q) in part.queries_by_as {
                 *queries_by_as.entry(a).or_insert(0.0) += q;
             }
             unmapped += part.unmapped;
+            fault_stats.merge(&part.stats);
         }
         itm_obs::counter!("probe.unmapped_sources", "technique" => "root_crawl")
             .add(unmapped as u64);
@@ -124,6 +165,7 @@ impl RootCrawler {
             queries_by_as,
             unmapped_sources: unmapped,
             usable_fraction: logs.usable_fraction,
+            fault_stats,
         }
     }
 
@@ -132,6 +174,8 @@ impl RootCrawler {
         &self,
         s: &Substrate,
         logs: &RootLogs,
+        faults: &FaultInjector,
+        churned: &BTreeSet<Ipv4Addr>,
         shard: usize,
         n_shards: usize,
     ) -> RootCrawlShard {
@@ -139,8 +183,34 @@ impl RootCrawler {
         let mut part = RootCrawlShard {
             queries_by_as: BTreeMap::new(),
             unmapped: 0,
+            stats: FaultStats::default(),
         };
-        for e in &logs.entries[lo..hi] {
+        let faults_on = !faults.is_off();
+        for (i, e) in logs.entries[lo..hi].iter().enumerate() {
+            let fate = if !faults_on {
+                ProbeFate::Observed
+            } else if churned.contains(&e.src) {
+                ProbeFate::Lost
+            } else {
+                faults.fate(e.src.0 as u64, (lo + i) as u64, 0)
+            };
+            part.stats.record(fate);
+            if !fate.succeeded() {
+                itm_obs::counter!("faults.log_line.lost").inc();
+                if itm_obs::trace::enabled() {
+                    itm_obs::trace::emit(
+                        itm_obs::trace::Technique::RootCrawl,
+                        itm_obs::trace::EventKind::ProbeFailed,
+                        itm_obs::trace::Subjects::none().addr(e.src.0),
+                        if churned.contains(&e.src) {
+                            "log line lost: source resolver churned"
+                        } else {
+                            "log line lost in collection"
+                        },
+                    );
+                }
+                continue;
+            }
             match s.topo.prefixes.lookup(e.src) {
                 Some(rec) => {
                     itm_obs::trace::emit(
@@ -166,6 +236,7 @@ impl RootCrawler {
 pub struct RootCrawlShard {
     queries_by_as: BTreeMap<Asn, f64>,
     unmapped: usize,
+    stats: FaultStats,
 }
 
 impl RootCrawlResult {

@@ -17,7 +17,7 @@ use itm_dns::OpenResolver;
 use itm_topology::PrefixKind;
 use itm_traffic::DeliveryMode;
 use itm_types::rng::{shard_bounds, DEFAULT_SHARDS};
-use itm_types::{GeoPoint, Ipv4Addr, PrefixId, ServiceId};
+use itm_types::{FaultInjector, FaultPlan, FaultStats, GeoPoint, Ipv4Addr, PrefixId, ServiceId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -30,6 +30,9 @@ pub struct UserMapping {
     pub unmeasurable: Vec<ServiceId>,
     /// Distinct serving addresses seen per service.
     pub footprint: BTreeMap<ServiceId, Vec<Ipv4Addr>>,
+    /// Per-resolution fate accounting: `observed + degraded + lost`
+    /// equals the resolutions issued.
+    pub fault_stats: FaultStats,
 }
 
 impl UserMapping {
@@ -53,6 +56,24 @@ impl UserMapping {
     where
         R: FnOnce(usize, &(dyn Fn(usize) -> UserMappingShard + Sync)) -> Vec<UserMappingShard>,
     {
+        let faults = FaultInjector::new(FaultPlan::off(), &s.seeds, "user_mapping");
+        Self::measure_with_faults(s, resolver, &faults, run_shards)
+    }
+
+    /// Run the mapping campaign under a fault plan. Each resolution goes
+    /// through two hops (client → open resolver → authoritative); either
+    /// can fail, and the combined fate is recorded. Fates are keyed by
+    /// `(prefix, domain)`, never by emission order, so degraded mappings
+    /// are identical across runs and thread counts.
+    pub fn measure_with_faults<R>(
+        s: &Substrate,
+        resolver: &OpenResolver<'_>,
+        faults: &FaultInjector,
+        run_shards: R,
+    ) -> UserMapping
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> UserMappingShard + Sync)) -> Vec<UserMappingShard>,
+    {
         let _span = itm_obs::span("user_mapping.measure");
         let _campaign = itm_obs::trace::campaign(
             itm_obs::trace::Technique::EcsMapping,
@@ -62,18 +83,20 @@ impl UserMapping {
 
         let n_shards = Self::shard_count(s);
         let parts = run_shards(n_shards, &|shard| {
-            Self::measure_shard(s, resolver, shard, n_shards)
+            Self::measure_shard(s, resolver, faults, shard, n_shards)
         });
 
         let mut issued: u64 = 0;
         let mut mapping = BTreeMap::new();
         let mut seen: BTreeMap<ServiceId, Vec<Ipv4Addr>> = BTreeMap::new();
+        let mut fault_stats = FaultStats::default();
         for part in parts {
             mapping.extend(part.mapping);
             for (svc, addrs) in part.seen {
                 seen.entry(svc).or_default().extend(addrs);
             }
             issued += part.issued;
+            fault_stats.merge(&part.stats);
         }
 
         let mut unmeasurable = Vec::new();
@@ -95,6 +118,7 @@ impl UserMapping {
             mapping,
             unmeasurable,
             footprint,
+            fault_stats,
         }
     }
 
@@ -103,6 +127,7 @@ impl UserMapping {
     fn measure_shard(
         s: &Substrate,
         resolver: &OpenResolver<'_>,
+        faults: &FaultInjector,
         shard: usize,
         n_shards: usize,
     ) -> UserMappingShard {
@@ -111,6 +136,7 @@ impl UserMapping {
             mapping: BTreeMap::new(),
             seen: BTreeMap::new(),
             issued: 0,
+            stats: FaultStats::default(),
         };
         for svc in &s.catalog.services {
             if !(svc.ecs_support && svc.mode == DeliveryMode::DnsRedirection) {
@@ -121,7 +147,10 @@ impl UserMapping {
                     continue;
                 }
                 part.issued += 1;
-                if let Some(ans) = resolver.resolve_for_client(rec.id, &svc.domain) {
+                let (ans, fate) =
+                    resolver.resolve_for_client_with_faults(rec.id, &svc.domain, faults);
+                part.stats.record(fate);
+                if let Some(ans) = ans {
                     part.mapping.insert((svc.id, rec.id), ans.addr);
                     let seen = part.seen.entry(svc.id).or_default();
                     if !seen.contains(&ans.addr) {
@@ -169,6 +198,7 @@ pub struct UserMappingShard {
     mapping: BTreeMap<(ServiceId, PrefixId), Ipv4Addr>,
     seen: BTreeMap<ServiceId, Vec<Ipv4Addr>>,
     issued: u64,
+    stats: FaultStats,
 }
 
 /// Geolocation of serving addresses from the client side \[13\].

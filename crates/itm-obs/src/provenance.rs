@@ -16,7 +16,11 @@
 //!   edge is reachable).
 //!
 //! Span and campaign bookkeeping events are never evidence; cache
-//! *misses* are excluded too (absence of an answer justifies nothing).
+//! *misses* are excluded too (absence of an answer justifies nothing), as
+//! are fault-injection events ([`EventKind::ProbeFailed`] /
+//! [`EventKind::ProbeRetried`]) — a lost probe justifies no edge. Fault
+//! events are instead queryable through [`ProvenanceIndex::failures`],
+//! which explains why an *expected* edge is missing from a degraded run.
 
 use crate::trace::{EventKind, Subjects, TraceRecord, TraceSnapshot};
 use std::collections::BTreeMap;
@@ -130,6 +134,8 @@ fn is_observation(r: &TraceRecord) -> bool {
             | EventKind::SpanBegin
             | EventKind::SpanEnd
             | EventKind::CacheMiss
+            | EventKind::ProbeFailed
+            | EventKind::ProbeRetried
     )
 }
 
@@ -242,6 +248,25 @@ impl ProvenanceIndex {
             evidence: hits.into_iter().map(|i| self.records[i].clone()).collect(),
         }
     }
+
+    /// Fault events touching `(prefix, service)` (raw ids), in emission
+    /// order: every [`EventKind::ProbeFailed`] or
+    /// [`EventKind::ProbeRetried`] record about this prefix, or about this
+    /// service at this prefix. This is the negative-space counterpart of
+    /// [`ProvenanceIndex::explain`]: when no edge was asserted for a cell,
+    /// these records say which probes were lost or degraded on the way.
+    pub fn failures(&self, prefix: u32, service: u32) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.kind, EventKind::ProbeFailed | EventKind::ProbeRetried))
+            .filter(|r| {
+                let p = r.subjects.prefix;
+                let s = r.subjects.service;
+                p == Some(prefix) && (s == Some(service) || s.is_none())
+                    || p.is_none() && s == Some(service)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -353,5 +378,42 @@ mod tests {
     fn edges_iterates_assertions() {
         let idx = ProvenanceIndex::build(&sample_log().snapshot());
         assert_eq!(idx.edges().count(), 1);
+    }
+
+    #[test]
+    fn fault_events_are_not_evidence_but_explain_missing_edges() {
+        let log = sample_log();
+        log.emit(
+            Technique::CacheProbe,
+            EventKind::ProbeFailed,
+            Subjects::none().prefix(12).service(3),
+            "loss after 2 retries",
+        );
+        log.emit(
+            Technique::EcsMapping,
+            EventKind::ProbeRetried,
+            Subjects::none().prefix(12),
+            "retries=1 backoff=3s",
+        );
+        // Fault event for a different prefix: not part of this cell.
+        log.emit(
+            Technique::CacheProbe,
+            EventKind::ProbeFailed,
+            Subjects::none().prefix(44).service(3),
+            "timeout",
+        );
+        let idx = ProvenanceIndex::build(&log.snapshot());
+        let chain = idx.explain(12, 3).expect("edge exists");
+        assert!(chain
+            .evidence
+            .iter()
+            .all(|r| !matches!(r.kind, EventKind::ProbeFailed | EventKind::ProbeRetried)));
+        let failures = idx.failures(12, 3);
+        assert_eq!(failures.len(), 2, "prefix-scoped fault events only");
+        assert!(failures.iter().any(|r| r.detail.contains("loss")));
+        for w in failures.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+        assert_eq!(idx.failures(99, 98).len(), 0);
     }
 }

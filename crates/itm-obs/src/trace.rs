@@ -136,6 +136,12 @@ pub enum EventKind {
     ActivityFused,
     /// Map assembly asserted a user-prefix → service edge.
     EdgeAsserted,
+    /// A probe exhausted its retries; the campaign recorded a gap
+    /// instead of an observation (deterministic fault injection).
+    ProbeFailed,
+    /// A faulted probe was retried after a virtual-time backoff and
+    /// eventually succeeded (degraded observation).
+    ProbeRetried,
     /// A [`crate::SpanGuard`] opened (timeline duration start).
     SpanBegin,
     /// A [`crate::SpanGuard`] closed (timeline duration end).
@@ -162,6 +168,8 @@ impl EventKind {
             EventKind::LogLineAttributed => "LogLineAttributed",
             EventKind::ActivityFused => "ActivityFused",
             EventKind::EdgeAsserted => "EdgeAsserted",
+            EventKind::ProbeFailed => "ProbeFailed",
+            EventKind::ProbeRetried => "ProbeRetried",
             EventKind::SpanBegin => "SpanBegin",
             EventKind::SpanEnd => "SpanEnd",
         }

@@ -11,7 +11,7 @@ use crate::bgp::RoutingTree;
 use crate::view::GraphView;
 use itm_topology::{AsClass, Topology};
 use itm_types::rng::SeedDomain;
-use itm_types::Asn;
+use itm_types::{Asn, FaultInjector};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -48,6 +48,35 @@ impl VantagePoints {
             probes,
             cloud_vms: topo.clouds(),
         }
+    }
+
+    /// Remove vantage points that churn away mid-campaign under the given
+    /// fault plan — probes go offline, VMs get reclaimed (the norm on
+    /// Atlas-style platforms). Draws are keyed by the vantage AS number,
+    /// so the churned set is identical across runs and thread counts.
+    /// Returns `(kept, churned)` counts.
+    pub fn apply_churn(&mut self, faults: &FaultInjector) -> (usize, usize) {
+        if faults.is_off() {
+            return (self.probes.len() + self.cloud_vms.len(), 0);
+        }
+        let before = self.probes.len() + self.cloud_vms.len();
+        let drop_vantage = |asn: &Asn| {
+            let churned = faults.churned(asn.raw() as u64);
+            if churned {
+                itm_obs::counter!("faults.vantage.churned").inc();
+                itm_obs::trace::emit(
+                    itm_obs::trace::Technique::Routing,
+                    itm_obs::trace::EventKind::ProbeFailed,
+                    itm_obs::trace::Subjects::none().asn(asn.raw()),
+                    "vantage point churned mid-campaign",
+                );
+            }
+            !churned
+        };
+        self.probes.retain(drop_vantage);
+        self.cloud_vms.retain(drop_vantage);
+        let kept = self.probes.len() + self.cloud_vms.len();
+        (kept, before - kept)
     }
 
     /// Forward paths measured from every probe to `dst` (traceroute-style:

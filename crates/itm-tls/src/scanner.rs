@@ -10,8 +10,8 @@
 use crate::certs::Certificate;
 use crate::hosts::TlsHostRegistry;
 use itm_topology::Topology;
-use itm_types::rng::{shard_bounds, SeedDomain, DEFAULT_SHARDS};
-use itm_types::Ipv4Addr;
+use itm_types::rng::{shard_bounds, stable_hash, SeedDomain, DEFAULT_SHARDS};
+use itm_types::{FaultInjector, FaultPlan, FaultStats, Ipv4Addr, ProbeFate};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -58,6 +58,8 @@ pub struct TlsScan {
     pub observations: Vec<ScanObservation>,
     /// How many addresses were attempted.
     pub attempted: usize,
+    /// Fault accounting (`observed + degraded + lost == attempted`).
+    pub fault_stats: FaultStats,
 }
 
 impl TlsScan {
@@ -79,16 +81,36 @@ impl TlsScan {
         topo.prefixes.len().clamp(1, DEFAULT_SHARDS)
     }
 
-    /// Run the sweep with a caller-supplied shard runner.
-    ///
-    /// Each shard sweeps a contiguous prefix slice with its own RNG
-    /// stream derived via [`SeedDomain::shard`], so the response-rate
-    /// coin flips never depend on how many threads execute the shards.
+    /// Run the sweep with a caller-supplied shard runner (fault-free).
     pub fn run_with<R>(
         topo: &Topology,
         registry: &TlsHostRegistry,
         cfg: &ScanConfig,
         seeds: &SeedDomain,
+        run_shards: R,
+    ) -> TlsScan
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> TlsScanShard + Sync)) -> Vec<TlsScanShard>,
+    {
+        let faults = FaultInjector::new(FaultPlan::off(), seeds, "tls-scan");
+        Self::run_with_faults(topo, registry, cfg, seeds, &faults, run_shards)
+    }
+
+    /// Run the sweep with a caller-supplied shard runner under fault
+    /// injection.
+    ///
+    /// Each shard sweeps a contiguous prefix slice with its own RNG
+    /// stream derived via [`SeedDomain::shard`], so the response-rate
+    /// coin flips never depend on how many threads execute the shards.
+    /// Probe fates are keyed by `(address, offset)`, so a faulted sweep
+    /// is equally thread-count independent; lost handshakes are recorded
+    /// in the fault accounting instead of erroring.
+    pub fn run_with_faults<R>(
+        topo: &Topology,
+        registry: &TlsHostRegistry,
+        cfg: &ScanConfig,
+        seeds: &SeedDomain,
+        faults: &FaultInjector,
         run_shards: R,
     ) -> TlsScan
     where
@@ -101,13 +123,15 @@ impl TlsScan {
         );
         let n_shards = Self::shard_count(topo);
         let parts = run_shards(n_shards, &|shard| {
-            Self::sweep_shard(topo, registry, cfg, seeds, shard, n_shards)
+            Self::sweep_shard(topo, registry, cfg, seeds, faults, shard, n_shards)
         });
         let mut observations = Vec::new();
         let mut attempted = 0;
+        let mut fault_stats = FaultStats::default();
         for part in parts {
             observations.extend(part.observations);
             attempted += part.attempted;
+            fault_stats.merge(&part.stats);
         }
         observations.sort_by_key(|o| o.addr);
         observations.dedup_by_key(|o| o.addr);
@@ -128,6 +152,7 @@ impl TlsScan {
         TlsScan {
             observations,
             attempted,
+            fault_stats,
         }
     }
 
@@ -137,6 +162,7 @@ impl TlsScan {
         registry: &TlsHostRegistry,
         cfg: &ScanConfig,
         seeds: &SeedDomain,
+        faults: &FaultInjector,
         shard: usize,
         n_shards: usize,
     ) -> TlsScanShard {
@@ -145,11 +171,47 @@ impl TlsScan {
         let mut part = TlsScanShard {
             observations: Vec::new(),
             attempted: 0,
+            stats: FaultStats::default(),
         };
+        let faults_on = !faults.is_off();
         for r in topo.prefixes.iter().skip(lo).take(hi - lo) {
             for &off in &cfg.offsets {
                 part.attempted += 1;
                 let addr = r.net.addr(off);
+                if faults_on {
+                    let fate = faults.fate(addr.0 as u64, off as u64, 0);
+                    part.stats.record(fate);
+                    if !fate.succeeded() {
+                        if itm_obs::trace::enabled() {
+                            itm_obs::trace::emit(
+                                itm_obs::trace::Technique::TlsScan,
+                                itm_obs::trace::EventKind::ProbeFailed,
+                                itm_obs::trace::Subjects::none()
+                                    .prefix(r.id.raw())
+                                    .addr(addr.0),
+                                "handshake lost, retries exhausted",
+                            );
+                        }
+                        continue;
+                    }
+                    if itm_obs::trace::enabled() {
+                        if let ProbeFate::Degraded { retries } = fate {
+                            itm_obs::trace::emit(
+                                itm_obs::trace::Technique::TlsScan,
+                                itm_obs::trace::EventKind::ProbeRetried,
+                                itm_obs::trace::Subjects::none()
+                                    .prefix(r.id.raw())
+                                    .addr(addr.0),
+                                &format!(
+                                    "retries={retries} backoff={}s",
+                                    faults.total_backoff_secs(addr.0 as u64, retries)
+                                ),
+                            );
+                        }
+                    }
+                } else {
+                    part.stats.record(ProbeFate::Observed);
+                }
                 if let Some(cert) = registry.handshake(addr, None) {
                     if rng.gen_bool(cfg.response_rate.clamp(0.0, 1.0)) {
                         part.observations.push(ScanObservation {
@@ -176,6 +238,7 @@ impl TlsScan {
 pub struct TlsScanShard {
     observations: Vec<ScanObservation>,
     attempted: usize,
+    stats: FaultStats,
 }
 
 /// Results of an SNI scan: for each target domain, the addresses that
@@ -186,6 +249,8 @@ pub struct SniScan {
     pub footprint: BTreeMap<String, Vec<Ipv4Addr>>,
     /// How many (address, domain) handshakes were attempted.
     pub attempted: usize,
+    /// Fault accounting (`observed + degraded + lost == attempted`).
+    pub fault_stats: FaultStats,
 }
 
 impl SniScan {
@@ -212,9 +277,7 @@ impl SniScan {
         domains.len().clamp(1, DEFAULT_SHARDS)
     }
 
-    /// Run the scan with a caller-supplied shard runner. Shards cover
-    /// disjoint domain slices, each with its own [`SeedDomain::shard`] RNG
-    /// stream; the footprint merge is a union of disjoint keys.
+    /// Run the scan with a caller-supplied shard runner (fault-free).
     pub fn run_with<R>(
         registry: &TlsHostRegistry,
         candidates: &[Ipv4Addr],
@@ -226,18 +289,45 @@ impl SniScan {
     where
         R: FnOnce(usize, &(dyn Fn(usize) -> SniScanShard + Sync)) -> Vec<SniScanShard>,
     {
+        let faults = FaultInjector::new(FaultPlan::off(), seeds, "sni-scan");
+        Self::run_with_faults(
+            registry, candidates, domains, cfg, seeds, &faults, run_shards,
+        )
+    }
+
+    /// Run the scan with a caller-supplied shard runner under fault
+    /// injection. Shards cover disjoint domain slices, each with its own
+    /// [`SeedDomain::shard`] RNG stream; the footprint merge is a union
+    /// of disjoint keys. Fates are keyed by `(address, domain)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_faults<R>(
+        registry: &TlsHostRegistry,
+        candidates: &[Ipv4Addr],
+        domains: &[String],
+        cfg: &ScanConfig,
+        seeds: &SeedDomain,
+        faults: &FaultInjector,
+        run_shards: R,
+    ) -> SniScan
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> SniScanShard + Sync)) -> Vec<SniScanShard>,
+    {
         let _span = itm_obs::span("sni_scan.run");
         let _campaign =
             itm_obs::trace::campaign(itm_obs::trace::Technique::SniScan, "SNI-directed TLS scan");
         let n_shards = Self::shard_count(domains);
         let parts = run_shards(n_shards, &|shard| {
-            Self::scan_shard(registry, candidates, domains, cfg, seeds, shard, n_shards)
+            Self::scan_shard(
+                registry, candidates, domains, cfg, seeds, faults, shard, n_shards,
+            )
         });
         let mut footprint: BTreeMap<String, Vec<Ipv4Addr>> = BTreeMap::new();
         let mut attempted = 0;
+        let mut fault_stats = FaultStats::default();
         for part in parts {
             footprint.extend(part.footprint);
             attempted += part.attempted;
+            fault_stats.merge(&part.stats);
         }
         itm_obs::counter!("probe.connects", "technique" => "sni_scan").add(attempted as u64);
         itm_obs::counter!("probe.bytes", "technique" => "sni_scan")
@@ -245,16 +335,19 @@ impl SniScan {
         SniScan {
             footprint,
             attempted,
+            fault_stats,
         }
     }
 
     /// Scan one shard's slice of the domain list against all candidates.
+    #[allow(clippy::too_many_arguments)]
     fn scan_shard(
         registry: &TlsHostRegistry,
         candidates: &[Ipv4Addr],
         domains: &[String],
         cfg: &ScanConfig,
         seeds: &SeedDomain,
+        faults: &FaultInjector,
         shard: usize,
         n_shards: usize,
     ) -> SniScanShard {
@@ -263,11 +356,31 @@ impl SniScan {
         let mut part = SniScanShard {
             footprint: BTreeMap::new(),
             attempted: 0,
+            stats: FaultStats::default(),
         };
+        let faults_on = !faults.is_off();
         for domain in &domains[lo..hi] {
+            let domain_key = stable_hash(domain);
             let mut hits = Vec::new();
             for &addr in candidates {
                 part.attempted += 1;
+                if faults_on {
+                    let fate = faults.fate(addr.0 as u64, domain_key, 1);
+                    part.stats.record(fate);
+                    if !fate.succeeded() {
+                        if itm_obs::trace::enabled() {
+                            itm_obs::trace::emit(
+                                itm_obs::trace::Technique::SniScan,
+                                itm_obs::trace::EventKind::ProbeFailed,
+                                itm_obs::trace::Subjects::none().addr(addr.0),
+                                &format!("{domain}: handshake lost, retries exhausted"),
+                            );
+                        }
+                        continue;
+                    }
+                } else {
+                    part.stats.record(ProbeFate::Observed);
+                }
                 if let Some(cert) = registry.handshake(addr, Some(domain)) {
                     if cert.covers(domain) && rng.gen_bool(cfg.response_rate.clamp(0.0, 1.0)) {
                         hits.push(addr);
@@ -301,6 +414,7 @@ impl SniScan {
 pub struct SniScanShard {
     footprint: BTreeMap<String, Vec<Ipv4Addr>>,
     attempted: usize,
+    stats: FaultStats,
 }
 
 #[cfg(test)]

@@ -41,6 +41,15 @@ pub enum ItmError {
         /// Description of the missing precondition.
         need: &'static str,
     },
+    /// An underlying error surfaced while running a named measurement
+    /// campaign; the campaign name makes degraded-run failures
+    /// attributable to the technique that hit them.
+    InCampaign {
+        /// The campaign or build stage that was running.
+        campaign: &'static str,
+        /// The underlying error.
+        cause: Box<ItmError>,
+    },
 }
 
 impl ItmError {
@@ -69,6 +78,14 @@ impl ItmError {
             reason: reason.to_string(),
         }
     }
+
+    /// Wrap an error with the campaign that hit it.
+    pub fn in_campaign(campaign: &'static str, cause: ItmError) -> Self {
+        ItmError::InCampaign {
+            campaign,
+            cause: Box::new(cause),
+        }
+    }
 }
 
 impl fmt::Display for ItmError {
@@ -82,6 +99,9 @@ impl fmt::Display for ItmError {
             }
             ItmError::NotFound { what, key } => write!(f, "{what} {key} not found"),
             ItmError::NotReady { need } => write!(f, "operation not ready: {need}"),
+            ItmError::InCampaign { campaign, cause } => {
+                write!(f, "campaign {campaign}: {cause}")
+            }
         }
     }
 }
@@ -107,6 +127,32 @@ mod tests {
             need: "routes computed",
         };
         assert!(e.to_string().contains("routes computed"));
+    }
+
+    #[test]
+    fn in_campaign_attributes_the_cause() {
+        // Regression: errors bubbling out of a map build must name the
+        // campaign that hit them, so degraded runs are attributable.
+        let inner = ItmError::NotReady {
+            need: "topology with at least one city",
+        };
+        let e = ItmError::in_campaign("cache_probe", inner.clone());
+        assert_eq!(
+            e.to_string(),
+            "campaign cache_probe: operation not ready: topology with at least one city"
+        );
+        match &e {
+            ItmError::InCampaign { campaign, cause } => {
+                assert_eq!(*campaign, "cache_probe");
+                assert_eq!(**cause, inner);
+            }
+            _ => panic!("wrong variant"),
+        }
+        // Nesting keeps the full chain in the display form.
+        let nested = ItmError::in_campaign("map.build", e);
+        assert!(nested
+            .to_string()
+            .starts_with("campaign map.build: campaign cache_probe:"));
     }
 
     #[test]

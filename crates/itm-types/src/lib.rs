@@ -16,6 +16,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod error;
+pub mod fault;
 pub mod geo;
 pub mod ids;
 pub mod net;
@@ -25,6 +26,7 @@ pub mod time;
 pub mod units;
 
 pub use error::{ItmError, Result};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, ProbeFate};
 pub use geo::{Country, GeoPoint};
 pub use ids::{Asn, FacilityId, IxpId, PopId, PrefixId, RouterId, ServiceId};
 pub use net::{Ipv4Addr, Ipv4Net};

@@ -55,6 +55,14 @@ fn fnv1a(name: &str) -> u64 {
     h
 }
 
+/// Stable 64-bit hash of a string, suitable for keying deterministic
+/// per-entity draws by name (e.g. fault fates keyed by probed domain).
+/// FNV-1a finalised with [`mix64`]; stable across platforms and releases.
+#[inline]
+pub fn stable_hash(name: &str) -> u64 {
+    mix64(fnv1a(name))
+}
+
 impl SeedDomain {
     /// Create a domain from a master seed.
     pub fn new(master: u64) -> Self {

@@ -2,7 +2,9 @@
 
 use itm_types::rng::{lognormal, pareto, weighted_choice, zipf_index};
 use itm_types::stats::{gini, kendall_tau, pearson, spearman, top_k_for_share, Ecdf};
-use itm_types::{Ipv4Addr, Ipv4Net, SeedDomain, SimDuration, SimTime};
+use itm_types::{
+    FaultInjector, FaultPlan, FaultStats, Ipv4Addr, Ipv4Net, SeedDomain, SimDuration, SimTime,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -120,6 +122,114 @@ proptest! {
         // And no shard domain aliases its campaign's sequential child.
         for c in &campaigns {
             prop_assert!(!seen.contains(&d.child(c).master()));
+        }
+    }
+
+    // ---------- fault injection ----------
+
+    #[test]
+    fn backoff_is_bounded_monotone_and_pure(
+        master in any::<u64>(),
+        entity in any::<u64>(),
+        base in 1u64..60,
+        cap_extra in 0u64..600,
+        retries in 1u32..12,
+    ) {
+        let plan = FaultPlan {
+            loss: 0.1,
+            timeout: 0.1,
+            refusal: 0.1,
+            churn: 0.0,
+            max_retries: retries,
+            backoff_base_secs: base,
+            backoff_cap_secs: base + cap_extra,
+        };
+        let d = SeedDomain::new(master);
+        let inj = FaultInjector::new(plan.clone(), &d, "prop");
+        let twin = FaultInjector::new(plan.clone(), &SeedDomain::new(master), "prop");
+        let mut prev = 0u64;
+        let mut total = 0u64;
+        for attempt in 0..retries {
+            let delay = inj.backoff_secs(entity, attempt);
+            // Identical SeedDomains produce the identical schedule.
+            prop_assert_eq!(delay, twin.backoff_secs(entity, attempt));
+            // Every delay respects the cap and the schedule never
+            // shrinks: base·2^k + jitter (jitter < base) is strictly
+            // increasing in k until the cap clamps it flat.
+            prop_assert!(delay <= plan.backoff_cap_secs);
+            prop_assert!(delay >= prev, "backoff shrank: {prev} -> {delay}");
+            prev = delay;
+            total += delay;
+        }
+        prop_assert_eq!(inj.total_backoff_secs(entity, retries), total);
+        // Off plans wait for nothing.
+        let off = FaultInjector::new(FaultPlan::off(), &d, "prop");
+        prop_assert_eq!(off.total_backoff_secs(entity, retries), 0);
+    }
+
+    #[test]
+    fn disjoint_shard_domains_draw_uncorrelated_fates(
+        master in any::<u64>(),
+        shard_a in 0u64..32,
+        offset in 1u64..32,
+    ) {
+        // Two injectors over disjoint shard domains must not replay each
+        // other's randomness: a 50%-loss plan drawn over 64 entities
+        // collides on every single fate with probability 2^-64.
+        let plan = FaultPlan {
+            loss: 0.5,
+            timeout: 0.0,
+            refusal: 0.0,
+            churn: 0.5,
+            max_retries: 0,
+            backoff_base_secs: 1,
+            backoff_cap_secs: 1,
+        };
+        let d = SeedDomain::new(master);
+        let a = FaultInjector::new(plan.clone(), &d.shard("campaign", shard_a), "faults");
+        let b = FaultInjector::new(plan.clone(), &d.shard("campaign", shard_a + offset), "faults");
+        let fates_of = |inj: &FaultInjector| -> Vec<bool> {
+            (0..64u64).map(|e| inj.fate(e, 0, 0).succeeded()).collect()
+        };
+        prop_assert_ne!(fates_of(&a), fates_of(&b));
+        let churn_of = |inj: &FaultInjector| -> Vec<bool> {
+            (0..64u64).map(|e| inj.churned(e)).collect()
+        };
+        prop_assert_ne!(churn_of(&a), churn_of(&b));
+        // Same domain, same campaign: byte-identical draws.
+        let a_again = FaultInjector::new(plan, &d.shard("campaign", shard_a), "faults");
+        prop_assert_eq!(fates_of(&a), fates_of(&a_again));
+    }
+
+    #[test]
+    fn fault_stats_accounting_is_exact(
+        master in any::<u64>(),
+        rate in 0.0f64..0.9,
+        n in 1u64..500,
+    ) {
+        let plan = FaultPlan {
+            loss: rate / 3.0,
+            timeout: rate / 3.0,
+            refusal: rate / 3.0,
+            churn: 0.0,
+            max_retries: 2,
+            backoff_base_secs: 1,
+            backoff_cap_secs: 8,
+        };
+        let inj = FaultInjector::new(plan, &SeedDomain::new(master), "prop");
+        let mut stats = FaultStats::default();
+        for e in 0..n {
+            stats.record(inj.fate(e, 0, 0));
+        }
+        prop_assert_eq!(stats.observed + stats.degraded + stats.lost, n);
+        prop_assert_eq!(stats.issued(), n);
+        // Retries count degraded probes only (a lost probe's attempts
+        // are implied by the plan): each degraded probe retried between
+        // once and `max_retries` times.
+        prop_assert!(stats.retries >= stats.degraded);
+        prop_assert!(stats.retries <= stats.degraded * 2);
+        if stats.degraded == 0 && stats.lost == 0 {
+            prop_assert!(stats.is_clean());
         }
     }
 

@@ -1,0 +1,167 @@
+//! Graceful degradation under deterministic fault injection.
+//!
+//! The fault model's contract, verified end-to-end through the map
+//! pipeline: `--faults off` changes nothing (byte-identical summaries,
+//! no `"faults"` key), any fixed plan is byte-reproducible across runs
+//! and thread counts, raising fault rates only shrinks coverage, and the
+//! per-technique accounting (`observed + degraded + lost == issued`)
+//! stays exact.
+
+use itm::core::{CoverageReport, MapConfig, MapSummary, ParallelExecutor, TrafficMap};
+use itm::measure::{Substrate, SubstrateConfig};
+use itm::types::FaultPlan;
+
+fn build_map(s: &Substrate, plan: FaultPlan, exec: &ParallelExecutor) -> TrafficMap {
+    let cfg = MapConfig {
+        faults: plan,
+        ..MapConfig::default()
+    };
+    TrafficMap::build_with(s, &cfg, exec).expect("map build")
+}
+
+fn summary_json(s: &Substrate, plan: FaultPlan, exec: &ParallelExecutor) -> String {
+    MapSummary::extract(s, &build_map(s, plan, exec))
+        .to_json()
+        .expect("serializable")
+}
+
+/// A plan that fails `rate` of attempts, with the retry policy held
+/// fixed so fates are per-probe monotone in `rate` (the fate of probe
+/// `(a, b, c)` depends only on which of its per-attempt draws fall under
+/// the failure threshold — same draws, higher threshold, superset of
+/// failures).
+fn rate_plan(rate: f64) -> FaultPlan {
+    FaultPlan {
+        loss: rate * 0.6,
+        timeout: rate * 0.25,
+        refusal: rate * 0.15,
+        churn: rate,
+        max_retries: 2,
+        backoff_base_secs: 1,
+        backoff_cap_secs: 30,
+    }
+}
+
+#[test]
+fn faults_off_is_byte_identical_to_the_clean_pipeline() {
+    let s = Substrate::build(SubstrateConfig::small(), 2024).expect("valid config");
+    let exec = ParallelExecutor::new(4);
+    let clean = {
+        let map = TrafficMap::build_with(&s, &MapConfig::default(), &exec).expect("map build");
+        MapSummary::extract(&s, &map)
+            .to_json()
+            .expect("serializable")
+    };
+    let off = summary_json(&s, FaultPlan::off(), &exec);
+    assert_eq!(clean, off, "--faults off perturbed the clean pipeline");
+    assert!(
+        !off.contains("\"faults\""),
+        "clean summary must omit the faults key entirely"
+    );
+
+    // And the in-memory report is empty too, so downstream scoring sees
+    // a clean build as clean.
+    let map = build_map(&s, FaultPlan::off(), &exec);
+    assert!(map.fault_report.is_empty());
+    let report = CoverageReport::score(&s, &map, None);
+    assert_eq!(report.total_lost(), 0);
+    assert_eq!(report.total_degraded(), 0);
+}
+
+#[test]
+fn fixed_fault_profile_is_deterministic_across_runs_and_threads() {
+    let s = Substrate::build(SubstrateConfig::small(), 2027).expect("valid config");
+    let one = summary_json(&s, FaultPlan::light(), &ParallelExecutor::new(1));
+    let eight = summary_json(&s, FaultPlan::light(), &ParallelExecutor::new(8));
+    let eight_again = summary_json(&s, FaultPlan::light(), &ParallelExecutor::new(8));
+    assert_eq!(one, eight, "light-profile map differs across thread counts");
+    assert_eq!(eight, eight_again, "light-profile map differs across runs");
+    assert!(
+        one.contains("\"faults\""),
+        "faulted summary must carry the accounting"
+    );
+
+    // The accounting survives the JSON round trip exactly.
+    let parsed = MapSummary::from_json(&one).expect("parseable");
+    let map = build_map(&s, FaultPlan::light(), &ParallelExecutor::new(8));
+    assert_eq!(parsed.faults, map.fault_report);
+}
+
+#[test]
+fn coverage_shrinks_monotonically_as_fault_rates_rise() {
+    let s = Substrate::build(SubstrateConfig::small(), 2028).expect("valid config");
+    let exec = ParallelExecutor::new(4);
+    let maps: Vec<TrafficMap> = [0.02, 0.10, 0.30]
+        .iter()
+        .map(|&r| build_map(&s, rate_plan(r), &exec))
+        .collect();
+
+    for pair in maps.windows(2) {
+        let (lo, hi) = (&pair[0], &pair[1]);
+        // Cache probing: every prefix discovered under the harsher plan
+        // was discovered under the milder one (probe fates are per-probe
+        // monotone, so the set of surviving hits only shrinks).
+        assert!(
+            hi.cache_result
+                .discovered
+                .is_subset(&lo.cache_result.discovered),
+            "harsher faults discovered new prefixes"
+        );
+        assert!(hi.user_prefixes.is_subset(&lo.user_prefixes));
+        assert!(hi.user_mapping.mapping.len() <= lo.user_mapping.mapping.len());
+        // And the loss accounting itself is monotone.
+        let lost = |m: &TrafficMap| -> u64 { m.fault_report.values().map(|st| st.lost).sum() };
+        assert!(lost(hi) >= lost(lo), "harsher faults lost fewer probes");
+    }
+
+    // The harshest plan still lost real probes (the test has teeth).
+    let lost: u64 = maps[2].fault_report.values().map(|st| st.lost).sum();
+    assert!(lost > 0, "30% fault rate lost nothing");
+}
+
+#[test]
+fn fault_accounting_is_exact() {
+    let s = Substrate::build(SubstrateConfig::small(), 2029).expect("valid config");
+    let exec = ParallelExecutor::new(4);
+    let light = build_map(&s, FaultPlan::light(), &exec);
+    let heavy = build_map(&s, FaultPlan::heavy(), &exec);
+
+    // Cache probing's issued count is exactly the campaign geometry:
+    // every (round, prefix, domain) cell, faults or no faults.
+    let expected = u64::from(light.cache_result.probes_per_prefix) * s.topo.prefixes.len() as u64;
+    assert_eq!(light.cache_result.fault_stats.issued(), expected);
+    assert_eq!(heavy.cache_result.fault_stats.issued(), expected);
+
+    for (name, st) in &light.fault_report {
+        // observed + degraded + lost covers every issued probe…
+        assert_eq!(
+            st.observed + st.degraded + st.lost,
+            st.issued(),
+            "{name}: accounting identity broken"
+        );
+        assert!(st.issued() > 0, "{name}: no probes issued");
+        // …and for campaigns whose probe set is fixed by the substrate,
+        // the issued total is independent of the fault plan. (sni_scan
+        // is excluded: its candidates come from the TLS sweep's hits, so
+        // its workload legitimately shrinks under harsher faults.)
+        let heavy_st = heavy
+            .fault_report
+            .get(name)
+            .unwrap_or_else(|| panic!("{name}: missing from heavy report"));
+        if name != "sni_scan" {
+            assert_eq!(
+                st.issued(),
+                heavy_st.issued(),
+                "{name}: issued count varied with the fault plan"
+            );
+        }
+        // Degraded probes are the ones that needed retries.
+        if st.degraded > 0 {
+            assert!(
+                st.retries >= st.degraded,
+                "{name}: degraded without retries"
+            );
+        }
+    }
+    assert_eq!(light.fault_report.len(), heavy.fault_report.len());
+}
