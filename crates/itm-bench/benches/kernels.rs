@@ -8,6 +8,12 @@ use itm_routing::{GraphView, RoutingTree};
 use itm_topology::{generate, TopologyConfig};
 use itm_types::{Asn, SimTime};
 
+// Install the tracking wrapper so the obs/ group can price its overhead;
+// tracking starts disabled, so every other benchmark sees the system
+// allocator plus one relaxed load.
+#[global_allocator]
+static ALLOC: itm_obs::alloc::TrackingAlloc = itm_obs::alloc::TrackingAlloc::new();
+
 fn bench_topology_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("topology");
     g.sample_size(10);
@@ -145,6 +151,22 @@ fn bench_obs_overhead(c: &mut Criterion) {
     });
     itm_obs::trace::set_enabled(false);
     itm_obs::trace::reset();
+    // Same workload against the tracking allocator (installed above as
+    // the global allocator): disabled is one relaxed load per heap call;
+    // enabled adds the atomic byte/count accounting on every allocation
+    // the probes make. Budget, like the registry's: <2% delta.
+    g.bench_function("cache_lookup_1k_alloc_off", |b| {
+        itm_obs::alloc::set_enabled(false);
+        let mut i = 0usize;
+        b.iter(|| probe_1k(&mut i))
+    });
+    g.bench_function("cache_lookup_1k_alloc_on", |b| {
+        itm_obs::alloc::set_enabled(true);
+        itm_obs::alloc::reset();
+        let mut i = 0usize;
+        b.iter(|| probe_1k(&mut i))
+    });
+    itm_obs::alloc::set_enabled(false);
     g.finish();
 }
 

@@ -10,6 +10,8 @@
 //! cargo run --release -p itm-bench --bin repro -- --exp map --threads 8
 //! cargo run --release -p itm-bench --bin repro -- --size small --explain pfx0 svc0
 //! cargo run --release -p itm-bench --bin repro -- --exp map --faults light
+//! cargo run --release -p itm-bench --bin repro -- --bench-record
+//! cargo run --release -p itm-bench --bin repro -- --bench-record --size small,default
 //! ```
 //!
 //! Results land in `results/<id>.csv` plus a combined
@@ -24,7 +26,18 @@
 //! `--faults PROFILE` runs the campaigns under a deterministic fault plan
 //! (`off` | `light` | `heavy` | a JSON plan file) — the same profile is
 //! byte-reproducible across runs and thread counts, and `--faults off`
-//! (the default) is byte-identical to not passing the flag at all.
+//! (the default) is byte-identical to not passing the flag at all;
+//! `--bench-record` runs the map build once per size in `--size` (a
+//! comma list in this mode, default `small,default,large`) with resource
+//! profiling on and appends one schema-versioned row per size to the
+//! `BENCH_map_build.json` trajectory (`--bench-out` overrides the path,
+//! `--bench-baseline FILE` exits 1 if peak tracked bytes regress more
+//! than 10% against the matching rows of a baseline trajectory).
+//!
+//! `--metrics` also turns on allocation profiling: `metrics.json` gains a
+//! `resources` section (peak RSS, allocator-tracked bytes, per-phase
+//! attribution). Profiling never changes map bytes — with it off, output
+//! is byte-identical to builds that predate the profiler.
 
 use itm_bench::{ablations, experiments, ExperimentResult};
 use itm_core::{MapConfig, MapSummary, ParallelExecutor, TrafficMap};
@@ -34,6 +47,16 @@ use itm_topology::TopologyConfig;
 use itm_types::FaultPlan;
 use std::io::Write;
 use std::time::Instant;
+
+// The instrumented allocator wrapper. Installation is free when tracking
+// is off (one relaxed load per allocation) and is what lets `--metrics`
+// and `--bench-record` attribute bytes to pipeline phases.
+#[global_allocator]
+static ALLOC: itm_obs::alloc::TrackingAlloc = itm_obs::alloc::TrackingAlloc::new();
+
+/// Schema version stamped on the `BENCH_map_build.json` trajectory file
+/// and each of its rows.
+const BENCH_SCHEMA_VERSION: u64 = 1;
 
 /// Experiment ids, in run order.
 const EXPERIMENT_IDS: &[&str] = &[
@@ -83,13 +106,30 @@ struct Args {
     explain: Option<(String, String)>,
     /// Fault plan the map build runs under (default: off).
     faults: FaultPlan,
+    /// `--threads` was given explicitly (bench-record defaults to one
+    /// worker otherwise, so peak-byte accounting is deterministic).
+    threads_explicit: bool,
+    /// `--size` was given explicitly (bench-record records the full
+    /// small,default,large trajectory otherwise).
+    size_explicit: bool,
+    /// `--bench-record`: run the map build per size with profiling on and
+    /// append trajectory rows instead of running experiments.
+    bench_record: bool,
+    /// Trajectory file `--bench-record` appends to.
+    bench_out: String,
+    /// `--bench-baseline FILE`: exit 1 if peak tracked bytes regress >10%
+    /// against the matching-size rows of this baseline trajectory.
+    bench_baseline: Option<String>,
 }
 
 fn usage() -> String {
     format!(
         "usage: repro [--exp <id>] [--seed N] [--size small|default|large] \
          [--threads N] [--ablations] [--metrics] [--trace [FILE]] \
-         [--explain PREFIX SERVICE] [--faults off|light|heavy|FILE] [--out DIR]\n\
+         [--explain PREFIX SERVICE] [--faults off|light|heavy|FILE] [--out DIR] \
+         [--bench-record] [--bench-out FILE] [--bench-baseline FILE]\n\
+         with --bench-record, --size takes a comma list (default \
+         small,default,large) and --threads defaults to 1;\n\
          PREFIX is pfxN, a bare index, or a /24 like 10.0.0.0/24;\n\
          SERVICE is svcN, a bare index, or a domain like svc0.example;\n\
          a --faults FILE is a JSON object with any of: loss, timeout, \
@@ -115,6 +155,11 @@ fn parse_args() -> Args {
         trace: None,
         explain: None,
         faults: FaultPlan::off(),
+        threads_explicit: false,
+        size_explicit: false,
+        bench_record: false,
+        bench_out: "BENCH_map_build.json".into(),
+        bench_baseline: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -140,6 +185,7 @@ fn parse_args() -> Args {
             }
             "--size" => {
                 args.size = value(i).unwrap_or_else(|| "default".into());
+                args.size_explicit = true;
                 i += 2;
             }
             "--ablations" => {
@@ -155,6 +201,27 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     }
                 };
+                args.threads_explicit = true;
+                i += 2;
+            }
+            "--bench-record" => {
+                args.bench_record = true;
+                i += 1;
+            }
+            "--bench-out" => {
+                let Some(path) = value(i) else {
+                    eprintln!("--bench-out expects a file path\n{}", usage());
+                    std::process::exit(2);
+                };
+                args.bench_out = path;
+                i += 2;
+            }
+            "--bench-baseline" => {
+                let Some(path) = value(i) else {
+                    eprintln!("--bench-baseline expects a file path\n{}", usage());
+                    std::process::exit(2);
+                };
+                args.bench_baseline = Some(path);
                 i += 2;
             }
             "--metrics" => {
@@ -206,7 +273,240 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     }
+    // Comma-separated sizes exist only in bench-record mode; everywhere
+    // else an unknown size silently meaning "default" would be a trap.
+    if !args.bench_record && args.size.contains(',') {
+        eprintln!(
+            "--size takes a comma list only with --bench-record\n{}",
+            usage()
+        );
+        std::process::exit(2);
+    }
     args
+}
+
+/// The sizes a `--bench-record` run covers, parsed from `--size` (comma
+/// list; default all three). Unknown names are usage errors — unlike the
+/// experiment path, nothing here may silently fall back to `default`.
+fn bench_sizes(args: &Args) -> Vec<String> {
+    let raw = if args.size_explicit {
+        args.size.clone()
+    } else {
+        // --size was not given: record the whole trajectory.
+        "small,default,large".to_string()
+    };
+    let sizes: Vec<String> = raw
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if sizes.is_empty() {
+        eprintln!("--bench-record: --size lists no sizes\n{}", usage());
+        std::process::exit(2);
+    }
+    for s in &sizes {
+        if !matches!(s.as_str(), "small" | "default" | "large") {
+            eprintln!(
+                "--bench-record: unknown size {s:?} (small|default|large)\n{}",
+                usage()
+            );
+            std::process::exit(2);
+        }
+    }
+    sizes
+}
+
+/// The `--bench-record` mode: one profiled map build per requested size,
+/// one schema-versioned row appended to the trajectory file per build.
+///
+/// Counters are zeroed *after* each substrate build, so a row accounts
+/// for the map build alone. Worker count defaults to 1 (unless
+/// `--threads` was given) because allocator peaks are interleaving-
+/// dependent: at one thread every count and byte in a row except
+/// `build_ms`, `peak_rss_bytes`, and `shard_skew_x1000` reproduces
+/// exactly for the same seed.
+fn bench_record(args: &Args) -> ! {
+    let sizes = bench_sizes(args);
+    require_writable_file(&args.bench_out);
+    let threads = if args.threads_explicit {
+        args.threads
+    } else {
+        1
+    };
+    itm_obs::alloc::set_enabled(true);
+    itm_obs::set_enabled(true);
+    let mut new_rows: Vec<serde_json::Value> = Vec::new();
+    for size in &sizes {
+        let cfg = config_for(size);
+        let t0 = Instant::now();
+        eprintln!(
+            "bench-record: building substrate (size={size}, seed={})…",
+            args.seed
+        );
+        let s = Substrate::build(cfg, args.seed).expect("valid config");
+        eprintln!(
+            "  substrate up [{:.1?}]; profiling map build…",
+            t0.elapsed()
+        );
+        // Zero every counter now: the row measures the map build, not the
+        // substrate generation before it.
+        itm_obs::reset();
+        itm_obs::alloc::reset();
+        let exec = ParallelExecutor::new(threads);
+        let t1 = Instant::now();
+        let m = TrafficMap::build_with(&s, &MapConfig::default(), &exec).expect("map build");
+        let build_ms = t1.elapsed().as_millis() as u64;
+        let summary = MapSummary::extract(&s, &m);
+        let report = itm_obs::snapshot();
+        let resources = report.resources.clone().unwrap_or_default();
+        let skew = report
+            .histograms
+            .get("exec.skew_x1000")
+            .map(|h| h.max)
+            .unwrap_or(0);
+        let top_phases: Vec<serde_json::Value> = resources
+            .top_phases(3)
+            .into_iter()
+            .map(|(name, p)| {
+                serde_json::json!({
+                    "phase": name,
+                    "total_bytes": p.total_bytes,
+                    "peak_bytes": p.peak_bytes,
+                })
+            })
+            .collect();
+        let peak_rss = match resources.peak_rss_bytes {
+            Some(v) => serde_json::Value::from(v),
+            None => serde_json::Value::Null,
+        };
+        eprintln!(
+            "  {size}: build {build_ms} ms, tracked peak {} B (total {} B over {} allocs), \
+             {} cells, skew x1000 = {skew}",
+            resources.alloc.peak_bytes,
+            resources.alloc.total_bytes,
+            resources.alloc.allocs,
+            summary.mapping_cells
+        );
+        new_rows.push(serde_json::json!({
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "size": size.as_str(),
+            "seed": args.seed,
+            "threads": threads as u64,
+            "build_ms": build_ms,
+            "peak_rss_bytes": peak_rss,
+            "tracked_peak_bytes": resources.alloc.peak_bytes,
+            "tracked_total_bytes": resources.alloc.total_bytes,
+            "allocs": resources.alloc.allocs,
+            "deallocs": resources.alloc.deallocs,
+            "mapping_cells": summary.mapping_cells as u64,
+            "user_prefixes": summary.user_prefixes.len() as u64,
+            "route_edges": summary.route_edges as u64,
+            "shard_skew_x1000": skew,
+            "top_phases": top_phases,
+        }));
+    }
+    append_bench_rows(&args.bench_out, &new_rows);
+    eprintln!(
+        "bench-record: appended {} row(s) to {}",
+        new_rows.len(),
+        args.bench_out
+    );
+    if let Some(baseline) = &args.bench_baseline {
+        check_bench_regression(baseline, &new_rows);
+    }
+    std::process::exit(0);
+}
+
+/// Append rows to the trajectory file, creating it (with the schema
+/// header) if absent. A file with a different schema version or shape is
+/// an error, not something to silently rewrite.
+fn append_bench_rows(path: &str, new_rows: &[serde_json::Value]) {
+    use serde_json::Value;
+    let mut rows: Vec<Value> = Vec::new();
+    match std::fs::read_to_string(path) {
+        Ok(text) if !text.trim().is_empty() => {
+            let v: Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("{path}: existing trajectory is not valid JSON: {e}");
+                std::process::exit(2);
+            });
+            match v.get("schema_version").and_then(|s| s.as_u64()) {
+                Some(BENCH_SCHEMA_VERSION) => {}
+                other => {
+                    eprintln!(
+                        "{path}: trajectory schema_version {other:?} != {BENCH_SCHEMA_VERSION}"
+                    );
+                    std::process::exit(2);
+                }
+            }
+            match v.get("rows").and_then(|r| r.as_array()) {
+                Some(existing) => rows.extend(existing.iter().cloned()),
+                None => {
+                    eprintln!("{path}: trajectory has no rows array");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => {}
+    }
+    rows.extend(new_rows.iter().cloned());
+    let doc = serde_json::json!({
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "rows": rows,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serializable");
+    std::fs::write(path, text).expect("write trajectory");
+}
+
+/// Compare freshly recorded rows against the latest matching-size row of
+/// a baseline trajectory: a >10% growth in peak tracked bytes fails the
+/// run (exit 1). Sizes absent from the baseline pass vacuously.
+fn check_bench_regression(baseline_path: &str, new_rows: &[serde_json::Value]) {
+    use serde_json::Value;
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("--bench-baseline: cannot read {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let v: Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("--bench-baseline: {baseline_path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let empty = Vec::new();
+    let base_rows = v.get("rows").and_then(|r| r.as_array()).unwrap_or(&empty);
+    let mut regressed = false;
+    for row in new_rows {
+        let size = row.get("size").and_then(|s| s.as_str()).unwrap_or("");
+        let new_peak = row
+            .get("tracked_peak_bytes")
+            .and_then(|p| p.as_u64())
+            .unwrap_or(0);
+        // Latest baseline row for this size wins.
+        let base_peak = base_rows
+            .iter()
+            .filter(|r| r.get("size").and_then(|s| s.as_str()) == Some(size))
+            .filter_map(|r| r.get("tracked_peak_bytes").and_then(|p| p.as_u64()))
+            .next_back();
+        let Some(base_peak) = base_peak else {
+            eprintln!("bench-record: no baseline row for size={size}; skipping check");
+            continue;
+        };
+        // >10% growth fails; integer math, no float drift.
+        let limit = base_peak + base_peak / 10;
+        if base_peak > 0 && new_peak > limit {
+            eprintln!(
+                "bench-record: REGRESSION at size={size}: peak tracked bytes \
+                 {new_peak} > {limit} (baseline {base_peak} +10%)"
+            );
+            regressed = true;
+        } else {
+            eprintln!(
+                "bench-record: size={size} peak tracked bytes {new_peak} \
+                 within 10% of baseline {base_peak}"
+            );
+        }
+    }
+    if regressed {
+        std::process::exit(1);
+    }
 }
 
 /// Resolve a `--faults` argument: a named profile (`off`, `light`,
@@ -424,6 +724,9 @@ fn explain_edge(s: &Substrate, pfx_arg: &str, svc_arg: &str, faults: &FaultPlan)
 
 fn main() {
     let args = parse_args();
+    if args.bench_record {
+        bench_record(&args);
+    }
     ensure_out_dir(&args.out_dir);
 
     // Resolve the trace destination now and preflight it alongside the
@@ -443,6 +746,11 @@ fn main() {
     if args.metrics {
         itm_obs::set_enabled(true);
         itm_obs::reset();
+        // Metrics runs profile memory too: metrics.json gains a
+        // `resources` section (peak RSS, tracked bytes, per-phase
+        // attribution). Map bytes are unaffected either way.
+        itm_obs::alloc::set_enabled(true);
+        itm_obs::alloc::reset();
         // Pre-register the headline probe counters so metrics.json always
         // carries them (at zero) even when a run skips a technique.
         itm_obs::counter_with("probe.queries", &[("technique", "cache_probe")]);
@@ -605,8 +913,32 @@ fn main() {
 
     if args.metrics {
         let report = itm_obs::snapshot();
+        let mut v = report.to_json();
+        // A faulted metrics run surfaces the per-technique fault
+        // accounting here too, not only in the map summary: issued =
+        // observed + degraded + lost per technique.
+        if let Some(map) = &map {
+            if !map.fault_report.is_empty() {
+                if let serde_json::Value::Object(root) = &mut v {
+                    let mut faults = serde_json::Map::new();
+                    for (technique, st) in &map.fault_report {
+                        faults.insert(
+                            technique.clone(),
+                            serde_json::json!({
+                                "issued": st.issued(),
+                                "observed": st.observed,
+                                "degraded": st.degraded,
+                                "lost": st.lost,
+                                "retries": st.retries,
+                            }),
+                        );
+                    }
+                    root.insert("faults".into(), serde_json::Value::Object(faults));
+                }
+            }
+        }
         let path = format!("{}/metrics.json", args.out_dir);
-        let text = serde_json::to_string_pretty(&report.to_json()).expect("serializable");
+        let text = serde_json::to_string_pretty(&v).expect("serializable");
         std::fs::write(&path, text).expect("write metrics");
         eprintln!("wrote {path}");
     }

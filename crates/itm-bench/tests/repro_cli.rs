@@ -177,3 +177,236 @@ fn faults_default_is_off_and_byte_identical() {
     assert_eq!(plain, off, "--faults off is not the no-flag pipeline");
     assert!(!String::from_utf8_lossy(&off).contains("\"faults\""));
 }
+
+#[test]
+fn metrics_run_surfaces_fault_accounting() {
+    let out_dir = scratch().join("metrics-faults-out");
+    let out = repro(&[
+        "--exp",
+        "map",
+        "--size",
+        "small",
+        "--seed",
+        "7",
+        "--metrics",
+        "--faults",
+        "light",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(out_dir.join("metrics.json")).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+
+    // The per-technique fault ledger reaches metrics.json, not only the
+    // map summary, and its arithmetic holds: issued = observed +
+    // degraded + lost for every technique.
+    let faults = match v.get("faults") {
+        Some(serde_json::Value::Object(m)) => m,
+        other => panic!("metrics.json lacks the faults section: {other:?}"),
+    };
+    assert!(!faults.is_empty());
+    for name in ["cache_probe", "root_crawl", "ecs_mapping"] {
+        assert!(
+            faults.get(name).is_some(),
+            "no fault row for {name}: {text}"
+        );
+    }
+    for (technique, st) in faults.iter() {
+        let field = |k: &str| {
+            st.get(k)
+                .and_then(|x| x.as_u64())
+                .unwrap_or_else(|| panic!("faults.{technique}.{k} missing"))
+        };
+        assert_eq!(
+            field("issued"),
+            field("observed") + field("degraded") + field("lost"),
+            "fault ledger does not balance for {technique}"
+        );
+    }
+
+    // --metrics also turns on allocation profiling, so the resource
+    // section rides along.
+    let resources = v.get("resources").expect("metrics.json lacks resources");
+    assert!(
+        resources
+            .get("tracked")
+            .and_then(|t| t.get("total_bytes"))
+            .and_then(|b| b.as_u64())
+            .unwrap_or(0)
+            > 0,
+        "no tracked allocations: {text}"
+    );
+
+    // A clean metrics run carries neither key-with-null nor empty object:
+    // the faults key is simply absent.
+    let clean_dir = scratch().join("metrics-clean-out");
+    let out = repro(&[
+        "--exp",
+        "map",
+        "--size",
+        "small",
+        "--seed",
+        "7",
+        "--metrics",
+        "--out",
+        clean_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let clean = std::fs::read_to_string(clean_dir.join("metrics.json")).unwrap();
+    assert!(!clean.contains("\"faults\""), "{clean}");
+}
+
+#[test]
+fn bench_record_rows_are_schema_versioned_and_reproducible() {
+    let file = scratch().join("bench-repro.json");
+    let path = file.to_str().unwrap();
+    for _ in 0..2 {
+        let out = repro(&["--bench-record", "--size", "small", "--bench-out", path]);
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+    }
+    let text = std::fs::read_to_string(&file).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(v.get("schema_version").and_then(|s| s.as_u64()), Some(1));
+    let rows = v.get("rows").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(rows.len(), 2, "append did not accumulate: {text}");
+
+    for row in rows {
+        assert_eq!(row.get("schema_version").and_then(|s| s.as_u64()), Some(1));
+        assert_eq!(row.get("size").and_then(|s| s.as_str()), Some("small"));
+        assert_eq!(row.get("seed").and_then(|s| s.as_u64()), Some(42));
+        // bench-record pins one worker unless --threads is explicit.
+        assert_eq!(row.get("threads").and_then(|t| t.as_u64()), Some(1));
+        let top = row.get("top_phases").and_then(|t| t.as_array()).unwrap();
+        assert!(!top.is_empty() && top.len() <= 3, "{row}");
+        for p in top {
+            assert!(p.get("phase").and_then(|x| x.as_str()).is_some());
+            assert!(p.get("total_bytes").and_then(|x| x.as_u64()).is_some());
+        }
+    }
+
+    // Two separate processes, same seed and threads: every deterministic
+    // field matches exactly. Only wall time, OS RSS, and shard skew
+    // (timing-dependent) may differ.
+    let nondeterministic = ["build_ms", "peak_rss_bytes", "shard_skew_x1000"];
+    let (serde_json::Value::Object(a), serde_json::Value::Object(b)) = (&rows[0], &rows[1]) else {
+        panic!("rows are not objects: {text}");
+    };
+    assert_eq!(a.len(), b.len());
+    for (key, value) in a.iter() {
+        if nondeterministic.contains(&key.as_str()) {
+            continue;
+        }
+        assert_eq!(
+            Some(value),
+            b.get(key),
+            "deterministic field {key} drifted between runs"
+        );
+    }
+    let peak = a
+        .get("tracked_peak_bytes")
+        .and_then(|p| p.as_u64())
+        .unwrap();
+    assert!(peak > 0, "profiled build tracked no memory");
+}
+
+#[test]
+fn bench_record_bad_invocations_exit_2() {
+    // Unknown size name.
+    let out = repro(&["--bench-record", "--size", "bogus"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown size"), "{err}");
+
+    // Size lists are a bench-record-only syntax.
+    let out = repro(&["--exp", "map", "--size", "small,default"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // --bench-baseline requires a path.
+    let out = repro(&["--bench-record", "--bench-baseline"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // Unwritable trajectory file fails the preflight before any build.
+    let out = repro(&[
+        "--bench-record",
+        "--size",
+        "small",
+        "--bench-out",
+        &unwritable("bench.json"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("building substrate"), "{err}");
+
+    // An existing trajectory with a foreign schema version is an error,
+    // not something to silently rewrite.
+    let stale = scratch().join("bench-stale.json");
+    std::fs::write(&stale, br#"{"schema_version": 99, "rows": []}"#).unwrap();
+    let out = repro(&[
+        "--bench-record",
+        "--size",
+        "small",
+        "--bench-out",
+        stale.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("schema_version"), "{err}");
+}
+
+#[test]
+fn bench_baseline_gates_peak_memory_regressions() {
+    let dir = scratch();
+
+    // A baseline with an absurdly small peak: any real build regresses.
+    let tight = dir.join("bench-baseline-tight.json");
+    std::fs::write(
+        &tight,
+        br#"{"schema_version": 1, "rows": [{"size": "small", "tracked_peak_bytes": 1}]}"#,
+    )
+    .unwrap();
+    let out_file = dir.join("bench-gated.json");
+    let out = repro(&[
+        "--bench-record",
+        "--size",
+        "small",
+        "--bench-out",
+        out_file.to_str().unwrap(),
+        "--bench-baseline",
+        tight.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("REGRESSION"), "{err}");
+
+    // Re-run against the trajectory just recorded: same build, same
+    // accounting, so the +10% gate passes.
+    let out = repro(&[
+        "--bench-record",
+        "--size",
+        "small",
+        "--bench-out",
+        dir.join("bench-gated2.json").to_str().unwrap(),
+        "--bench-baseline",
+        out_file.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("within 10% of baseline"), "{err}");
+
+    // A size missing from the baseline passes vacuously, with a note.
+    let empty = dir.join("bench-baseline-empty.json");
+    std::fs::write(&empty, br#"{"schema_version": 1, "rows": []}"#).unwrap();
+    let out = repro(&[
+        "--bench-record",
+        "--size",
+        "small",
+        "--bench-out",
+        dir.join("bench-gated3.json").to_str().unwrap(),
+        "--bench-baseline",
+        empty.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no baseline row for size=small"), "{err}");
+}

@@ -10,8 +10,29 @@
 //! (enforced by lint rule D004): all other code must route parallelism
 //! through here so the seed-domain discipline (one derived RNG stream per
 //! shard, see `SeedDomain::shard`) cannot be bypassed.
+//!
+//! Beyond placement, the executor carries two observability duties
+//! (DESIGN.md §11):
+//!
+//! * **Utilization metrics** — when the metrics registry is enabled, each
+//!   `map` call records per-shard wall time (`exec.shard_ns`), the delay
+//!   between batch start and each shard starting (`exec.queue_wait_ns`),
+//!   and the batch's shard-skew ratio (`exec.skew_x1000` =
+//!   slowest-shard ÷ mean-shard × 1000 — 1000 means perfectly balanced
+//!   shards). Disabled, no clock is read.
+//! * **Deterministic parallel traces** — when the trace log is enabled,
+//!   worker-thread emissions are captured per shard and replayed on the
+//!   calling thread in shard-index order after the barrier
+//!   ([`itm_obs::trace::capture_begin`]/[`itm_obs::trace::replay`]), so
+//!   the trace, like the map, is byte-identical at any thread count and
+//!   worker events inherit the caller's campaign scope.
+//!
+//! The caller's allocation phase (see `itm_obs::alloc`) is likewise
+//! propagated onto the workers, so per-phase memory attribution does not
+//! leak to "unattributed" just because a campaign ran sharded.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// A worker pool that maps pure shard jobs to index-ordered results.
 #[derive(Debug, Clone, Copy)]
@@ -58,23 +79,75 @@ impl ParallelExecutor {
         T: Send,
         F: Fn(usize) -> T + Sync + ?Sized,
     {
+        let metrics = itm_obs::enabled();
+        // itm-lint: allow(D001): executor utilization timing is observability-only wall time and never feeds the map
+        let t0 = if metrics { Some(Instant::now()) } else { None };
         if self.threads == 1 || n <= 1 {
-            return (0..n).map(job).collect();
+            let Some(t0) = t0 else {
+                return (0..n).map(job).collect();
+            };
+            // Sequential, metered: shard k's queue wait is the time the
+            // earlier shards occupied the calling thread.
+            let mut out = Vec::with_capacity(n);
+            let mut durs = Vec::with_capacity(n);
+            for k in 0..n {
+                itm_obs::histogram!("exec.queue_wait_ns").record(t0.elapsed().as_nanos() as u64);
+                // itm-lint: allow(D001): executor utilization timing is observability-only wall time and never feeds the map
+                let started = Instant::now();
+                out.push(job(k));
+                let d = started.elapsed().as_nanos() as u64;
+                itm_obs::histogram!("exec.shard_ns").record(d);
+                durs.push(d);
+            }
+            record_batch(&durs);
+            return out;
         }
         let workers = self.threads.min(n);
         let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n);
+        let traced = itm_obs::trace::enabled();
+        // Attribute worker allocations to the phase the caller is in.
+        let phase = itm_obs::alloc::current_phase();
+        let mut indexed: Vec<Completed<T>> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut out = Vec::new();
+                        let _phase = phase.map(itm_obs::alloc::enter_phase);
+                        let mut out: Vec<Completed<T>> = Vec::new();
                         loop {
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             if k >= n {
                                 break;
                             }
-                            out.push((k, job(k)));
+                            if let Some(t0) = t0 {
+                                itm_obs::histogram!("exec.queue_wait_ns")
+                                    .record(t0.elapsed().as_nanos() as u64);
+                            }
+                            if traced {
+                                itm_obs::trace::capture_begin();
+                            }
+                            // itm-lint: allow(D001): executor utilization timing is observability-only wall time and never feeds the map
+                            let started = if metrics { Some(Instant::now()) } else { None };
+                            let value = job(k);
+                            let dur_ns = match started {
+                                Some(s) => {
+                                    let d = s.elapsed().as_nanos() as u64;
+                                    itm_obs::histogram!("exec.shard_ns").record(d);
+                                    d
+                                }
+                                None => 0,
+                            };
+                            let events = if traced {
+                                Some(itm_obs::trace::capture_take())
+                            } else {
+                                None
+                            };
+                            out.push(Completed {
+                                k,
+                                value,
+                                dur_ns,
+                                events,
+                            });
                         }
                         out
                     })
@@ -88,8 +161,47 @@ impl ParallelExecutor {
             }
         });
         // Completion order is scheduler-dependent; index order is not.
-        indexed.sort_by_key(|&(k, _)| k);
-        indexed.into_iter().map(|(_, v)| v).collect()
+        indexed.sort_by_key(|c| c.k);
+        if metrics {
+            let durs: Vec<u64> = indexed.iter().map(|c| c.dur_ns).collect();
+            record_batch(&durs);
+        }
+        // Sequence each shard's captured trace events on this thread, in
+        // shard order: the trace becomes independent of scheduling and
+        // the events inherit this thread's campaign scope.
+        indexed
+            .into_iter()
+            .map(|c| {
+                if let Some(events) = c.events {
+                    itm_obs::trace::replay(events);
+                }
+                c.value
+            })
+            .collect()
+    }
+}
+
+/// One finished shard, on its way back to index order.
+struct Completed<T> {
+    k: usize,
+    value: T,
+    dur_ns: u64,
+    events: Option<itm_obs::trace::CapturedEvents>,
+}
+
+/// Record batch-level executor metrics from the per-shard durations:
+/// batch/shard counts and the skew ratio (slowest ÷ mean, ×1000).
+fn record_batch(durs: &[u64]) {
+    itm_obs::counter!("exec.batches").inc();
+    itm_obs::counter!("exec.shards").add(durs.len() as u64);
+    let n = durs.len() as u64;
+    if n == 0 {
+        return;
+    }
+    let total: u64 = durs.iter().sum();
+    let max = durs.iter().copied().max().unwrap_or(0);
+    if let Some(skew) = max.saturating_mul(1000 * n).checked_div(total) {
+        itm_obs::histogram!("exec.skew_x1000").record(skew);
     }
 }
 
@@ -124,5 +236,14 @@ mod tests {
         let seq = ParallelExecutor::sequential().map(257, &|k| (k, k as u64 * 31));
         let par = ParallelExecutor::new(8).map(257, &|k| (k, k as u64 * 31));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn skew_of_balanced_batch_is_1000() {
+        // Equal durations: max * 1000 * n / total == 1000 exactly.
+        let durs = [5u64, 5, 5, 5];
+        let n = durs.len() as u64;
+        let total: u64 = durs.iter().sum();
+        assert_eq!(5u64.saturating_mul(1000 * n) / total, 1000);
     }
 }

@@ -1,0 +1,95 @@
+//! Tracing a *parallel, faulted* build must stay deterministic.
+//!
+//! The executor's worker threads defer their trace emissions into
+//! per-shard capture buffers that the caller replays in shard order
+//! (`itm_obs::trace::capture_begin` / `replay`), so sequence numbers,
+//! virtual timestamps, and campaign parents are assigned on one thread in
+//! one deterministic order — whatever the thread count. This test pins
+//! the three contracts that scheme exists for, on a heavy-fault build
+//! (faults exercise the `ProbeFailed`/`ProbeRetried` emission paths that
+//! only run inside workers):
+//!
+//! 1. the Chrome-trace export is byte-identical across two 8-thread runs
+//!    of the same seed;
+//! 2. it is also byte-identical to the sequential (1-thread) run;
+//! 3. every `ProbeFailed` descends from a campaign: its record carries a
+//!    parent root `EventId` (workers inherit the calling thread's
+//!    campaign scope through replay, not their own empty one).
+//!
+//! One test body — the trace log is process-global.
+
+use itm_core::{MapConfig, MapSummary, ParallelExecutor, TrafficMap};
+use itm_measure::{Substrate, SubstrateConfig};
+use itm_obs::trace::EventKind;
+use itm_types::FaultPlan;
+
+/// Build the faulted small map at `threads`, returning the Chrome-trace
+/// JSON bytes, the raw snapshot, and the map-summary JSON.
+fn traced_build(threads: usize) -> (String, itm_obs::trace::TraceSnapshot, String) {
+    let s = Substrate::build(SubstrateConfig::small(), 42).unwrap();
+    let cfg = MapConfig {
+        faults: FaultPlan::heavy(),
+        ..MapConfig::default()
+    };
+    itm_obs::trace::set_seed(42);
+    // A heavy-fault build emits far more than the default ring holds;
+    // widen it so campaign roots survive for the parent-join assertions.
+    itm_obs::trace::set_capacity(1 << 20);
+    itm_obs::trace::reset();
+    itm_obs::trace::set_enabled(true);
+    let map = TrafficMap::build_with(&s, &cfg, &ParallelExecutor::new(threads)).expect("map build");
+    let snap = itm_obs::trace::snapshot();
+    itm_obs::trace::set_enabled(false);
+    let chrome = serde_json::to_string(&itm_obs::chrome_trace(&snap)).unwrap();
+    let summary = MapSummary::extract(&s, &map)
+        .to_json()
+        .expect("serializable");
+    (chrome, snap, summary)
+}
+
+#[test]
+fn parallel_faulted_trace_is_deterministic_and_failures_have_parents() {
+    itm_obs::set_enabled(false);
+
+    let (chrome_a, snap, summary_a) = traced_build(8);
+    let (chrome_b, _, _) = traced_build(8);
+    let (chrome_seq, _, summary_seq) = traced_build(1);
+
+    // 1. Same seed, same thread count → byte-identical export.
+    assert_eq!(chrome_a, chrome_b, "8-thread trace differs run to run");
+
+    // 2. Thread count is invisible: replay sequences worker events on the
+    //    calling thread in shard order, so 1 and 8 threads export the
+    //    same bytes (and, as always, the same map).
+    assert_eq!(chrome_a, chrome_seq, "trace depends on thread count");
+    assert_eq!(summary_a, summary_seq, "map depends on thread count");
+
+    // 3. Heavy faults produce failures, and every one is causally rooted:
+    //    a ProbeFailed with no parent would be unexplainable evidence.
+    let failed: Vec<_> = snap
+        .records
+        .iter()
+        .filter(|r| r.kind == EventKind::ProbeFailed)
+        .collect();
+    assert!(
+        !failed.is_empty(),
+        "heavy fault plan produced no ProbeFailed events"
+    );
+    for r in &failed {
+        assert!(
+            r.parent.is_some(),
+            "ProbeFailed without a campaign parent: {:?}",
+            r.subjects
+        );
+        // The parent must be a real, earlier record in the same causal
+        // chain — a campaign root, not a dangling id.
+        let parent = snap
+            .records
+            .iter()
+            .find(|p| Some(p.id) == r.parent)
+            .unwrap_or_else(|| panic!("dangling parent id {:?}", r.parent));
+        assert_eq!(parent.trace, r.trace, "parent in a different trace");
+        assert!(parent.id < r.id, "parent sequenced after its child");
+        assert_eq!(parent.kind, EventKind::CampaignStarted);
+    }
+}

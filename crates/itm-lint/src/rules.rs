@@ -14,6 +14,14 @@
 //!   `#[derive(Serialize)]` / `#[derive(Deserialize)]`. Unordered
 //!   iteration feeding serialization makes byte output depend on hash
 //!   order; use `BTreeMap`/`BTreeSet` or sort explicitly.
+//! * **D004** — no thread spawns outside the registered executor file;
+//!   parallelism must flow through `itm_core::ParallelExecutor` so the
+//!   per-shard seed-domain discipline cannot be bypassed.
+//! * **D005** — no raw allocator access (`std::alloc`, `GlobalAlloc`,
+//!   `#[global_allocator]`) outside the registered wrapper file; memory
+//!   accounting flows through `itm_obs::alloc` so per-phase attribution
+//!   cannot be bypassed. (Harness code — binaries, benches, tests — may
+//!   still *install* the wrapper with `#[global_allocator]`.)
 //! * **P001** — no `unwrap()`, `expect()`, `panic!`, `unreachable!`,
 //!   `todo!`, `unimplemented!` in non-test library code; return
 //!   `ItmError` instead.
@@ -43,6 +51,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "D004",
         "thread spawn outside registered executor code (parallelism must flow through ParallelExecutor)",
+    ),
+    (
+        "D005",
+        "raw allocator access outside the registered wrapper (memory accounting flows through itm_obs::alloc)",
     ),
     (
         "P001",
@@ -127,6 +139,9 @@ pub fn check(model: &SourceModel, class: FileClass, file: &str) -> Vec<Finding> 
     }
     if class.applies("D004") {
         rule_d004(model, &mut raw, &mut mk, file);
+    }
+    if class.applies("D005") {
+        rule_d005(model, &mut raw, &mut mk, file);
     }
     if class.applies("P001") {
         rule_p001(model, &mut raw, &mut mk);
@@ -454,6 +469,50 @@ fn rule_d004(
                 t.line,
                 format!(
                     "`{}` spawns threads outside the registered executor; route parallelism through itm_core::ParallelExecutor",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// The one library file allowed to touch the raw allocator interface:
+/// the tracking wrapper itself. Everything else observes memory through
+/// `itm_obs::alloc`'s accounting API, so per-phase attribution (and the
+/// disabled-path byte-identity guarantee) cannot be bypassed.
+const ALLOC_FILES: &[&str] = &["crates/itm-obs/src/alloc.rs"];
+
+/// D005: raw allocator access (`std::alloc` paths, `GlobalAlloc`,
+/// `#[global_allocator]`) outside registered wrapper files.
+fn rule_d005(
+    model: &SourceModel,
+    out: &mut Vec<Finding>,
+    mk: &mut impl FnMut(&'static str, u32, String) -> Finding,
+    file: &str,
+) {
+    if ALLOC_FILES.iter().any(|f| file.ends_with(f)) {
+        return;
+    }
+    let toks = &model.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || model.line_is_test(t.line) {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "GlobalAlloc" | "global_allocator" => true,
+            // A `std::alloc` path segment (imports and direct calls both
+            // start this way); a bare identifier named `alloc` is not the
+            // allocator.
+            "alloc" => i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std",
+            _ => false,
+        };
+        if hit {
+            out.push(mk(
+                "D005",
+                t.line,
+                format!(
+                    "`{}` reaches the raw allocator outside the registered wrapper; account memory through itm_obs::alloc",
                     t.text
                 ),
             ));

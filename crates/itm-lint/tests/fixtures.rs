@@ -69,6 +69,43 @@ fn d004_does_not_apply_to_harness_code() {
 }
 
 #[test]
+fn d005_flags_raw_allocator_access() {
+    let (pairs, _) = hits("d005.rs");
+    // line 2: the std::alloc import; 6: the GlobalAlloc impl; 8/11: direct
+    // std::alloc calls; 15: the #[global_allocator] attribute.
+    assert_eq!(
+        pairs,
+        owned(&[
+            ("D005", 2),
+            ("D005", 6),
+            ("D005", 8),
+            ("D005", 11),
+            ("D005", 15),
+        ])
+    );
+}
+
+#[test]
+fn d005_is_silent_in_the_registered_wrapper_file() {
+    let src = fixture("d005.rs");
+    let (findings, _) = scan_source(&src, FileClass::Library, "crates/itm-obs/src/alloc.rs");
+    assert!(
+        findings.is_empty(),
+        "the tracking wrapper may touch the raw allocator: {findings:?}"
+    );
+}
+
+#[test]
+fn d005_does_not_apply_to_harness_code() {
+    let src = fixture("d005.rs");
+    let (findings, _) = scan_source(&src, FileClass::Harness, "d005.rs");
+    assert!(
+        findings.is_empty(),
+        "binaries/benches/tests install the global allocator: {findings:?}"
+    );
+}
+
+#[test]
 fn p001_flags_panics_not_prose_or_tests() {
     let (pairs, _) = hits("p001.rs");
     assert_eq!(pairs, owned(&[("P001", 3), ("P001", 4), ("P001", 6)]));

@@ -1,0 +1,22 @@
+// Fixture: D005 — raw allocator access. Never compiled; scanned by tests only.
+use std::alloc::Layout;
+
+pub struct Shadow;
+
+unsafe impl GlobalAlloc for Shadow {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        std::alloc::alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        std::alloc::dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static A: Shadow = Shadow;
+
+pub fn allocate(bytes: usize) -> usize {
+    // A local merely *named* alloc is not the allocator.
+    let alloc = bytes;
+    alloc
+}

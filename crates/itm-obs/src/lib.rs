@@ -37,11 +37,13 @@
 //! labels in `{key="value"}` suffix form, sorted by key. See
 //! DESIGN.md § Observability.
 
+pub mod alloc;
 pub mod chrome;
 mod histogram;
 pub mod provenance;
 mod registry;
 mod report;
+pub mod resource;
 mod span;
 pub mod trace;
 
@@ -50,6 +52,7 @@ pub use histogram::{Histogram, HistogramSnapshot};
 pub use provenance::{EvidenceChain, ProvenanceIndex};
 pub use registry::{Counter, Registry};
 pub use report::MetricsReport;
+pub use resource::ResourceReport;
 pub use span::{SpanGuard, SpanSnapshot};
 
 use std::sync::OnceLock;
@@ -95,9 +98,24 @@ pub fn span(name: &str) -> SpanGuard<'static> {
     global().span(name)
 }
 
-/// Snapshot the global registry.
+/// Snapshot the global registry. When allocation tracking
+/// ([`alloc::set_enabled`]) is on, the report additionally carries a
+/// [`ResourceReport`] (peak RSS, tracked bytes, per-phase attribution);
+/// otherwise `resources` stays `None` and the JSON rendering is unchanged
+/// from pre-profiler builds.
 pub fn snapshot() -> MetricsReport {
-    global().snapshot()
+    // Freeze the resource accounting before the registry snapshot: the
+    // snapshot itself allocates (bucket vectors whose sizes depend on
+    // which timing buckets are occupied), and those run-dependent bytes
+    // must not leak into totals that reproduce exactly.
+    let resources = if alloc::enabled() {
+        Some(ResourceReport::collect())
+    } else {
+        None
+    };
+    let mut report = global().snapshot();
+    report.resources = resources;
+    report
 }
 
 /// Zero every metric in the global registry (handles stay valid).

@@ -1,6 +1,7 @@
 //! The frozen, serializable view of a registry.
 
 use crate::histogram::HistogramSnapshot;
+use crate::resource::ResourceReport;
 use crate::span::SpanSnapshot;
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
@@ -18,6 +19,11 @@ pub struct MetricsReport {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Span timings, keyed by nested path.
     pub spans: BTreeMap<String, SpanSnapshot>,
+    /// Resource accounting (RSS + tracked allocations). Populated only by
+    /// the global [`crate::snapshot`] when allocation tracking is on;
+    /// `None` keeps the JSON rendering byte-identical to pre-profiler
+    /// reports.
+    pub resources: Option<ResourceReport>,
 }
 
 impl MetricsReport {
@@ -74,6 +80,11 @@ impl MetricsReport {
             let mut root = serde_json::Map::new();
             root.insert("counters".into(), Value::Object(counters));
             root.insert("histograms".into(), Value::Object(histograms));
+            // Only present when resource profiling ran: absent-key (not
+            // null) keeps unprofiled reports byte-identical to pre-PR 6.
+            if let Some(resources) = &self.resources {
+                root.insert("resources".into(), resources.to_json());
+            }
             root.insert("spans".into(), Value::Object(spans));
             root
         })

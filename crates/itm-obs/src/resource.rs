@@ -1,0 +1,171 @@
+//! The resource section of a metrics snapshot: OS-reported RSS plus the
+//! allocator-tracked accounting from [`crate::alloc`].
+//!
+//! RSS comes from `/proc/self/status` (`VmHWM` / `VmRSS`), so the two
+//! fields are `None` off Linux — and, like wall-clock span timings, they
+//! are *not* deterministic. The tracked-allocation fields are: totals and
+//! counts reproduce exactly for a deterministic workload (peaks only on a
+//! single thread; see `alloc` module docs).
+
+use crate::alloc::{AllocStats, PhaseAllocStats};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Frozen resource accounting attached to a [`crate::MetricsReport`] when
+/// allocation tracking is enabled.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceReport {
+    /// Peak resident set size (`VmHWM`), bytes. `None` off Linux.
+    pub peak_rss_bytes: Option<u64>,
+    /// Current resident set size (`VmRSS`), bytes. `None` off Linux.
+    pub current_rss_bytes: Option<u64>,
+    /// Process-wide allocator-tracked accounting.
+    pub alloc: AllocStats,
+    /// Per-phase accounting, keyed by phase (= span path) name.
+    pub phases: BTreeMap<String, PhaseAllocStats>,
+}
+
+impl ResourceReport {
+    /// Snapshot the current process: tracked counters from
+    /// [`crate::alloc`] plus RSS from the OS.
+    ///
+    /// The allocator counters are frozen *first*: reading procfs
+    /// allocates (and `/proc/self/status` varies in length with the RSS
+    /// digit count), so sampling it earlier would leak run-dependent
+    /// bytes into totals that must reproduce exactly.
+    pub fn collect() -> ResourceReport {
+        let alloc = crate::alloc::stats();
+        let phases = crate::alloc::phase_stats().into_iter().collect();
+        let (peak_rss_bytes, current_rss_bytes) = read_proc_rss();
+        ResourceReport {
+            peak_rss_bytes,
+            current_rss_bytes,
+            alloc,
+            phases,
+        }
+    }
+
+    /// The top `n` phases by total bytes allocated, descending (name ties
+    /// break alphabetically, so the order is deterministic).
+    pub fn top_phases(&self, n: usize) -> Vec<(&str, &PhaseAllocStats)> {
+        let mut phases: Vec<_> = self.phases.iter().collect();
+        phases.sort_by(|a, b| b.1.total_bytes.cmp(&a.1.total_bytes).then(a.0.cmp(b.0)));
+        phases
+            .into_iter()
+            .take(n)
+            .map(|(name, s)| (name.as_str(), s))
+            .collect()
+    }
+
+    /// Render as a JSON value (deterministic key order; RSS fields are
+    /// `null` when unavailable).
+    pub fn to_json(&self) -> Value {
+        let mut phases = serde_json::Map::new();
+        for (name, p) in &self.phases {
+            phases.insert(
+                name.clone(),
+                json!({
+                    "current_bytes": p.current_bytes,
+                    "peak_bytes": p.peak_bytes,
+                    "total_bytes": p.total_bytes,
+                    "allocs": p.allocs,
+                }),
+            );
+        }
+        Value::Object({
+            let mut root = serde_json::Map::new();
+            root.insert("peak_rss_bytes".into(), opt(self.peak_rss_bytes));
+            root.insert("current_rss_bytes".into(), opt(self.current_rss_bytes));
+            root.insert(
+                "tracked".into(),
+                json!({
+                    "current_bytes": self.alloc.current_bytes,
+                    "peak_bytes": self.alloc.peak_bytes,
+                    "total_bytes": self.alloc.total_bytes,
+                    "allocs": self.alloc.allocs,
+                    "deallocs": self.alloc.deallocs,
+                }),
+            );
+            root.insert("phases".into(), Value::Object(phases));
+            root
+        })
+    }
+}
+
+fn opt(v: Option<u64>) -> Value {
+    match v {
+        Some(v) => Value::from(v),
+        None => Value::Null,
+    }
+}
+
+/// `(VmHWM, VmRSS)` in bytes from `/proc/self/status`, `(None, None)`
+/// where procfs is absent.
+pub fn read_proc_rss() -> (Option<u64>, Option<u64>) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (None, None);
+    };
+    (
+        parse_status_kb(&status, "VmHWM:").map(|kb| kb * 1024),
+        parse_status_kb(&status, "VmRSS:").map(|kb| kb * 1024),
+    )
+}
+
+/// Parse a `Key:   1234 kB` line out of `/proc/self/status` text.
+fn parse_status_kb(status: &str, key: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with(key))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::PhaseAllocStats;
+
+    #[test]
+    fn parse_status_lines() {
+        let status = "Name:\trepro\nVmHWM:\t  204800 kB\nVmRSS:\t  102400 kB\n";
+        assert_eq!(parse_status_kb(status, "VmHWM:"), Some(204800));
+        assert_eq!(parse_status_kb(status, "VmRSS:"), Some(102400));
+        assert_eq!(parse_status_kb(status, "VmSwap:"), None);
+    }
+
+    #[test]
+    fn proc_rss_reads_on_linux() {
+        let (hwm, rss) = read_proc_rss();
+        if cfg!(target_os = "linux") {
+            assert!(hwm.unwrap() > 0);
+            assert!(rss.unwrap() > 0);
+            assert!(hwm.unwrap() >= rss.unwrap());
+        }
+    }
+
+    #[test]
+    fn top_phases_sorts_by_total_then_name() {
+        let mut report = ResourceReport::default();
+        for (name, total) in [("b", 100u64), ("a", 100), ("c", 500), ("d", 1)] {
+            report.phases.insert(
+                name.into(),
+                PhaseAllocStats {
+                    total_bytes: total,
+                    ..Default::default()
+                },
+            );
+        }
+        let top: Vec<&str> = report.top_phases(3).iter().map(|(n, _)| *n).collect();
+        assert_eq!(top, ["c", "a", "b"]);
+    }
+
+    #[test]
+    fn json_renders_null_rss_when_absent() {
+        let report = ResourceReport::default();
+        let text = serde_json::to_string(&report.to_json()).unwrap();
+        assert!(text.contains("\"peak_rss_bytes\":null"), "{text}");
+        assert!(text.contains("\"tracked\""), "{text}");
+    }
+}

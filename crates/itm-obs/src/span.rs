@@ -36,6 +36,11 @@ struct Active<'a> {
     /// Stack depth this span pushed at (for drop-order robustness).
     depth: usize,
     start: Instant,
+    /// Allocation-attribution scope for the same path, held while the
+    /// span is live so the span annotations double as memory phases.
+    /// `None` when allocation tracking is off (or the phase table is
+    /// full).
+    _phase: Option<crate::alloc::PhaseGuard>,
 }
 
 impl<'a> SpanGuard<'a> {
@@ -61,6 +66,14 @@ impl<'a> SpanGuard<'a> {
             crate::trace::Subjects::none(),
             &path,
         );
+        // When the tracking allocator is collecting, make this span the
+        // current thread's allocation phase: every span path becomes a
+        // row in ResourceReport.phases with zero extra call sites.
+        let phase = if crate::alloc::enabled() {
+            crate::alloc::register_phase(&path).map(crate::alloc::enter_phase)
+        } else {
+            None
+        };
         SpanGuard {
             active: Some(Active {
                 registry,
@@ -68,6 +81,7 @@ impl<'a> SpanGuard<'a> {
                 depth,
                 // itm-lint: allow(D001): span timing is observability-only wall time and never feeds the map
                 start: Instant::now(),
+                _phase: phase,
             }),
         }
     }

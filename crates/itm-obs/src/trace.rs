@@ -283,9 +283,81 @@ thread_local! {
     static CTX: RefCell<Vec<(TraceId, EventId)>> = const { RefCell::new(Vec::new()) };
     /// This thread's dense trace tid.
     static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Deferred-emission buffer: while `Some`, [`emit`] on this thread
+    /// stores pending events here instead of sequencing them into the
+    /// global log. Installed by [`capture_begin`] on executor worker
+    /// threads; drained by [`capture_take`].
+    static CAPTURE: RefCell<Option<Vec<PendingEvent>>> = const { RefCell::new(None) };
 }
 
 static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+/// One emission deferred by a capture scope: everything [`emit`] was
+/// called with, minus the sequence number it has not been assigned yet.
+#[derive(Debug, Clone)]
+struct PendingEvent {
+    technique: Technique,
+    kind: EventKind,
+    subjects: Subjects,
+    detail: String,
+}
+
+/// Events deferred on a worker thread between [`capture_begin`] and
+/// [`capture_take`], waiting to be [`replay`]ed. Opaque: the only useful
+/// thing to do with one is hand it back in a deterministic order.
+#[derive(Debug, Default)]
+pub struct CapturedEvents {
+    events: Vec<PendingEvent>,
+}
+
+impl CapturedEvents {
+    /// Number of deferred events held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Begin deferring this thread's [`emit`] calls into a capture buffer.
+///
+/// This is the executor's half of the deterministic-parallel-trace
+/// protocol (`ParallelExecutor::map`): each worker captures the events
+/// its shard job emits, and the calling thread [`replay`]s the buffers in
+/// shard-index order after the barrier. Sequence numbers — and therefore
+/// virtual timestamps, trace ids, and campaign parents — are assigned at
+/// replay, on the replaying thread, so the resulting trace is
+/// byte-identical to a single-threaded run of the same shards.
+///
+/// Scoped to the calling thread; replaces any buffer already installed.
+/// Campaign scopes must not be opened while a capture is active (their
+/// root event would need a sequence number before its children); shard
+/// jobs in this workspace never open campaigns — campaigns wrap the
+/// `map` call on the coordinating thread.
+pub fn capture_begin() {
+    CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+}
+
+/// Stop capturing on this thread and take the deferred events.
+pub fn capture_take() -> CapturedEvents {
+    CapturedEvents {
+        events: CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default(),
+    }
+}
+
+/// Sequence previously captured events into the global log, in order, as
+/// if they had been emitted on the calling thread — they inherit its
+/// campaign scope (so a worker's `ProbeFailed` gets the campaign root as
+/// parent) and its trace tid.
+pub fn replay(captured: CapturedEvents) {
+    let l = log();
+    for e in captured.events {
+        l.emit(e.technique, e.kind, e.subjects, &e.detail);
+    }
+}
 
 /// RAII guard for one campaign scope: while alive, events emitted on this
 /// thread carry the campaign's [`TraceId`] and root [`EventId`] as parent.
@@ -547,6 +619,11 @@ pub fn set_capacity(capacity: usize) {
 }
 
 /// Emit one event to the global log (single relaxed load when disabled).
+///
+/// While a capture scope ([`capture_begin`]) is active on this thread the
+/// event is deferred instead of sequenced, and `None` is returned — no
+/// caller in this workspace consumes the id, and deferred events receive
+/// theirs at [`replay`].
 #[inline]
 pub fn emit(
     technique: Technique,
@@ -554,7 +631,27 @@ pub fn emit(
     subjects: Subjects,
     detail: &str,
 ) -> Option<EventId> {
-    log().emit(technique, kind, subjects, detail)
+    let l = log();
+    if !l.enabled() {
+        return None;
+    }
+    let deferred = CAPTURE.with(|c| {
+        if let Some(buf) = c.borrow_mut().as_mut() {
+            buf.push(PendingEvent {
+                technique,
+                kind,
+                subjects,
+                detail: detail.to_string(),
+            });
+            true
+        } else {
+            false
+        }
+    });
+    if deferred {
+        return None;
+    }
+    l.emit(technique, kind, subjects, detail)
 }
 
 /// Open a campaign scope on the global log.

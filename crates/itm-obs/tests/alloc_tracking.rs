@@ -1,0 +1,96 @@
+//! End-to-end allocation tracking through a real installed
+//! `#[global_allocator]` — the unit tests in `itm_obs::alloc` drive the
+//! accounting hooks directly; this binary checks the wrapper actually
+//! observes Rust allocations once installed, that span guards double as
+//! attribution phases, and that [`itm_obs::snapshot`] attaches (and JSON
+//! renders) the resource section only while tracking is on.
+//!
+//! One test body: the counters are process-global.
+
+use itm_obs::alloc;
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: alloc::TrackingAlloc = alloc::TrackingAlloc::new();
+
+#[test]
+fn installed_allocator_tracks_attributes_and_reports() {
+    // --- Disabled (the default): allocations leave no trace. ---
+    assert!(!alloc::enabled());
+    black_box(vec![0u8; 64 * 1024]);
+    let silent = alloc::stats();
+    assert_eq!(silent, alloc::AllocStats::default(), "tracked while off");
+
+    // --- Enabled: a known allocation is counted, then freed. ---
+    alloc::set_enabled(true);
+    alloc::reset();
+    let before = alloc::stats();
+    let buf = black_box(vec![7u8; 100_000]);
+    let live = alloc::stats();
+    assert!(live.allocs > before.allocs);
+    assert!(
+        live.total_bytes >= before.total_bytes + 100_000,
+        "100 KB allocation not counted: {live:?}"
+    );
+    assert!(live.current_bytes >= 100_000);
+    assert!(live.peak_bytes >= live.current_bytes);
+    drop(buf);
+    let freed = alloc::stats();
+    assert!(freed.deallocs > live.deallocs);
+    assert!(freed.current_bytes <= live.current_bytes - 100_000);
+    // Totals are monotone; the peak remembers the high-water mark.
+    assert!(freed.total_bytes >= live.total_bytes);
+    assert!(freed.peak_bytes >= 100_000);
+
+    // --- Explicit phase attribution. ---
+    let slot = alloc::register_phase("test.explicit").expect("phase table full");
+    {
+        let _g = alloc::enter_phase(slot);
+        black_box(vec![1u8; 50_000]);
+    }
+    let phases = alloc::phase_stats();
+    let (_, explicit) = phases
+        .iter()
+        .find(|(n, _)| n == "test.explicit")
+        .expect("registered phase missing from snapshot");
+    assert!(explicit.total_bytes >= 50_000, "{explicit:?}");
+    assert!(explicit.allocs >= 1);
+    assert!(explicit.peak_bytes >= 50_000);
+
+    // --- Span guards double as phases: no extra call sites needed. ---
+    itm_obs::set_enabled(true);
+    {
+        let _span = itm_obs::span("alloc_it.span_phase");
+        black_box(vec![2u8; 40_000]);
+    }
+    let phases = alloc::phase_stats();
+    let (_, span_phase) = phases
+        .iter()
+        .find(|(n, _)| n == "alloc_it.span_phase")
+        .expect("span path was not registered as a phase");
+    assert!(span_phase.total_bytes >= 40_000, "{span_phase:?}");
+
+    // --- snapshot() attaches resources while tracking is on… ---
+    let report = itm_obs::snapshot();
+    let resources = report.resources.as_ref().expect("resources missing");
+    assert!(resources.alloc.total_bytes > 0);
+    assert!(resources.phases.contains_key("alloc_it.span_phase"));
+    if cfg!(target_os = "linux") {
+        assert!(resources.peak_rss_bytes.unwrap() > 0);
+        assert!(resources.current_rss_bytes.unwrap() > 0);
+    }
+    let json = serde_json::to_string(&report.to_json()).unwrap();
+    assert!(json.contains("\"resources\""), "{json}");
+    assert!(json.contains("\"tracked\""), "{json}");
+
+    // --- …and stays byte-compatible with pre-profiler reports when off. ---
+    alloc::set_enabled(false);
+    let report = itm_obs::snapshot();
+    assert!(report.resources.is_none());
+    let json = serde_json::to_string(&report.to_json()).unwrap();
+    assert!(
+        !json.contains("\"resources\""),
+        "resources key must be absent (not null) when tracking is off: {json}"
+    );
+    itm_obs::set_enabled(false);
+}
