@@ -10,6 +10,8 @@
 //! cargo run --release -p itm-bench --bin repro -- --exp map --threads 8
 //! cargo run --release -p itm-bench --bin repro -- --size small --explain pfx0 svc0
 //! cargo run --release -p itm-bench --bin repro -- --exp map --faults light
+//! cargo run --release -p itm-bench --bin repro -- --exp map --audit
+//! cargo run --release -p itm-bench --bin repro -- --exp map --audit out=q.json
 //! cargo run --release -p itm-bench --bin repro -- --bench-record
 //! cargo run --release -p itm-bench --bin repro -- --bench-record --size small,default
 //! ```
@@ -34,6 +36,15 @@
 //! `--bench-baseline FILE` exits 1 if peak tracked bytes regress more
 //! than 10% against the matching rows of a baseline trajectory).
 //!
+//! `--audit [out=FILE]` scores every measurement technique against the
+//! substrate's ground truth and writes a schema-versioned
+//! `results/map_quality.json` (per-technique precision/recall/coverage
+//! with service-class and population-tier breakdowns, the per-cell
+//! disagreement index, pairwise agreement). The report is byte-identical
+//! at any `--threads`, composes with `--faults` (a `faults` section
+//! appears exactly as in the map summary), and with it off no artifact
+//! changes by a byte.
+//!
 //! `--metrics` also turns on allocation profiling: `metrics.json` gains a
 //! `resources` section (peak RSS, allocator-tracked bytes, per-phase
 //! attribution). Profiling never changes map bytes — with it off, output
@@ -44,7 +55,7 @@ use itm_core::{MapConfig, MapSummary, ParallelExecutor, TrafficMap};
 use itm_measure::{Substrate, SubstrateConfig};
 use itm_obs::ProvenanceIndex;
 use itm_topology::TopologyConfig;
-use itm_types::FaultPlan;
+use itm_types::{FaultPlan, PrefixId, ServiceId};
 use std::io::Write;
 use std::time::Instant;
 
@@ -104,6 +115,9 @@ struct Args {
     trace: Option<Option<String>>,
     /// `--explain <prefix> <service>`: explain one map edge and exit.
     explain: Option<(String, String)>,
+    /// `--audit` was given; `Some(spec)` if it carried a sub-option
+    /// string (`out=FILE`), `None` for the defaults.
+    audit: Option<Option<String>>,
     /// Fault plan the map build runs under (default: off).
     faults: FaultPlan,
     /// `--threads` was given explicitly (bench-record defaults to one
@@ -126,10 +140,15 @@ fn usage() -> String {
     format!(
         "usage: repro [--exp <id>] [--seed N] [--size small|default|large] \
          [--threads N] [--ablations] [--metrics] [--trace [FILE]] \
-         [--explain PREFIX SERVICE] [--faults off|light|heavy|FILE] [--out DIR] \
-         [--bench-record] [--bench-out FILE] [--bench-baseline FILE]\n\
+         [--audit [out=FILE]] [--explain PREFIX SERVICE] \
+         [--faults off|light|heavy|FILE] [--out DIR] \
+         [--bench-record] [--bench-out FILE] [--bench-baseline FILE] \
+         [--help|-h]\n\
          with --bench-record, --size takes a comma list (default \
          small,default,large) and --threads defaults to 1;\n\
+         --audit writes <out>/map_quality.json (override with out=FILE) and \
+         needs a map-building experiment: map table1 fig1a fig1b fig2 \
+         coverage ecs;\n\
          PREFIX is pfxN, a bare index, or a /24 like 10.0.0.0/24;\n\
          SERVICE is svcN, a bare index, or a domain like svc0.example;\n\
          a --faults FILE is a JSON object with any of: loss, timeout, \
@@ -154,6 +173,7 @@ fn parse_args() -> Args {
             .unwrap_or(1),
         trace: None,
         explain: None,
+        audit: None,
         faults: FaultPlan::off(),
         threads_explicit: false,
         size_explicit: false,
@@ -235,6 +255,16 @@ fn parse_args() -> Args {
                 }
                 None => {
                     args.trace = Some(None);
+                    i += 1;
+                }
+            },
+            "--audit" => match value(i) {
+                Some(spec) => {
+                    args.audit = Some(Some(spec));
+                    i += 2;
+                }
+                None => {
+                    args.audit = Some(None);
                     i += 1;
                 }
             },
@@ -585,6 +615,39 @@ fn fault_plan_from_json(text: &str) -> Result<FaultPlan, serde_json::Error> {
     })
 }
 
+/// Experiments that build (and share) the full traffic map.
+fn needs_map(id: &str) -> bool {
+    matches!(
+        id,
+        "map" | "table1" | "fig1a" | "fig1b" | "fig2" | "coverage" | "ecs"
+    )
+}
+
+/// Resolve a `--audit` sub-option string: a comma list of `key=value`
+/// pairs where the only recognized key is `out` (the report path).
+/// Unknown sub-options are usage errors (exit 2), caught before any
+/// expensive work. Returns the explicit output path, if one was given.
+fn parse_audit_out(spec: &str) -> Option<String> {
+    let mut out = None;
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('=') {
+            Some(("out", path)) if !path.is_empty() => out = Some(path.to_string()),
+            _ => {
+                eprintln!(
+                    "--audit: unknown sub-option {part:?} (expected out=FILE)\n{}",
+                    usage()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
 fn config_for(size: &str) -> SubstrateConfig {
     match size {
         "small" => SubstrateConfig::small(),
@@ -674,9 +737,11 @@ fn explain_edge(s: &Substrate, pfx_arg: &str, svc_arg: &str, faults: &FaultPlan)
     eprintln!("building map with tracing enabled…");
     let map_cfg = MapConfig {
         faults: faults.clone(),
+        // Claim tables feed the per-technique verdict lines below.
+        record_claims: true,
         ..Default::default()
     };
-    let _map = TrafficMap::build(s, &map_cfg).expect("map build");
+    let map = TrafficMap::build(s, &map_cfg).expect("map build");
     eprintln!("  map built [{:.1?}]", t.elapsed());
     let snap = itm_obs::trace::snapshot();
     eprintln!(
@@ -685,10 +750,10 @@ fn explain_edge(s: &Substrate, pfx_arg: &str, svc_arg: &str, faults: &FaultPlan)
         snap.dropped_events
     );
     let index = ProvenanceIndex::build(&snap);
-    match index.explain(prefix, service) {
+    let found = match index.explain(prefix, service) {
         Some(chain) => {
             println!("{}", chain.render());
-            std::process::exit(0);
+            true
         }
         None => {
             let failures = index.failures(prefix, service);
@@ -717,8 +782,57 @@ fn explain_edge(s: &Substrate, pfx_arg: &str, svc_arg: &str, faults: &FaultPlan)
                     eprintln!("  … and {} more", failures.len() - FAILURE_CAP);
                 }
             }
-            std::process::exit(1);
+            false
         }
+    };
+    print_cell_verdicts(s, &map, prefix, service);
+    std::process::exit(if found { 0 } else { 1 });
+}
+
+/// The `--explain` quality addendum: what every replica estimator claims
+/// for the cell, how each claim scores against the substrate's ground
+/// truth, and the estimator's overall accuracy on this build for context.
+fn print_cell_verdicts(s: &Substrate, map: &TrafficMap, prefix: u32, service: u32) {
+    let rebuilt;
+    let claims = match map.claims.as_ref() {
+        Some(c) => c,
+        None => {
+            rebuilt = itm_core::MapClaims::record(s, map);
+            &rebuilt
+        }
+    };
+    let t = Instant::now();
+    eprintln!("scoring techniques against ground truth…");
+    let q = itm_core::audit(s, map);
+    eprintln!("  audit done [{:.1?}]", t.elapsed());
+    let (truth, verdicts) =
+        itm_core::audit::explain_cell(s, map, claims, PrefixId(prefix), ServiceId(service));
+    println!(
+        "\ntechnique verdicts for pfx{prefix} × svc{service} (ground truth: AS{}):",
+        truth.raw()
+    );
+    for v in &verdicts {
+        let claim = match v.claimed {
+            Some(a) => format!("AS{}", a.raw()),
+            None => "-".to_string(),
+        };
+        let ctx = q
+            .techniques
+            .get(v.technique)
+            .map(|t| {
+                format!(
+                    "overall precision {:.3}, coverage {:.3}",
+                    t.overall.precision(),
+                    t.overall.coverage()
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "  {:<13} {:<12} {:<10} ({ctx})",
+            v.technique,
+            v.verdict.as_str(),
+            claim
+        );
     }
 }
 
@@ -736,6 +850,30 @@ fn main() {
             .unwrap_or_else(|| format!("{}/trace.json", args.out_dir))
     });
     if let Some(path) = &trace_file {
+        require_writable_file(path);
+    }
+
+    // Resolve the audit destination and preflight it the same way. An
+    // audit needs the assembled map, so `--exp` (when given) must name a
+    // map-building experiment — also checked before the substrate build.
+    let audit_file: Option<String> = args.audit.as_ref().map(|spec| {
+        spec.as_deref()
+            .and_then(parse_audit_out)
+            .unwrap_or_else(|| format!("{}/map_quality.json", args.out_dir))
+    });
+    if audit_file.is_some() {
+        if let Some(exp) = args.exp.as_deref() {
+            if !needs_map(exp) {
+                eprintln!(
+                    "--audit needs a map-building experiment (map table1 fig1a \
+                     fig1b fig2 coverage ecs), got {exp:?}\n{}",
+                    usage()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &audit_file {
         require_writable_file(path);
     }
 
@@ -782,12 +920,6 @@ fn main() {
     }
 
     // Experiments that need the full map share one build.
-    let needs_map = |id: &str| {
-        matches!(
-            id,
-            "map" | "table1" | "fig1a" | "fig1b" | "fig2" | "coverage" | "ecs"
-        )
-    };
     let want = |id: &str| args.exp.as_deref().map(|e| e == id).unwrap_or(true);
 
     let map = if ["map", "table1", "fig1a", "fig1b", "fig2", "coverage", "ecs"]
@@ -812,6 +944,7 @@ fn main() {
         let exec = ParallelExecutor::new(args.threads);
         let map_cfg = MapConfig {
             faults: args.faults.clone(),
+            record_claims: audit_file.is_some(),
             ..Default::default()
         };
         let m = TrafficMap::build_with(&s, &map_cfg, &exec).expect("map build");
@@ -820,6 +953,41 @@ fn main() {
     } else {
         None
     };
+
+    // The quality audit: score every technique against ground truth and
+    // write the schema-versioned report. Pure function of (substrate,
+    // map), so it is byte-identical at any thread count; with --audit off
+    // no artifact changes by a byte.
+    if let (Some(path), Some(map)) = (&audit_file, &map) {
+        let t = Instant::now();
+        eprintln!("auditing map quality…");
+        let q = itm_core::audit(&s, map);
+        assert!(q.is_consistent(), "audit accounting invariant violated");
+        let mut v = q.to_json_value();
+        // A faulted audit carries the per-technique fault accounting,
+        // exactly as the map summary does; a clean one omits the key.
+        if !map.fault_report.is_empty() {
+            if let serde_json::Value::Object(root) = &mut v {
+                let mut faults = serde_json::Map::new();
+                for (technique, st) in &map.fault_report {
+                    faults.insert(
+                        technique.clone(),
+                        serde_json::json!({
+                            "issued": st.issued(),
+                            "observed": st.observed,
+                            "degraded": st.degraded,
+                            "lost": st.lost,
+                            "retries": st.retries,
+                        }),
+                    );
+                }
+                root.insert("faults".into(), serde_json::Value::Object(faults));
+            }
+        }
+        let text = serde_json::to_string_pretty(&v).expect("serializable");
+        std::fs::write(path, text).expect("write audit report");
+        eprintln!("  wrote {path} [{:.1?}]", t.elapsed());
+    }
 
     let mut results: Vec<ExperimentResult> = Vec::new();
     let mut run = |id: &str, f: &mut dyn FnMut() -> ExperimentResult| {

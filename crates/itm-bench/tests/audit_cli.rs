@@ -1,0 +1,124 @@
+//! End-to-end contract of `repro --audit`: the quality report is
+//! byte-identical at any `--threads`, composes with `--faults`, and —
+//! crucially — leaves every other artifact byte-identical whether the
+//! flag is on or off.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A scratch directory unique to this test process.
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("audit-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn run_map(out_dir: &std::path::Path, extra: &[&str]) {
+    let mut args = vec![
+        "--exp",
+        "map",
+        "--size",
+        "small",
+        "--seed",
+        "42",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ];
+    args.extend_from_slice(extra);
+    let out = repro(&args);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn audit_report_is_byte_identical_across_thread_counts() {
+    let d1 = scratch().join("threads-1");
+    let d8 = scratch().join("threads-8");
+    run_map(&d1, &["--audit", "--threads", "1"]);
+    run_map(&d8, &["--audit", "--threads", "8"]);
+    let a = std::fs::read(d1.join("map_quality.json")).unwrap();
+    let b = std::fs::read(d8.join("map_quality.json")).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "map_quality.json differs across thread counts");
+
+    // The report is schema-versioned and carries every plane.
+    let v: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(a.clone()).unwrap()).unwrap();
+    assert_eq!(v.get("schema_version").and_then(|s| s.as_u64()), Some(1));
+    let techniques = match v.get("techniques") {
+        Some(serde_json::Value::Object(m)) => m,
+        other => panic!("techniques is not an object: {other:?}"),
+    };
+    for name in [
+        "ecs",
+        "anycast",
+        "tls_nearest",
+        "catalog_prior",
+        "fused",
+        "cache_probe",
+        "root_crawl",
+        "cloud_probe",
+    ] {
+        let t = techniques
+            .get(name)
+            .unwrap_or_else(|| panic!("no technique {name}"));
+        let f = |k: &str| t.get(k).and_then(|x| x.as_u64()).unwrap_or(u64::MAX);
+        assert_eq!(
+            f("asserted") + f("contradicted") + f("silent"),
+            f("cells"),
+            "accounting broken for {name}"
+        );
+    }
+    // A clean audit carries no faults section.
+    assert!(v.get("faults").is_none());
+}
+
+#[test]
+fn audit_leaves_other_artifacts_byte_identical() {
+    let plain = scratch().join("plain");
+    let audited = scratch().join("audited");
+    run_map(&plain, &[]);
+    run_map(&audited, &["--audit"]);
+    assert!(!plain.join("map_quality.json").exists());
+    assert!(audited.join("map_quality.json").exists());
+    // summary.txt embeds wall-clock timing, so only the deterministic
+    // artifacts are compared byte-for-byte.
+    for artifact in ["map_summary.json", "map.csv"] {
+        let a = std::fs::read(plain.join(artifact)).unwrap();
+        let b = std::fs::read(audited.join(artifact)).unwrap();
+        assert_eq!(a, b, "--audit changed {artifact}");
+    }
+}
+
+#[test]
+fn audit_composes_with_faults_and_custom_out() {
+    let dir = scratch().join("faulted");
+    let custom = scratch().join("custom-quality.json");
+    let spec = format!("out={}", custom.to_str().unwrap());
+    run_map(&dir, &["--audit", &spec, "--faults", "light"]);
+    assert!(!dir.join("map_quality.json").exists(), "out= was ignored");
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&custom).unwrap()).unwrap();
+    // The fault ledger rides along, same shape as in the map summary.
+    let faults = match v.get("faults") {
+        Some(serde_json::Value::Object(m)) => m,
+        other => panic!("faulted audit lacks faults section: {other:?}"),
+    };
+    for name in ["cache_probe", "ecs_mapping", "cloud_probe"] {
+        assert!(faults.get(name).is_some(), "no fault row for {name}");
+    }
+    // The scored rates stay valid under faults.
+    let recall = v
+        .get("techniques")
+        .and_then(|t| t.get("ecs"))
+        .and_then(|t| t.get("recall"))
+        .and_then(|r| r.as_f64())
+        .expect("ecs recall");
+    assert!((0.0..=1.0).contains(&recall), "recall {recall}");
+}

@@ -56,6 +56,46 @@ fn unwritable_trace_file_exits_2() {
 }
 
 #[test]
+fn unwritable_audit_file_exits_2() {
+    let out_dir = scratch().join("audit-ok-out");
+    let target = format!("out={}", unwritable("quality.json"));
+    let out = repro(&[
+        "--exp",
+        "map",
+        "--out",
+        out_dir.to_str().unwrap(),
+        "--audit",
+        &target,
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    // The preflight fires before the substrate build starts.
+    assert!(err.contains("is not writable"), "{err}");
+    assert!(!err.contains("building substrate"), "{err}");
+}
+
+#[test]
+fn unknown_audit_sub_option_exits_2() {
+    for bad in ["frobnicate=1", "out=", "quality.json"] {
+        let out = repro(&["--exp", "map", "--audit", bad]);
+        assert_eq!(out.status.code(), Some(2), "--audit {bad}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown sub-option"), "{err}");
+        assert!(err.contains("usage: repro"), "{err}");
+        assert!(!err.contains("building substrate"), "{err}");
+    }
+}
+
+#[test]
+fn audit_with_non_map_experiment_exits_2() {
+    let out = repro(&["--exp", "pathlen", "--audit"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("map-building experiment"), "{err}");
+    assert!(!err.contains("building substrate"), "{err}");
+}
+
+#[test]
 fn bad_threads_exits_2() {
     for bad in ["0", "eight"] {
         let out = repro(&["--threads", bad]);

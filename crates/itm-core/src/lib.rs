@@ -19,6 +19,10 @@
 //! * [`recommend`] — the §3.3.3 peering recommender: score co-located
 //!   non-adjacent AS pairs by peering-profile similarity, evaluate against
 //!   held-out ground truth (E10).
+//! * [`audit`] — the map-quality observatory: score every measurement
+//!   technique's view against substrate ground truth (per-technique
+//!   precision/recall/coverage, per-cell disagreement, pairwise
+//!   agreement — the `repro --audit` backend).
 //! * [`outage`] — the §2.1 use case: "to assess the impact of an outage in
 //!   a ⟨region, AS⟩, the map can tell us which popular services are
 //!   affected, which prefixes are affected, what fraction of traffic or
@@ -27,6 +31,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod audit;
 pub mod coverage;
 pub mod exec;
 pub mod map;
@@ -36,6 +41,7 @@ pub mod recommend;
 pub mod summary;
 pub mod weighted;
 
+pub use audit::{audit, CellVerdict, MapClaims};
 pub use coverage::{CoverageReport, Table1Row};
 pub use exec::ParallelExecutor;
 pub use map::{MapConfig, TrafficMap};

@@ -43,6 +43,12 @@ pub struct MapConfig {
     /// Fault plan the campaigns run under (off by default: the clean,
     /// byte-identical-to-seed pipeline).
     pub faults: FaultPlan,
+    /// Record per-cell claim bitmaps and per-technique claim tables
+    /// ([`crate::audit::MapClaims`]) at assembly time, for the quality
+    /// audit and `--explain` verdicts. Off by default: a clean build's
+    /// memory profile and summary are unchanged.
+    #[serde(default)]
+    pub record_claims: bool,
 }
 
 impl Default for MapConfig {
@@ -53,6 +59,7 @@ impl Default for MapConfig {
             scan: ScanConfig::default(),
             anycast_noise: 0.15,
             faults: FaultPlan::off(),
+            record_claims: false,
         }
     }
 }
@@ -88,6 +95,10 @@ pub struct TrafficMap {
     /// technique equals the probes issued). Empty when the map was built
     /// with faults off, so clean builds stay byte-identical.
     pub fault_report: BTreeMap<String, FaultStats>,
+    /// Per-cell claim bitmaps and per-technique claim tables, recorded
+    /// when [`MapConfig::record_claims`] is set (`None` otherwise — the
+    /// audit rebuilds them on demand).
+    pub claims: Option<crate::audit::MapClaims>,
 }
 
 impl TrafficMap {
@@ -265,7 +276,7 @@ impl TrafficMap {
             fault_report.insert("cloud_probe".into(), cloud_result.fault_stats);
         }
 
-        Ok(TrafficMap {
+        let mut map = TrafficMap {
             user_prefixes,
             activity,
             onnet_servers,
@@ -279,7 +290,14 @@ impl TrafficMap {
             root_result,
             cloud_result,
             fault_report,
-        })
+            claims: None,
+        };
+        // Claim recording reads the assembled map, so it runs last; gated
+        // because the tables cost memory a clean build must not pay.
+        if cfg.record_claims {
+            map.claims = Some(crate::audit::MapClaims::record(s, &map));
+        }
+        Ok(map)
     }
 
     /// Predict the AS path from a client AS toward the AS serving

@@ -252,6 +252,20 @@ impl CacheProbeResult {
         out
     }
 
+    /// Dense presence-claim bitmap: `true` at each discovered prefix
+    /// index. This is cache probing's claim surface for the quality
+    /// audit — the technique asserts "this /24 hosts users", for every
+    /// service (it is service-agnostic at cell granularity).
+    pub fn presence_claims(&self, n_prefixes: usize) -> Vec<bool> {
+        let mut out = vec![false; n_prefixes];
+        for &p in &self.discovered {
+            if let Some(slot) = out.get_mut(p.index()) {
+                *slot = true;
+            }
+        }
+        out
+    }
+
     /// False-discovery rate: fraction of discovered prefixes that host no
     /// users at all (the "<1% of identified client prefixes did not
     /// contact Microsoft" check from \[34\]).

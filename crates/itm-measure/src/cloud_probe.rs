@@ -132,6 +132,13 @@ impl CloudProbeResult {
             .collect()
     }
 
+    /// The discovered link set in normalized `Link::key()` form — the
+    /// cloud-probe technique's claim table for the route-plane quality
+    /// audit.
+    pub fn claimed_links(&self) -> &BTreeSet<(Asn, Asn)> {
+        &self.links
+    }
+
     /// Fraction of the clouds' own peering links discovered.
     pub fn cloud_peering_recall(&self, s: &Substrate) -> f64 {
         let clouds: BTreeSet<Asn> = s.topo.clouds().into_iter().collect();

@@ -254,6 +254,15 @@ impl RootCrawlResult {
         v
     }
 
+    /// The AS-granularity presence-claim set: root-log crawling asserts
+    /// "this AS hosts clients". The quality audit expands the claim to
+    /// every cell of the AS's prefixes, which is exactly the technique's
+    /// coarseness — it can be right about the AS and still wrong about a
+    /// user-free prefix inside it.
+    pub fn claimed_as_set(&self, s: &Substrate) -> BTreeSet<Asn> {
+        self.client_ases(s).into_iter().collect()
+    }
+
     /// Relative activity estimate per AS (query count, normalized to the
     /// max — §3.1.3: counts are "roughly proportional to the number of
     /// Chromium clients behind a recursive resolver").

@@ -162,6 +162,15 @@ impl UserMapping {
         part
     }
 
+    /// All measured cells of one service, ascending by prefix id — the
+    /// ECS technique's claim table for the quality audit, walkable in
+    /// lockstep with an ascending prefix sweep (no per-cell map lookups).
+    pub fn cells_of(&self, svc: ServiceId) -> impl Iterator<Item = (PrefixId, Ipv4Addr)> + '_ {
+        self.mapping
+            .range((svc, PrefixId(0))..=(svc, PrefixId(u32::MAX)))
+            .map(|(&(_, p), &addr)| (p, addr))
+    }
+
     /// Fraction of (prefix, service) cells whose measured front-end equals
     /// the ground-truth redirection target — the mapping's correctness.
     pub fn accuracy(&self, s: &Substrate) -> f64 {

@@ -41,6 +41,7 @@ pub mod alloc;
 pub mod chrome;
 mod histogram;
 pub mod provenance;
+pub mod quality;
 mod registry;
 mod report;
 pub mod resource;
@@ -50,6 +51,7 @@ pub mod trace;
 pub use chrome::chrome_trace;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use provenance::{EvidenceChain, ProvenanceIndex};
+pub use quality::{QualityReport, TechniqueAudit, TechniqueScore, Verdict};
 pub use registry::{Counter, Registry};
 pub use report::MetricsReport;
 pub use resource::ResourceReport;

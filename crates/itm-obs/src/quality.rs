@@ -1,0 +1,534 @@
+//! Truth-conditioned map-quality scoring: the data model.
+//!
+//! The map is assembled from several partial measurement views — the
+//! "five blind men" problem: each technique sees a slice of the truth,
+//! and where the slices overlap they may disagree. Because the synthetic
+//! substrate knows the ground truth, every technique's view can be scored
+//! exactly. This module holds the *scoring machinery* in substrate-free
+//! form (raw `u32` subject ids, the same interning convention as the
+//! [`crate::provenance`] index and the trace [`crate::trace::Subjects`]):
+//! the sweep that enumerates cells and computes claims lives in
+//! `itm-core::audit`, which owns the ground truth.
+//!
+//! Three kinds of aggregate:
+//!
+//! * [`TechniqueScore`] / [`TechniqueAudit`] — per-technique verdict
+//!   accounting. Every cell of a technique's universe receives exactly
+//!   one [`Verdict`]: **asserted** (claimed, and the claim matches the
+//!   truth), **contradicted** (claimed, and the claim is wrong), or
+//!   **silent** (no claim), so `asserted + contradicted + silent ==
+//!   cells` always holds. Precision, recall and coverage derive from the
+//!   three counters. Audits carry marginal breakdowns by service class
+//!   and by prefix population tier.
+//! * [`DisagreementIndex`] — the per-cell disagreement index: for every
+//!   cell, how many techniques claimed a replica assignment, how many
+//!   distinct answers they gave, and which technique dissents from the
+//!   plurality.
+//! * [`PairwiseAgreement`] — for every technique pair, over the cells
+//!   both claimed, how often they named the same replica.
+//!
+//! All containers are `BTreeMap`s and all outputs are emitted in sorted
+//! key order, so a [`QualityReport`]'s JSON is a pure function of its
+//! content — byte-identical across runs and thread counts.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Schema version stamped on [`QualityReport`] JSON.
+pub const QUALITY_SCHEMA_VERSION: u64 = 1;
+
+/// The outcome of scoring one technique on one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The technique claimed this cell and the claim matches the truth.
+    Asserted,
+    /// The technique claimed this cell and the claim is wrong.
+    Contradicted,
+    /// The technique made no claim about this cell.
+    Silent,
+}
+
+impl Verdict {
+    /// Stable lower-case name used in exports and `--explain` output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Asserted => "asserted",
+            Verdict::Contradicted => "contradicted",
+            Verdict::Silent => "silent",
+        }
+    }
+}
+
+/// Verdict counters for one technique over one cell population.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TechniqueScore {
+    /// Cells scored (the technique's universe, or one breakdown slice).
+    pub cells: u64,
+    /// Claimed and correct.
+    pub asserted: u64,
+    /// Claimed and wrong.
+    pub contradicted: u64,
+    /// Not claimed.
+    pub silent: u64,
+    /// Cells where the ground truth holds the property the technique
+    /// measures (the recall denominator): all cells for replica
+    /// techniques, truly-populated cells for presence techniques, true
+    /// links for route techniques.
+    pub truth_cells: u64,
+}
+
+impl TechniqueScore {
+    /// Count one cell's verdict. `truth_relevant` marks cells that enter
+    /// the recall denominator.
+    pub fn record(&mut self, verdict: Verdict, truth_relevant: bool) {
+        self.cells += 1;
+        if truth_relevant {
+            self.truth_cells += 1;
+        }
+        match verdict {
+            Verdict::Asserted => self.asserted += 1,
+            Verdict::Contradicted => self.contradicted += 1,
+            Verdict::Silent => self.silent += 1,
+        }
+    }
+
+    /// `asserted / (asserted + contradicted)`; 0 when nothing was claimed.
+    pub fn precision(&self) -> f64 {
+        ratio(self.asserted, self.asserted + self.contradicted)
+    }
+
+    /// `asserted / truth_cells`; 0 when the truth holds nothing.
+    pub fn recall(&self) -> f64 {
+        ratio(self.asserted, self.truth_cells)
+    }
+
+    /// `(asserted + contradicted) / cells`: how much of the universe the
+    /// technique speaks about at all.
+    pub fn coverage(&self) -> f64 {
+        ratio(self.asserted + self.contradicted, self.cells)
+    }
+
+    /// The accounting invariant every score must satisfy.
+    pub fn is_consistent(&self) -> bool {
+        self.asserted + self.contradicted + self.silent == self.cells
+    }
+
+    fn to_json_value(self) -> Value {
+        serde_json::json!({
+            "cells": (self.cells),
+            "asserted": (self.asserted),
+            "contradicted": (self.contradicted),
+            "silent": (self.silent),
+            "truth_cells": (self.truth_cells),
+            "precision": (self.precision()),
+            "recall": (self.recall()),
+            "coverage": (self.coverage()),
+        })
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One technique's full audit: overall score plus marginal breakdowns.
+#[derive(Debug, Clone, Default)]
+pub struct TechniqueAudit {
+    /// Which plane the technique measures (`replica`, `presence`,
+    /// `routes`). Informational; drives no logic here.
+    pub plane: String,
+    /// Verdicts over the whole universe.
+    pub overall: TechniqueScore,
+    /// Marginal breakdown by service class (empty for route techniques).
+    pub by_service_class: BTreeMap<String, TechniqueScore>,
+    /// Marginal breakdown by prefix population tier (empty for route
+    /// techniques).
+    pub by_population_tier: BTreeMap<String, TechniqueScore>,
+}
+
+impl TechniqueAudit {
+    /// A fresh audit for one plane.
+    pub fn new(plane: &str) -> TechniqueAudit {
+        TechniqueAudit {
+            plane: plane.to_string(),
+            ..TechniqueAudit::default()
+        }
+    }
+
+    /// Count one cell, attributing it to a service class and a population
+    /// tier when the plane has them.
+    pub fn record(
+        &mut self,
+        class: Option<&str>,
+        tier: Option<&str>,
+        verdict: Verdict,
+        truth_relevant: bool,
+    ) {
+        self.overall.record(verdict, truth_relevant);
+        if let Some(c) = class {
+            self.by_service_class
+                .entry(c.to_string())
+                .or_default()
+                .record(verdict, truth_relevant);
+        }
+        if let Some(t) = tier {
+            self.by_population_tier
+                .entry(t.to_string())
+                .or_default()
+                .record(verdict, truth_relevant);
+        }
+    }
+
+    fn to_json_value(&self) -> Value {
+        let breakdown = |m: &BTreeMap<String, TechniqueScore>| -> Value {
+            Value::Object(
+                m.iter()
+                    .map(|(k, v)| (k.clone(), v.to_json_value()))
+                    .collect(),
+            )
+        };
+        let mut v = self.overall.to_json_value();
+        if let Value::Object(ref mut obj) = v {
+            obj.insert("plane".into(), Value::from(self.plane.as_str()));
+            obj.insert("by_service_class".into(), breakdown(&self.by_service_class));
+            obj.insert(
+                "by_population_tier".into(),
+                breakdown(&self.by_population_tier),
+            );
+        }
+        v
+    }
+}
+
+/// Per-cell disagreement accounting over the independent replica
+/// estimators.
+///
+/// For each cell, callers pass the list of `(technique, claimed subject)`
+/// pairs. The index records how many techniques spoke, how many distinct
+/// answers they gave, and — for cells with two or more claimants — which
+/// techniques dissent from the plurality answer (ties broken toward the
+/// smallest subject id, for determinism).
+#[derive(Debug, Clone, Default)]
+pub struct DisagreementIndex {
+    /// Cells with at least one claim.
+    pub cells_claimed: u64,
+    /// Cells with ≥2 claimants, all naming the same replica.
+    pub unanimous: u64,
+    /// Cells with ≥2 claimants naming ≥2 distinct replicas.
+    pub split: u64,
+    /// Histogram keyed `(claimants, distinct answers)` → cell count.
+    pub histogram: BTreeMap<(u8, u8), u64>,
+    /// Per-technique count of cells where its claim differs from the
+    /// plurality answer.
+    pub dissent: BTreeMap<String, u64>,
+}
+
+impl DisagreementIndex {
+    /// Record one cell's claims: `(technique name, claimed subject id)`.
+    /// Cells with no claims are not recorded (they carry no agreement
+    /// signal).
+    pub fn observe(&mut self, claims: &[(&str, u32)]) {
+        if claims.is_empty() {
+            return;
+        }
+        self.cells_claimed += 1;
+        let plurality = plurality_of(claims);
+        let mut distinct: Vec<u32> = claims.iter().map(|&(_, a)| a).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let claimants = claims.len().min(u8::MAX as usize) as u8;
+        let n_distinct = distinct.len().min(u8::MAX as usize) as u8;
+        *self.histogram.entry((claimants, n_distinct)).or_default() += 1;
+        if claims.len() >= 2 {
+            if n_distinct == 1 {
+                self.unanimous += 1;
+            } else {
+                self.split += 1;
+            }
+        }
+        for &(name, asn) in claims {
+            if asn != plurality {
+                *self.dissent.entry(name.to_string()).or_default() += 1;
+            }
+        }
+    }
+
+    fn to_json_value(&self) -> Value {
+        let histogram: Vec<Value> = self
+            .histogram
+            .iter()
+            .map(|(&(claimants, distinct), &cells)| {
+                serde_json::json!({
+                    "claimants": (u64::from(claimants)),
+                    "distinct": (u64::from(distinct)),
+                    "cells": (cells),
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "cells_claimed": (self.cells_claimed),
+            "unanimous": (self.unanimous),
+            "split": (self.split),
+            "histogram": (Value::Array(histogram)),
+            "dissent": (Value::Object(
+                self.dissent
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::from(v)))
+                    .collect(),
+            )),
+        })
+    }
+}
+
+/// The plurality answer of a claim list: the most-voted subject id, ties
+/// broken toward the smallest id.
+fn plurality_of(claims: &[(&str, u32)]) -> u32 {
+    let mut votes: BTreeMap<u32, u32> = BTreeMap::new();
+    for &(_, a) in claims {
+        *votes.entry(a).or_default() += 1;
+    }
+    let mut best = (0u32, 0u32); // (votes, subject); BTreeMap ascends, so
+                                 // first max wins = smallest subject.
+    for (&subject, &n) in &votes {
+        if n > best.0 {
+            best = (n, subject);
+        }
+    }
+    best.1
+}
+
+/// Pairwise technique agreement over jointly-claimed cells.
+#[derive(Debug, Clone, Default)]
+pub struct PairwiseAgreement {
+    /// `(a, b)` with `a < b` → `(both claimed, agreed)`.
+    pub pairs: BTreeMap<(String, String), (u64, u64)>,
+}
+
+impl PairwiseAgreement {
+    /// Record one cell's claims (same shape as
+    /// [`DisagreementIndex::observe`]).
+    pub fn observe(&mut self, claims: &[(&str, u32)]) {
+        for (i, &(na, aa)) in claims.iter().enumerate() {
+            for &(nb, ab) in claims.iter().skip(i + 1) {
+                let key = if na <= nb {
+                    (na.to_string(), nb.to_string())
+                } else {
+                    (nb.to_string(), na.to_string())
+                };
+                let slot = self.pairs.entry(key).or_default();
+                slot.0 += 1;
+                if aa == ab {
+                    slot.1 += 1;
+                }
+            }
+        }
+    }
+
+    fn to_json_value(&self) -> Value {
+        let rows: Vec<Value> = self
+            .pairs
+            .iter()
+            .map(|((a, b), &(both, agree))| {
+                serde_json::json!({
+                    "a": (a.as_str()),
+                    "b": (b.as_str()),
+                    "both_claimed": (both),
+                    "agreed": (agree),
+                    "rate": (ratio(agree, both)),
+                })
+            })
+            .collect();
+        Value::Array(rows)
+    }
+}
+
+/// The complete quality report: everything `repro --audit` writes to
+/// `results/map_quality.json` (minus the optional `faults` section, which
+/// the caller attaches exactly as it does for the map summary).
+#[derive(Debug, Clone, Default)]
+pub struct QualityReport {
+    /// Substrate master seed (provenance).
+    pub seed: u64,
+    /// Services in the audited cell universe.
+    pub services: u64,
+    /// Prefixes in the audited cell universe.
+    pub prefixes: u64,
+    /// Total cells (`services × prefixes`).
+    pub cells: u64,
+    /// Population-tier thresholds used for the tier breakdown: user
+    /// counts at the 50th and 90th percentile of populated prefixes.
+    pub tier_p50: f64,
+    /// See [`QualityReport::tier_p50`].
+    pub tier_p90: f64,
+    /// Per-technique audits, keyed by technique name.
+    pub techniques: BTreeMap<String, TechniqueAudit>,
+    /// The per-cell disagreement index over independent replica
+    /// estimators.
+    pub disagreement: DisagreementIndex,
+    /// Pairwise agreement over replica estimators (including the fused
+    /// map view).
+    pub pairwise: PairwiseAgreement,
+}
+
+impl QualityReport {
+    /// Whether every technique satisfies the accounting invariant
+    /// `asserted + contradicted + silent == cells`, overall and in every
+    /// breakdown slice.
+    pub fn is_consistent(&self) -> bool {
+        self.techniques.values().all(|t| {
+            t.overall.is_consistent()
+                && t.by_service_class.values().all(|s| s.is_consistent())
+                && t.by_population_tier.values().all(|s| s.is_consistent())
+        })
+    }
+
+    /// Deterministic JSON rendering (sorted keys throughout).
+    pub fn to_json_value(&self) -> Value {
+        serde_json::json!({
+            "schema_version": (QUALITY_SCHEMA_VERSION),
+            "seed": (self.seed),
+            "universe": (serde_json::json!({
+                "services": (self.services),
+                "prefixes": (self.prefixes),
+                "cells": (self.cells),
+            })),
+            "population_tier_thresholds": (serde_json::json!({
+                "p50_users": (self.tier_p50),
+                "p90_users": (self.tier_p90),
+            })),
+            "techniques": (Value::Object(
+                self.techniques
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json_value()))
+                    .collect(),
+            )),
+            "disagreement": (self.disagreement.to_json_value()),
+            "pairwise_agreement": (self.pairwise.to_json_value()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_accounting_invariant() {
+        let mut s = TechniqueScore::default();
+        s.record(Verdict::Asserted, true);
+        s.record(Verdict::Contradicted, true);
+        s.record(Verdict::Silent, true);
+        s.record(Verdict::Silent, false);
+        assert!(s.is_consistent());
+        assert_eq!(s.cells, 4);
+        assert_eq!(s.truth_cells, 3);
+        assert!((s.precision() - 0.5).abs() < 1e-12);
+        assert!((s.recall() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_score_has_zero_rates() {
+        let s = TechniqueScore::default();
+        assert!(s.is_consistent());
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.coverage(), 0.0);
+    }
+
+    #[test]
+    fn audit_breakdowns_sum_to_overall() {
+        let mut a = TechniqueAudit::new("replica");
+        a.record(Some("ecs_dns"), Some("t3_high"), Verdict::Asserted, true);
+        a.record(Some("ecs_dns"), Some("t1_low"), Verdict::Silent, true);
+        a.record(
+            Some("anycast"),
+            Some("t3_high"),
+            Verdict::Contradicted,
+            true,
+        );
+        assert_eq!(a.overall.cells, 3);
+        let class_sum: u64 = a.by_service_class.values().map(|s| s.cells).sum();
+        let tier_sum: u64 = a.by_population_tier.values().map(|s| s.cells).sum();
+        assert_eq!(class_sum, 3);
+        assert_eq!(tier_sum, 3);
+        assert_eq!(a.by_service_class["ecs_dns"].asserted, 1);
+        assert_eq!(a.by_population_tier["t3_high"].contradicted, 1);
+    }
+
+    #[test]
+    fn disagreement_counts_split_and_dissent() {
+        let mut d = DisagreementIndex::default();
+        // Unanimous pair.
+        d.observe(&[("ecs", 17), ("anycast", 17)]);
+        // Split 2-1: plurality is 17, tls dissents.
+        d.observe(&[("ecs", 17), ("catalog_prior", 17), ("tls_nearest", 23)]);
+        // Single claimant: counted, but neither unanimous nor split.
+        d.observe(&[("ecs", 5)]);
+        // No claims: ignored.
+        d.observe(&[]);
+        assert_eq!(d.cells_claimed, 3);
+        assert_eq!(d.unanimous, 1);
+        assert_eq!(d.split, 1);
+        assert_eq!(d.histogram[&(2, 1)], 1);
+        assert_eq!(d.histogram[&(3, 2)], 1);
+        assert_eq!(d.histogram[&(1, 1)], 1);
+        assert_eq!(d.dissent.get("tls_nearest"), Some(&1));
+        assert_eq!(d.dissent.get("ecs"), None);
+    }
+
+    #[test]
+    fn plurality_tie_breaks_toward_smallest_subject() {
+        let mut d = DisagreementIndex::default();
+        d.observe(&[("a", 9), ("b", 3)]);
+        // 1-1 tie → plurality 3, so "a" (claiming 9) dissents.
+        assert_eq!(d.dissent.get("a"), Some(&1));
+        assert_eq!(d.dissent.get("b"), None);
+    }
+
+    #[test]
+    fn pairwise_agreement_is_order_independent() {
+        let mut p = PairwiseAgreement::default();
+        p.observe(&[("ecs", 17), ("anycast", 17), ("tls_nearest", 23)]);
+        p.observe(&[("anycast", 4), ("ecs", 4)]);
+        let key = ("anycast".to_string(), "ecs".to_string());
+        assert_eq!(p.pairs[&key], (2, 2));
+        let key2 = ("ecs".to_string(), "tls_nearest".to_string());
+        assert_eq!(p.pairs[&key2], (1, 0));
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_consistent() {
+        let mut r = QualityReport {
+            seed: 42,
+            services: 2,
+            prefixes: 3,
+            cells: 6,
+            ..QualityReport::default()
+        };
+        let mut t = TechniqueAudit::new("replica");
+        for _ in 0..6 {
+            t.record(Some("ecs_dns"), Some("t1_low"), Verdict::Asserted, true);
+        }
+        r.techniques.insert("ecs".into(), t);
+        assert!(r.is_consistent());
+        let a = serde_json::to_string_pretty(&r.to_json_value()).unwrap();
+        let b = serde_json::to_string_pretty(&r.to_json_value()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema_version\""), "{a}");
+        assert!(a.contains("\"pairwise_agreement\""), "{a}");
+    }
+
+    #[test]
+    fn inconsistent_score_is_detected() {
+        let mut r = QualityReport::default();
+        let mut t = TechniqueAudit::new("presence");
+        t.overall.cells = 5; // counters left at zero: broken accounting
+        r.techniques.insert("cache_probe".into(), t);
+        assert!(!r.is_consistent());
+    }
+}

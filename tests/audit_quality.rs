@@ -1,0 +1,93 @@
+//! Quality-audit invariants at the library level: the report is a pure
+//! function of `(substrate, map)`, so it must be byte-identical across
+//! thread counts; recording claims must not change the published map by
+//! a byte; and the verdict accounting `asserted + contradicted + silent
+//! == cells` must hold for every technique and every breakdown slice.
+
+use itm::core::{audit, MapConfig, MapSummary, ParallelExecutor, TrafficMap};
+use itm::measure::{Substrate, SubstrateConfig};
+
+fn quality_json(s: &Substrate, exec: &ParallelExecutor) -> String {
+    let cfg = MapConfig {
+        record_claims: true,
+        ..MapConfig::default()
+    };
+    let map = TrafficMap::build_with(s, &cfg, exec).expect("map build");
+    serde_json::to_string_pretty(&audit(s, &map).to_json_value()).expect("serializable")
+}
+
+#[test]
+fn quality_report_is_byte_identical_across_thread_counts() {
+    let s = Substrate::build(SubstrateConfig::small(), 2024).expect("valid config");
+    let one = quality_json(&s, &ParallelExecutor::new(1));
+    let eight = quality_json(&s, &ParallelExecutor::new(8));
+    assert!(!one.is_empty());
+    assert_eq!(one, eight, "1-thread and 8-thread quality reports differ");
+}
+
+#[test]
+fn recording_claims_leaves_the_map_summary_untouched() {
+    let s = Substrate::build(SubstrateConfig::small(), 2024).expect("valid config");
+    let plain = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
+    let cfg = MapConfig {
+        record_claims: true,
+        ..MapConfig::default()
+    };
+    let recorded = TrafficMap::build(&s, &cfg).expect("map build");
+    assert!(plain.claims.is_none());
+    assert!(recorded.claims.is_some());
+    let a = MapSummary::extract(&s, &plain).to_json().unwrap();
+    let b = MapSummary::extract(&s, &recorded).to_json().unwrap();
+    assert_eq!(a, b, "claim recording changed the published map summary");
+}
+
+#[test]
+fn verdict_accounting_balances_for_every_technique_and_slice() {
+    let s = Substrate::build(SubstrateConfig::small(), 77).expect("valid config");
+    let map = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
+    let q = audit(&s, &map);
+    assert!(q.is_consistent());
+    assert!(!q.techniques.is_empty());
+    for (name, t) in &q.techniques {
+        let o = &t.overall;
+        assert_eq!(
+            o.asserted + o.contradicted + o.silent,
+            o.cells,
+            "accounting broken for {name}"
+        );
+        assert!(o.cells > 0, "{name} scored nothing");
+        // Breakdown slices partition the overall universe where present.
+        if !t.by_service_class.is_empty() {
+            let sum: u64 = t.by_service_class.values().map(|x| x.cells).sum();
+            assert_eq!(sum, o.cells, "{name} class slices don't partition");
+        }
+        if !t.by_population_tier.is_empty() {
+            let sum: u64 = t.by_population_tier.values().map(|x| x.cells).sum();
+            assert_eq!(sum, o.cells, "{name} tier slices don't partition");
+        }
+    }
+}
+
+#[test]
+fn audit_composes_with_faults() {
+    let s = Substrate::build(SubstrateConfig::small(), 91).expect("valid config");
+    let cfg = MapConfig {
+        faults: itm::types::FaultPlan::profile("heavy").expect("known profile"),
+        record_claims: true,
+        ..MapConfig::default()
+    };
+    let clean = TrafficMap::build(&s, &MapConfig::default()).expect("map build");
+    let faulted = TrafficMap::build(&s, &cfg).expect("map build");
+    let qc = audit(&s, &clean);
+    let qf = audit(&s, &faulted);
+    assert!(qf.is_consistent());
+    // Faults can only silence the ECS campaign, never corrupt it: fewer
+    // (or equal) claims, same universe, precision intact.
+    let (ec, ef) = (&qc.techniques["ecs"].overall, &qf.techniques["ecs"].overall);
+    assert_eq!(ec.cells, ef.cells);
+    assert!(
+        ef.asserted + ef.contradicted <= ec.asserted + ec.contradicted,
+        "faults increased ECS claims"
+    );
+    assert!(ef.recall() <= ec.recall() + 1e-12, "faults improved recall");
+}
