@@ -175,7 +175,8 @@ impl MapClaims {
             cache_prefix,
             root_as,
         };
-        for &(svc, p) in map.user_mapping.mapping.keys() {
+        for c in map.user_mapping.mapping.iter() {
+            let (svc, p) = (c.service, c.prefix);
             let rec = s.topo.prefixes.get(p);
             let mut b = bits::ECS | bits::CATALOG_PRIOR;
             if claims.cache_claim(p) {
@@ -305,8 +306,8 @@ pub fn explain_cell(
     let ecs = map
         .user_mapping
         .mapping
-        .get(&(svc, p))
-        .and_then(|&addr| claims.owner_of(addr));
+        .get(svc, p)
+        .and_then(|addr| claims.owner_of(addr));
     let anycast = claims.anycast_claim(svc, rec.owner);
     let tls = claims.tls_claim(svc, rec.city);
     let prior = claims.prior_claim(svc);
@@ -609,7 +610,8 @@ mod tests {
     fn explain_cell_scores_a_measured_cell() {
         let (s, m) = build();
         let claims = m.claims.as_ref().unwrap();
-        let (&(svc, p), _) = m.user_mapping.mapping.iter().next().unwrap();
+        let first = m.user_mapping.mapping.iter().next().unwrap();
+        let (svc, p) = (first.service, first.prefix);
         let (truth, verdicts) = explain_cell(&s, &m, claims, p, svc);
         assert_eq!(verdicts.len(), 5);
         let ecs = verdicts.iter().find(|v| v.technique == "ecs").unwrap();

@@ -24,7 +24,8 @@ use itm_routing::{
 use itm_tls::{detect_offnets, OffnetFinding, ScanConfig, SniScan, TlsScan};
 use itm_traffic::DeliveryMode;
 use itm_types::{
-    Asn, FaultInjector, FaultPlan, FaultStats, Ipv4Addr, ItmError, PrefixId, Result, ServiceId,
+    Asn, DomainTable, FaultInjector, FaultPlan, FaultStats, Ipv4Addr, ItmError, PrefixId, Result,
+    ServiceId,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -161,12 +162,9 @@ impl TrafficMap {
         );
         let (onnet_servers, offnet_servers) = detect_offnets(&s.topo, &s.tls, &scan);
         let candidates: Vec<Ipv4Addr> = scan.observations.iter().map(|o| o.addr).collect();
-        let domains: Vec<String> = s
-            .catalog
-            .services
-            .iter()
-            .map(|x| x.domain.clone())
-            .collect();
+        // Intern the catalogue's domains once; the SNI campaign and its
+        // shards carry 4-byte ids instead of cloned strings.
+        let domains = DomainTable::from_names(s.catalog.services.iter().map(|x| &x.domain));
         let sni = SniScan::run_with_faults(
             &s.tls,
             &candidates,
@@ -180,7 +178,7 @@ impl TrafficMap {
             .catalog
             .services
             .iter()
-            .map(|svc| (svc.id, sni.addresses_of(&svc.domain).to_vec()))
+            .map(|svc| (svc.id, sni.addresses_of(&domains, &svc.domain).to_vec()))
             .collect();
         let user_mapping =
             UserMapping::measure_with_faults(s, &resolver, &injector("user_mapping"), |n, job| {
@@ -237,13 +235,13 @@ impl TrafficMap {
         // Assert the map's edges into the trace: one event per measured
         // (service, prefix) cell, each linking the serving address and AS
         // so provenance queries can join it back to the observations that
-        // produced it. BTreeMap iteration is sorted by (service, prefix),
+        // produced it. CellMap iteration is sorted by (service, prefix),
         // so the event stream is byte-stable without an explicit sort.
         if itm_obs::trace::enabled() {
             let cells: Vec<(ServiceId, PrefixId, Ipv4Addr)> = user_mapping
                 .mapping
                 .iter()
-                .map(|(&(svc, p), &addr)| (svc, p, addr))
+                .map(|c| (c.service, c.prefix, c.addr))
                 .collect();
             for (svc, p, addr) in cells {
                 let serving_as = s.topo.prefixes.lookup(addr).map(|r| r.owner);
@@ -323,7 +321,7 @@ impl TrafficMap {
         service: ServiceId,
     ) -> Option<Asn> {
         // ECS-measured mapping first.
-        if let Some(&addr) = self.user_mapping.mapping.get(&(service, client_prefix)) {
+        if let Some(addr) = self.user_mapping.mapping.get(service, client_prefix) {
             return s.topo.prefixes.lookup(addr).map(|r| r.owner);
         }
         // Anycast: the catchment's site AS.
@@ -384,9 +382,12 @@ mod tests {
     fn predicted_paths_exist_for_measured_cells() {
         let (s, m) = build();
         let mut tested = 0;
-        for (&(svc, p), _) in m.user_mapping.mapping.iter().take(20) {
-            if let Some(path) = m.predicted_path(&s, p, svc) {
-                assert_eq!(path.first().copied(), Some(s.topo.prefixes.get(p).owner));
+        for c in m.user_mapping.mapping.iter().take(20) {
+            if let Some(path) = m.predicted_path(&s, c.prefix, c.service) {
+                assert_eq!(
+                    path.first().copied(),
+                    Some(s.topo.prefixes.get(c.prefix).owner)
+                );
                 tested += 1;
             }
         }

@@ -89,7 +89,8 @@ impl OutageImpact {
         let mut reroutes = BTreeMap::new();
         let mut true_traffic = 0.0;
 
-        for (&(svc, p), &addr) in &map.user_mapping.mapping {
+        for c in map.user_mapping.mapping.iter() {
+            let (svc, p, addr) = (c.service, c.prefix, c.addr);
             if !scenario.address_fails(s, addr) {
                 continue;
             }

@@ -1,0 +1,133 @@
+//! `lint_layers.toml`: the declared crate layering DAG for rule L001.
+//!
+//! The grammar is a deliberately tiny TOML subset — one table, one key:
+//!
+//! ```toml
+//! [layers]
+//! order = [
+//!   "itm-types",   # lowest layer: depends on nothing
+//!   "itm-obs",
+//!   # …
+//!   "itm-bench",   # highest layer
+//! ]
+//! ```
+//!
+//! `order` lists crates from lowest to highest layer. A crate may
+//! reference (via `itm_*::` paths) only crates *strictly below* itself.
+//! Crates not listed — the root `itm` package, shims, the linter — are
+//! outside the DAG: references *from* them are unconstrained, and
+//! references *to* them are ignored.
+
+use std::fs;
+use std::path::Path;
+
+/// The parsed layering declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layers {
+    /// Crate names, lowest layer first.
+    pub order: Vec<String>,
+}
+
+impl Layers {
+    /// Load `<root>/lint_layers.toml`; `Ok(None)` when absent.
+    pub fn load(root: &Path) -> Result<Option<Layers>, String> {
+        let path = root.join("lint_layers.toml");
+        let Ok(text) = fs::read_to_string(&path) else {
+            return Ok(None);
+        };
+        Layers::parse(&text)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parse the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Layers, String> {
+        let mut in_layers = false;
+        let mut in_order = false;
+        let mut order: Vec<String> = Vec::new();
+        let mut closed = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.find('#') {
+                Some(h) => &raw[..h],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_layers = line == "[layers]";
+                continue;
+            }
+            if !in_layers {
+                continue;
+            }
+            let mut rest = line;
+            if !in_order {
+                let Some(after) = rest.strip_prefix("order") else {
+                    continue;
+                };
+                let after = after.trim_start();
+                let Some(after) = after.strip_prefix('=') else {
+                    return Err(format!("line {lineno}: expected `order = [`"));
+                };
+                let after = after.trim_start();
+                let Some(after) = after.strip_prefix('[') else {
+                    return Err(format!("line {lineno}: expected `[` after `order =`"));
+                };
+                in_order = true;
+                rest = after.trim();
+            }
+            // Items: quoted strings separated by commas, until `]`.
+            let mut s = rest;
+            loop {
+                s = s.trim_start_matches(',').trim();
+                if s.is_empty() {
+                    break;
+                }
+                if let Some(after) = s.strip_prefix(']') {
+                    closed = true;
+                    s = after;
+                    if !s.trim().is_empty() {
+                        return Err(format!("line {lineno}: trailing content after `]`"));
+                    }
+                    break;
+                }
+                let Some(after_quote) = s.strip_prefix('"') else {
+                    return Err(format!("line {lineno}: expected quoted crate name"));
+                };
+                let Some(close) = after_quote.find('"') else {
+                    return Err(format!("line {lineno}: unterminated string"));
+                };
+                let name = &after_quote[..close];
+                if name.is_empty() {
+                    return Err(format!("line {lineno}: empty crate name"));
+                }
+                if order.iter().any(|o| o == name) {
+                    return Err(format!("line {lineno}: crate `{name}` listed twice"));
+                }
+                order.push(name.to_string());
+                s = &after_quote[close + 1..];
+            }
+            if closed {
+                break;
+            }
+        }
+        if !in_order {
+            return Err("no `order = [ … ]` under `[layers]`".to_string());
+        }
+        if !closed {
+            return Err("unterminated `order = [` list".to_string());
+        }
+        if order.is_empty() {
+            return Err("`order` lists no crates".to_string());
+        }
+        Ok(Layers { order })
+    }
+
+    /// Position of `krate` in the order (lowest = 0), when declared.
+    pub fn index_of(&self, krate: &str) -> Option<usize> {
+        self.order.iter().position(|c| c == krate)
+    }
+}

@@ -1,28 +1,35 @@
 //! CLI for the workspace linter.
 //!
 //! ```text
-//! cargo run -p itm-lint [-- --root PATH] [--json PATH] [--no-json] [--list-rules] [-q]
+//! cargo run -p itm-lint [-- --root PATH] [--json PATH] [--no-json]
+//!                       [--baseline FILE | --diff] [--list-rules] [-q]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 findings (or, in baseline mode, *new* findings
+//! vs the baseline), 2 usage or I/O error.
 
+use itm_lint::LintReport;
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: itm-lint [--root PATH] [--json PATH] [--no-json] [--list-rules] [-q]
-  --root PATH    workspace root to scan (default: nearest ancestor with [workspace])
-  --json PATH    where to write the JSON report (default: <root>/results/lint_report.json)
-  --no-json      skip the JSON report
-  --list-rules   print the rule set and exit
-  -q, --quiet    suppress per-finding output (summary line only)";
+const USAGE: &str = "usage: itm-lint [--root PATH] [--json PATH] [--no-json] [--baseline FILE] [--diff] [--list-rules] [-q]
+  --root PATH      workspace root to scan (default: nearest ancestor with [workspace])
+  --json PATH      where to write the JSON report (default: <root>/results/lint_report.json)
+  --no-json        skip the JSON report
+  --baseline FILE  gate on NEW findings only, vs a committed baseline report
+  --diff           shorthand for --baseline <root>/results/lint_baseline.json
+  --list-rules     print the rule set and exit
+  -q, --quiet      suppress per-finding output (summary line only)";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
     let mut write_json = true;
     let mut quiet = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut diff_default = false;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,6 +43,11 @@ fn main() -> ExitCode {
                 None => return usage_error("--json needs a path"),
             },
             "--no-json" => write_json = false,
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline needs a file"),
+            },
+            "--diff" => diff_default = true,
             "--list-rules" => {
                 for (id, desc) in itm_lint::rules::RULES {
                     println!("{id}  {desc}");
@@ -50,9 +62,19 @@ fn main() -> ExitCode {
             other => return usage_error(&format!("unknown argument `{other}`")),
         }
     }
+    if baseline.is_some() && diff_default {
+        return usage_error("--baseline and --diff are mutually exclusive");
+    }
 
     let root = match root {
-        Some(r) => r,
+        Some(r) => {
+            // A root that does not exist (or is a file) is an argument
+            // error, not a scan failure: fail fast with usage.
+            if !r.is_dir() {
+                return usage_error(&format!("--root `{}` is not a directory", r.display()));
+            }
+            r
+        }
         None => {
             let cwd = match env::current_dir() {
                 Ok(d) => d,
@@ -64,14 +86,18 @@ fn main() -> ExitCode {
             }
         }
     };
+    if diff_default {
+        baseline = Some(root.join("results").join("lint_baseline.json"));
+    }
 
     let report = match itm_lint::scan_workspace(&root) {
         Ok(r) => r,
         Err(e) => return io_error(&format!("scan failed: {e}")),
     };
 
+    let results_dir = root.join("results");
     if write_json {
-        let path = json_path.unwrap_or_else(|| root.join("results").join("lint_report.json"));
+        let path = json_path.unwrap_or_else(|| results_dir.join("lint_report.json"));
         if let Some(dir) = path.parent() {
             if let Err(e) = fs::create_dir_all(dir) {
                 return io_error(&format!("cannot create {}: {e}", dir.display()));
@@ -87,6 +113,54 @@ fn main() -> ExitCode {
         if !quiet {
             eprintln!("itm-lint: report written to {}", path.display());
         }
+    }
+
+    // Baseline mode: only findings absent from the committed baseline
+    // gate; the full report above is still written for artifact upload.
+    if let Some(baseline_path) = baseline {
+        let text = match fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                return io_error(&format!(
+                    "cannot read baseline {}: {e}",
+                    baseline_path.display()
+                ))
+            }
+        };
+        let base: LintReport = match serde_json::from_str(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                return io_error(&format!("baseline {}: {e}", baseline_path.display()));
+            }
+        };
+        let diff = report.diff(&base);
+        if write_json {
+            let diff_path = results_dir.join("lint_diff.json");
+            match serde_json::to_string_pretty(&diff) {
+                Ok(j) => {
+                    let _ = fs::create_dir_all(&results_dir);
+                    if let Err(e) = fs::write(&diff_path, j) {
+                        return io_error(&format!("cannot write {}: {e}", diff_path.display()));
+                    }
+                    if !quiet {
+                        eprintln!("itm-lint: diff written to {}", diff_path.display());
+                    }
+                }
+                Err(e) => return io_error(&format!("diff serialization failed: {e}")),
+            }
+        }
+        if quiet {
+            if let Some(summary) = diff.render().lines().last() {
+                println!("{summary}");
+            }
+        } else {
+            print!("{}", diff.render());
+        }
+        return if diff.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     if quiet {

@@ -74,6 +74,37 @@ impl LintReport {
         self.findings.is_empty()
     }
 
+    /// Compare against a committed baseline report.
+    ///
+    /// Finding identity is the `(rule, file, snippet)` triple — line
+    /// numbers shift on every unrelated edit, the flagged source line
+    /// does not — and matching is multiset-style: a baseline entry
+    /// absorbs at most one current finding, so *adding a second copy* of
+    /// a baselined violation still counts as new.
+    pub fn diff(&self, baseline: &LintReport) -> LintDiff {
+        let mut pool: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+        for b in &baseline.findings {
+            *pool
+                .entry((b.rule.as_str(), b.file.as_str(), b.snippet.as_str()))
+                .or_insert(0) += 1;
+        }
+        let mut new = Vec::new();
+        for f in &self.findings {
+            match pool.get_mut(&(f.rule.as_str(), f.file.as_str(), f.snippet.as_str())) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => new.push(f.clone()),
+            }
+        }
+        let matched = self.findings.len() - new.len();
+        LintDiff {
+            schema: "itm-lint-diff/1".to_string(),
+            baseline_findings: baseline.findings.len(),
+            current_findings: self.findings.len(),
+            resolved: baseline.findings.len() - matched,
+            new,
+        }
+    }
+
     /// Human-readable multi-line summary (one block per finding plus a
     /// one-line tally).
     pub fn render(&self) -> String {
@@ -102,6 +133,70 @@ impl LintReport {
             ));
         }
         out
+    }
+}
+
+/// Result of comparing a scan against a committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiff {
+    /// Diff schema identifier.
+    pub schema: String,
+    /// Finding count in the baseline report.
+    pub baseline_findings: usize,
+    /// Finding count in the current scan.
+    pub current_findings: usize,
+    /// Baseline findings no longer present (fixed or moved).
+    pub resolved: usize,
+    /// Findings not present in the baseline — the only thing that gates.
+    pub new: Vec<Finding>,
+}
+
+impl LintDiff {
+    /// Does the scan introduce anything the baseline does not waive?
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty()
+    }
+
+    /// Human-readable diff summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.new {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "itm-lint: {} new finding(s) vs baseline ({} baselined, {} resolved)\n",
+            self.new.len(),
+            self.baseline_findings,
+            self.resolved
+        ));
+        out
+    }
+}
+
+impl serde_json::Serialize for LintDiff {
+    fn to_json_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        serde_json::json!({
+            "schema": (self.schema.clone()),
+            "baseline_findings": (self.baseline_findings),
+            "current_findings": (self.current_findings),
+            "resolved": (self.resolved),
+            "new": (Value::Array(
+                self.new
+                    .iter()
+                    .map(|f| {
+                        serde_json::json!({
+                            "rule": (f.rule.clone()),
+                            "file": (f.file.clone()),
+                            "line": (f.line as u64),
+                            "message": (f.message.clone()),
+                            "snippet": (f.snippet.clone()),
+                        })
+                    })
+                    .collect(),
+            )),
+        })
     }
 }
 

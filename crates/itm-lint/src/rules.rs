@@ -27,12 +27,16 @@
 //!   `ItmError` instead.
 //! * **F001** — no `==`/`!=` against float literals; compare with an
 //!   epsilon or restructure.
+//! * **M001–M004 / C001–C002 / L001** — the scale, shard-safety, and
+//!   layering families; their semantics live in [`crate::scale`] and the
+//!   symbol layer they run on in [`crate::symbols`].
 //! * **A001** — malformed `itm-lint: allow(...)` annotation (unknown rule
 //!   id or missing reason).
 //! * **A002** — an allow annotation that suppressed nothing.
 
 use crate::lexer::{SourceModel, TokKind};
 use crate::report::Finding;
+use crate::scale::{self, Context};
 
 /// All lintable rule ids, with one-line descriptions (stable order).
 pub const RULES: &[(&str, &str)] = &[
@@ -63,6 +67,34 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "F001",
         "float ==/!= comparison (use an epsilon or restructure)",
+    ),
+    (
+        "M001",
+        "clone/to_owned/to_string inside a campaign or merge loop (per-item owned copies on the hot path)",
+    ),
+    (
+        "M002",
+        "String/Vec<String> key in a BTreeMap/BTreeSet field of a hot-path struct (intern to u32 ids)",
+    ),
+    (
+        "M003",
+        "materialize-then-sort on a campaign merge path (emit sorted runs per shard and k-way merge)",
+    ),
+    (
+        "M004",
+        "per-item allocation inside a run_shards shard body (trace-gated blocks exempt)",
+    ),
+    (
+        "C001",
+        "shared mutable capture (&mut, RefCell, Mutex) in a closure handed to ParallelExecutor::map/run_with",
+    ),
+    (
+        "C002",
+        "iteration over a HashMap/HashSet local feeding a campaign or serialized flow (hash order leaks)",
+    ),
+    (
+        "L001",
+        "crate reference against the declared lint_layers.toml dependency direction",
     ),
     (
         "A001",
@@ -116,7 +148,15 @@ pub struct Allow {
 
 /// Run every applicable rule over a lexed file. Returns the surviving
 /// findings (allows already applied, allow-hygiene findings included).
-pub fn check(model: &SourceModel, class: FileClass, file: &str) -> Vec<Finding> {
+///
+/// `ctx` carries the symbol-layer context for the M/C/L families; when
+/// `None` (bare line-level scans) those families are skipped.
+pub fn check(
+    model: &SourceModel,
+    class: FileClass,
+    file: &str,
+    ctx: Option<&Context>,
+) -> Vec<Finding> {
     let mut raw: Vec<Finding> = Vec::new();
     let mut mk = |rule: &'static str, line: u32, message: String| Finding {
         rule: rule.to_string(),
@@ -148,6 +188,29 @@ pub fn check(model: &SourceModel, class: FileClass, file: &str) -> Vec<Finding> 
     }
     if class.applies("F001") {
         rule_f001(model, &mut raw, &mut mk);
+    }
+    if let Some(ctx) = ctx {
+        if class.applies("M001") {
+            scale::rule_m001(model, ctx, &mut raw, &mut mk);
+        }
+        if class.applies("M002") {
+            scale::rule_m002(model, ctx, &mut raw, &mut mk);
+        }
+        if class.applies("M003") {
+            scale::rule_m003(model, ctx, &mut raw, &mut mk);
+        }
+        if class.applies("M004") {
+            scale::rule_m004(model, ctx, &mut raw, &mut mk);
+        }
+        if class.applies("C001") {
+            scale::rule_c001(model, ctx, &mut raw, &mut mk, file);
+        }
+        if class.applies("C002") {
+            scale::rule_c002(model, ctx, &mut raw, &mut mk);
+        }
+        if class.applies("L001") {
+            scale::rule_l001(model, ctx, &mut raw, &mut mk);
+        }
     }
 
     // Apply allows: a finding on a covered line with a matching rule id is

@@ -1,0 +1,108 @@
+//! CLI contract tests: argument validation, exit codes, and the
+//! baseline/diff gate, exercised against the real binary.
+
+use std::path::Path;
+use std::process::Command;
+
+fn lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_itm-lint"))
+}
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/itm-lint")
+}
+
+#[test]
+fn nonexistent_root_exits_2_with_usage() {
+    let out = lint()
+        .args(["--root", "/definitely/not/a/real/path"])
+        .output()
+        .expect("spawn itm-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("usage:"),
+        "expected usage text, got: {stderr}"
+    );
+    assert!(stderr.contains("not a directory"), "got: {stderr}");
+}
+
+#[test]
+fn file_root_exits_2_with_usage() {
+    let this_file = format!("{}/tests/cli.rs", env!("CARGO_MANIFEST_DIR"));
+    let out = lint()
+        .args(["--root", &this_file])
+        .output()
+        .expect("spawn itm-lint");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "got: {stderr}");
+}
+
+#[test]
+fn unknown_argument_exits_2_with_usage() {
+    let out = lint().arg("--frobnicate").output().expect("spawn itm-lint");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn missing_baseline_file_exits_2() {
+    let root = workspace_root();
+    let out = lint()
+        .args(["--root".as_ref(), root.as_os_str()])
+        .args(["--no-json", "--baseline", "/no/such/baseline.json"])
+        .output()
+        .expect("spawn itm-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("baseline"), "got: {stderr}");
+}
+
+#[test]
+fn committed_baseline_gates_on_new_findings_only() {
+    let root = workspace_root();
+    let baseline = root.join("results").join("lint_baseline.json");
+    assert!(
+        baseline.is_file(),
+        "results/lint_baseline.json must be committed"
+    );
+    let out = lint()
+        .args(["--root".as_ref(), root.as_os_str()])
+        .arg("--no-json")
+        .args(["--baseline".as_ref(), baseline.as_os_str()])
+        .output()
+        .expect("spawn itm-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace has findings not in the baseline:\n{stdout}"
+    );
+    assert!(stdout.contains("0 new finding(s)"), "got: {stdout}");
+}
+
+#[test]
+fn list_rules_includes_every_family() {
+    let out = lint().arg("--list-rules").output().expect("spawn itm-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "D001", "D005", "P001", "F001", "M001", "M004", "C001", "C002", "L001", "A002",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in --list-rules");
+    }
+}

@@ -173,6 +173,110 @@ fn json_report_round_trips_through_the_shim() {
 }
 
 #[test]
+fn m001_flags_owned_copies_only_in_campaign_loops() {
+    let (pairs, _) = hits("m001.rs");
+    // 6/7: clone + to_string in the shard loop. Line 16 (non-campaign fn)
+    // and line 23 (merge fn, but outside a loop) stay silent.
+    assert_eq!(pairs, owned(&[("M001", 6), ("M001", 7)]));
+}
+
+#[test]
+fn m002_flags_string_keys_only_on_hot_structs() {
+    let (pairs, _) = hits("m002.rs");
+    // 6: BTreeMap<String, …>; 7: BTreeSet<Vec<String>>. The u32-keyed
+    // field (8) and the cold struct (12) stay silent.
+    assert_eq!(pairs, owned(&[("M002", 6), ("M002", 7)]));
+}
+
+#[test]
+fn m003_flags_sorts_only_on_merge_paths() {
+    let (pairs, _) = hits("m003.rs");
+    assert_eq!(pairs, owned(&[("M003", 5)]));
+}
+
+#[test]
+fn m004_flags_shard_loop_allocation_except_trace_gated() {
+    let (pairs, _) = hits("m004.rs");
+    // 6: format!; 7: vec!; 8: String::from. Line 11 is trace-gated and
+    // line 20 sits in a non-shard fn.
+    assert_eq!(pairs, owned(&[("M004", 6), ("M004", 7), ("M004", 8)]));
+}
+
+#[test]
+fn c001_flags_shared_mutable_capture_in_executor_args() {
+    let (pairs, _) = hits("c001.rs");
+    // 6: .lock() in exec.map args; 11: &mut capture; 19: .lock() in a
+    // run_with argument. The pure closure (15) stays silent.
+    assert_eq!(pairs, owned(&[("C001", 6), ("C001", 11), ("C001", 19)]));
+}
+
+#[test]
+fn c001_is_silent_in_the_registered_executor_file() {
+    let src = fixture("c001.rs");
+    let (findings, _) = scan_source(&src, FileClass::Library, "crates/itm-core/src/exec.rs");
+    assert!(
+        findings.is_empty(),
+        "the executor owns its shared work-queue state: {findings:?}"
+    );
+}
+
+#[test]
+fn c002_flags_hash_iteration_only_on_campaign_or_serialized_flows() {
+    let (pairs, _) = hits("c002.rs");
+    // 11: HashMap iteration in a merge fn. The BTreeMap merge (22) and
+    // the unserialized helper (31) stay silent.
+    assert_eq!(pairs, owned(&[("C002", 11)]));
+}
+
+#[test]
+fn scale_rules_do_not_apply_to_harness_or_shim_code() {
+    for name in [
+        "m001.rs", "m002.rs", "m003.rs", "m004.rs", "c001.rs", "c002.rs",
+    ] {
+        for class in [FileClass::Harness, FileClass::Shim] {
+            let (findings, _) = scan_source(&fixture(name), class, name);
+            assert!(
+                findings.is_empty(),
+                "{name} under {class:?} should be exempt: {findings:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn l001_flags_upward_crate_references_in_a_fixture_workspace() {
+    let root = format!("{}/tests/fixtures/l001_ws", env!("CARGO_MANIFEST_DIR"));
+    let report = itm_lint::scan_workspace(std::path::Path::new(&root)).expect("fixture scan");
+    assert_eq!(report.files_scanned, 2);
+    let pairs: Vec<(String, String, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.line))
+        .collect();
+    assert_eq!(
+        pairs,
+        vec![(
+            "L001".to_string(),
+            "crates/itm-types/src/lib.rs".to_string(),
+            4
+        )]
+    );
+}
+
+#[test]
+fn allow_of_one_rule_does_not_absorb_findings_of_another() {
+    // Satellite: a `// itm-lint: allow(R1)` followed by findings of a
+    // *different* rule on the covered line must keep those findings AND
+    // still report A002 for the unused allow.
+    let (pairs, allows_used) = hits("allow_multi.rs");
+    // P001@7 survives the mismatched allow(D001); P001@13 is suppressed
+    // by its matching allow(P001); the two non-matching allows are A002.
+    assert_eq!(pairs, owned(&[("A002", 6), ("A002", 12), ("P001", 7)]));
+    // Only the matching P001 allow is in use.
+    assert_eq!(allows_used, 1);
+}
+
+#[test]
 fn findings_are_sorted_deterministically() {
     let (findings, _) = scan_source(&fixture("d001.rs"), FileClass::Library, "d001.rs");
     let report = LintReport::new(1, 0, findings);

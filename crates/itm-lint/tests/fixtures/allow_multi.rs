@@ -1,0 +1,14 @@
+//! Multi-rule-per-line allow behavior: an allow suppresses findings of
+//! *its* rule on the covered line; other rules' findings on that line
+//! neither consume the allow nor escape through it.
+
+pub fn mismatched(v: Option<u32>) -> u32 {
+    // itm-lint: allow(D001): wrong rule on purpose — the next line violates P001
+    v.unwrap()
+}
+
+pub fn split(v: Option<u32>) -> u32 {
+    // itm-lint: allow(P001): fixture — suppresses the unwrap below
+    // itm-lint: allow(D002): fixture — nothing on that line violates D002
+    v.unwrap()
+}

@@ -1,0 +1,20 @@
+//! Deliberate C001 violations: shared mutable capture in shard closures.
+
+use std::sync::Mutex;
+
+pub fn bad_mutex(exec: &Exec, acc: &Mutex<Vec<u32>>) {
+    exec.map(4, |i| acc.lock().push(i as u32));
+}
+
+pub fn bad_refmut(exec: &Exec) {
+    let mut total = 0u32;
+    exec.map(4, |i| add(&mut total, i));
+}
+
+pub fn fine(exec: &Exec) -> Vec<u32> {
+    exec.map(4, |i| i as u32)
+}
+
+pub fn bad_runner(cfg: &Cfg, state: &Mutex<Vec<u32>>) {
+    run_with(cfg, |n, _job| state.lock().push(n));
+}

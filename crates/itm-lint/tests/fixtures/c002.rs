@@ -1,0 +1,35 @@
+//! Deliberate C002 violation: hash-order iteration feeding a merge flow.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn merge(run_shards: &dyn Fn(usize) -> Vec<u32>) -> Vec<u32> {
+    let mut seen = HashMap::new();
+    for p in run_shards(2) {
+        seen.insert(p, p);
+    }
+    let mut out = Vec::new();
+    for (k, _v) in seen.iter() {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn ordered_merge(run_shards: &dyn Fn(usize) -> Vec<u32>) -> Vec<u32> {
+    let mut seen = BTreeMap::new();
+    for p in run_shards(2) {
+        seen.insert(p, p);
+    }
+    seen.keys().copied().collect()
+}
+
+pub fn unserialized(xs: &[u32]) -> u32 {
+    let mut seen = HashMap::new();
+    for x in xs {
+        seen.insert(*x, *x);
+    }
+    let mut sum = 0;
+    for (k, _v) in seen.iter() {
+        sum += k;
+    }
+    sum
+}

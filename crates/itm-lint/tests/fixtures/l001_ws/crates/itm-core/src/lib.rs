@@ -1,0 +1,5 @@
+//! Highest layer referencing downward — clean under L001.
+
+pub fn answer() -> u32 {
+    itm_types::SEED
+}

@@ -1,0 +1,5 @@
+//! Lowest layer referencing upward — the L001 violation.
+
+pub fn bad() -> u32 {
+    itm_core::answer()
+}

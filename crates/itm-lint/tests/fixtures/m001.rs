@@ -1,0 +1,25 @@
+//! Deliberate M001 violations: per-item owned copies on campaign paths.
+
+pub fn scan_shard(domains: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for d in domains {
+        out.push(d.clone());
+        let s = d.to_string();
+        let _ = s;
+    }
+    out
+}
+
+pub fn not_campaign(domains: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for d in domains {
+        out.push(d.clone());
+    }
+    out
+}
+
+pub fn merge(run_shards: &dyn Fn(usize) -> Vec<String>) -> Vec<String> {
+    let parts = run_shards(4);
+    let hoisted = parts.clone();
+    hoisted
+}

@@ -1,0 +1,25 @@
+//! Deliberate M002 violations: string-keyed ordered maps on hot structs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct HotFootprint {
+    pub by_domain: BTreeMap<String, Vec<u32>>,
+    pub tag_sets: BTreeSet<Vec<String>>,
+    pub by_id: BTreeMap<u32, Vec<u32>>,
+}
+
+pub struct ColdConfig {
+    pub labels: BTreeMap<String, String>,
+}
+
+pub fn build_shard(_n: usize) -> HotFootprint {
+    HotFootprint {
+        by_domain: BTreeMap::new(),
+        tag_sets: BTreeSet::new(),
+        by_id: BTreeMap::new(),
+    }
+}
+
+pub fn cold_helper() -> usize {
+    ColdConfig { labels: BTreeMap::new() }.labels.len()
+}

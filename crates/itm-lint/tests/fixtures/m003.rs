@@ -1,0 +1,11 @@
+//! Deliberate M003 violation: materialize-then-sort at merge time.
+
+pub fn merge(run_shards: &dyn Fn(usize) -> Vec<u32>) -> Vec<u32> {
+    let mut all: Vec<u32> = (0..4).flat_map(|s| run_shards(s)).collect();
+    all.sort_unstable();
+    all
+}
+
+pub fn not_merge(xs: &mut Vec<u32>) {
+    xs.sort();
+}

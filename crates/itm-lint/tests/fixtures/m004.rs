@@ -1,0 +1,23 @@
+//! Deliberate M004 violations: per-item allocation in shard bodies.
+
+pub fn probe_shard(lo: u32, hi: u32) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in lo..hi {
+        out.push(format!("p{p}"));
+        let v = vec![p];
+        let s = String::from("x");
+        let _ = (v, s);
+        if trace_enabled() {
+            out.push(format!("trace p{p}"));
+        }
+    }
+    out
+}
+
+pub fn plain_probe(lo: u32, hi: u32) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in lo..hi {
+        out.push(format!("p{p}"));
+    }
+    out
+}

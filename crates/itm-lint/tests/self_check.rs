@@ -31,3 +31,22 @@ fn workspace_is_lint_clean() {
         "expected at least one reasoned allow"
     );
 }
+
+#[test]
+fn workspace_scan_is_deterministic_and_round_trips() {
+    // The symbol table is rebuilt from scratch on every scan; two scans
+    // must agree finding-for-finding and serialize byte-identically, and
+    // the JSON must round-trip through the shim unchanged.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/itm-lint");
+    let a = itm_lint::scan_workspace(root).expect("first scan");
+    let b = itm_lint::scan_workspace(root).expect("second scan");
+    assert_eq!(a, b, "re-scan produced different findings");
+    let ja = serde_json::to_string_pretty(&a).expect("serialize");
+    let jb = serde_json::to_string_pretty(&b).expect("serialize");
+    assert_eq!(ja, jb, "re-scan report is not byte-identical");
+    let back: itm_lint::LintReport = serde_json::from_str(&ja).expect("parse");
+    assert_eq!(back, a, "report did not round-trip");
+}

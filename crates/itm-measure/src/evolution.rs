@@ -220,17 +220,17 @@ pub fn staleness(
 ) -> StalenessReport {
     let mut stale = 0usize;
     let mut total = 0usize;
-    for (&(svc, p), &addr) in &day0_mapping.mapping {
+    for c in day0_mapping.mapping.iter() {
         // The prefix table only grew; day-0 ids are stable.
-        let rec = evolved.topo.prefixes.get(p);
-        if svc.index() >= evolved.catalog.len() {
+        let rec = evolved.topo.prefixes.get(c.prefix);
+        if c.service.index() >= evolved.catalog.len() {
             continue;
         }
         let now = evolved
             .frontends
-            .select(&evolved.topo, svc, rec.owner, rec.city);
+            .select(&evolved.topo, c.service, rec.owner, rec.city);
         total += 1;
-        if now.addr != addr {
+        if now.addr != c.addr {
             stale += 1;
         }
     }

@@ -17,7 +17,10 @@ use itm_dns::OpenResolver;
 use itm_topology::PrefixKind;
 use itm_traffic::DeliveryMode;
 use itm_types::rng::{shard_bounds, DEFAULT_SHARDS};
-use itm_types::{FaultInjector, FaultPlan, FaultStats, GeoPoint, Ipv4Addr, PrefixId, ServiceId};
+use itm_types::{
+    merge_sorted_runs, Cell, CellMap, FaultInjector, FaultPlan, FaultStats, GeoPoint, Ipv4Addr,
+    PrefixId, ServiceId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -25,7 +28,11 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UserMapping {
     /// (service, prefix) → serving address, for measurable services.
-    pub mapping: BTreeMap<(ServiceId, PrefixId), Ipv4Addr>,
+    ///
+    /// Columnar: 12 bytes per measured cell instead of a `BTreeMap` node —
+    /// this map is the single largest object the build materialises (the
+    /// paper's Table 1 cell grid), so its representation sets the peak.
+    pub mapping: CellMap,
     /// Services that could not be measured (no ECS or anycast/custom-URL).
     pub unmeasurable: Vec<ServiceId>,
     /// Distinct serving addresses seen per service.
@@ -50,8 +57,10 @@ impl UserMapping {
 
     /// Run the campaign with a caller-supplied shard runner (see
     /// `CacheProbeCampaign::run_with`). Shards cover disjoint prefix
-    /// slices; per-service footprints are re-sorted after concatenation,
-    /// so the output is byte-identical for any execution schedule.
+    /// slices and hand back sorted runs (cells ascending by `(service,
+    /// prefix)`, footprints ascending by address), so the merge is a
+    /// linear k-way pass and the output is byte-identical for any
+    /// execution schedule.
     pub fn measure_with<R>(s: &Substrate, resolver: &OpenResolver<'_>, run_shards: R) -> UserMapping
     where
         R: FnOnce(usize, &(dyn Fn(usize) -> UserMappingShard + Sync)) -> Vec<UserMappingShard>,
@@ -87,24 +96,27 @@ impl UserMapping {
         });
 
         let mut issued: u64 = 0;
-        let mut mapping = BTreeMap::new();
-        let mut seen: BTreeMap<ServiceId, Vec<Ipv4Addr>> = BTreeMap::new();
+        let mut shard_maps = Vec::with_capacity(parts.len());
+        let mut seen: BTreeMap<ServiceId, Vec<Vec<Ipv4Addr>>> = BTreeMap::new();
         let mut fault_stats = FaultStats::default();
         for part in parts {
-            mapping.extend(part.mapping);
+            shard_maps.push(part.mapping);
             for (svc, addrs) in part.seen {
-                seen.entry(svc).or_default().extend(addrs);
+                seen.entry(svc).or_default().push(addrs);
             }
             issued += part.issued;
             fault_stats.merge(&part.stats);
         }
+        // Zero-copy gather: shards are prefix-sliced and in shard order,
+        // so the merged grid is a rearrangement of the shards' segments —
+        // the cell store is never duplicated during the merge.
+        let mapping = CellMap::merge_shards(shard_maps);
 
         let mut unmeasurable = Vec::new();
         let mut footprint: BTreeMap<ServiceId, Vec<Ipv4Addr>> = BTreeMap::new();
         for svc in &s.catalog.services {
             if svc.ecs_support && svc.mode == DeliveryMode::DnsRedirection {
-                let mut addrs = seen.remove(&svc.id).unwrap_or_default();
-                addrs.sort_unstable();
+                let mut addrs = merge_sorted_runs(seen.remove(&svc.id).unwrap_or_default());
                 addrs.dedup();
                 footprint.insert(svc.id, addrs);
             } else {
@@ -133,7 +145,7 @@ impl UserMapping {
     ) -> UserMappingShard {
         let (lo, hi) = shard_bounds(s.topo.prefixes.len(), shard, n_shards);
         let mut part = UserMappingShard {
-            mapping: BTreeMap::new(),
+            mapping: CellMap::new(),
             seen: BTreeMap::new(),
             issued: 0,
             stats: FaultStats::default(),
@@ -151,13 +163,23 @@ impl UserMapping {
                     resolver.resolve_for_client_with_faults(rec.id, &svc.domain, faults);
                 part.stats.record(fate);
                 if let Some(ans) = ans {
-                    part.mapping.insert((svc.id, rec.id), ans.addr);
+                    // Services ascend in catalogue order and the prefix
+                    // slice ascends, so pushes arrive pre-sorted.
+                    part.mapping.push(Cell {
+                        service: svc.id,
+                        prefix: rec.id,
+                        addr: ans.addr,
+                    });
                     let seen = part.seen.entry(svc.id).or_default();
                     if !seen.contains(&ans.addr) {
                         seen.push(ans.addr);
                     }
                 }
             }
+        }
+        // Sort footprints inside the shard so the merge never has to.
+        for addrs in part.seen.values_mut() {
+            addrs.sort_unstable();
         }
         part
     }
@@ -166,9 +188,7 @@ impl UserMapping {
     /// ECS technique's claim table for the quality audit, walkable in
     /// lockstep with an ascending prefix sweep (no per-cell map lookups).
     pub fn cells_of(&self, svc: ServiceId) -> impl Iterator<Item = (PrefixId, Ipv4Addr)> + '_ {
-        self.mapping
-            .range((svc, PrefixId(0))..=(svc, PrefixId(u32::MAX)))
-            .map(|(&(_, p), &addr)| (p, addr))
+        self.mapping.cells_of(svc).map(|c| (c.prefix, c.addr))
     }
 
     /// Fraction of (prefix, service) cells whose measured front-end equals
@@ -178,10 +198,10 @@ impl UserMapping {
             return 0.0;
         }
         let mut ok = 0usize;
-        for (&(svc, p), &addr) in &self.mapping {
-            let rec = s.topo.prefixes.get(p);
-            let truth = s.frontends.select(&s.topo, svc, rec.owner, rec.city);
-            if truth.addr == addr {
+        for c in self.mapping.iter() {
+            let rec = s.topo.prefixes.get(c.prefix);
+            let truth = s.frontends.select(&s.topo, c.service, rec.owner, rec.city);
+            if truth.addr == c.addr {
                 ok += 1;
             }
         }
@@ -201,10 +221,11 @@ impl UserMapping {
     }
 }
 
-/// One shard's partial mapping output (disjoint prefix slice).
+/// One shard's partial mapping output (disjoint prefix slice). Both the
+/// cell run and the per-service footprints leave the shard sorted.
 #[derive(Debug, Clone)]
 pub struct UserMappingShard {
-    mapping: BTreeMap<(ServiceId, PrefixId), Ipv4Addr>,
+    mapping: CellMap,
     seen: BTreeMap<ServiceId, Vec<Ipv4Addr>>,
     issued: u64,
     stats: FaultStats,
@@ -230,14 +251,14 @@ impl GeolocationResult {
             w: f64,
         }
         let mut acc: BTreeMap<u32, Acc> = BTreeMap::new();
-        for (&(_, p), &addr) in &mapping.mapping {
-            let rec = s.topo.prefixes.get(p);
-            let users = s.users.users_of(p);
+        for c in mapping.mapping.iter() {
+            let rec = s.topo.prefixes.get(c.prefix);
+            let users = s.users.users_of(c.prefix);
             if users <= 0.0 {
                 continue;
             }
             let loc = s.topo.city_location(rec.city);
-            let a = acc.entry(addr.0).or_default();
+            let a = acc.entry(c.addr.0).or_default();
             a.lat += loc.lat * users;
             // Average longitudes on the unit circle to dodge the ±180 seam.
             let r = loc.lon.to_radians();

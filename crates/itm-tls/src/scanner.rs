@@ -11,7 +11,10 @@ use crate::certs::Certificate;
 use crate::hosts::TlsHostRegistry;
 use itm_topology::Topology;
 use itm_types::rng::{shard_bounds, stable_hash, SeedDomain, DEFAULT_SHARDS};
-use itm_types::{FaultInjector, FaultPlan, FaultStats, Ipv4Addr, ProbeFate};
+use itm_types::{
+    merge_sorted_runs_by, DomainId, DomainTable, FaultInjector, FaultPlan, FaultStats, Ipv4Addr,
+    ProbeFate,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -125,15 +128,17 @@ impl TlsScan {
         let parts = run_shards(n_shards, &|shard| {
             Self::sweep_shard(topo, registry, cfg, seeds, faults, shard, n_shards)
         });
-        let mut observations = Vec::new();
+        let mut runs = Vec::with_capacity(parts.len());
         let mut attempted = 0;
         let mut fault_stats = FaultStats::default();
         for part in parts {
-            observations.extend(part.observations);
+            runs.push(part.observations);
             attempted += part.attempted;
             fault_stats.merge(&part.stats);
         }
-        observations.sort_by_key(|o| o.addr);
+        // Shards hand back address-sorted runs, so the merge is a linear
+        // k-way pass — no sort on the merge path.
+        let mut observations = merge_sorted_runs_by(runs, |a, b| a.addr < b.addr);
         observations.dedup_by_key(|o| o.addr);
         if itm_obs::trace::enabled() {
             for o in &observations {
@@ -216,12 +221,17 @@ impl TlsScan {
                     if rng.gen_bool(cfg.response_rate.clamp(0.0, 1.0)) {
                         part.observations.push(ScanObservation {
                             addr,
+                            // itm-lint: allow(M001): one owned certificate per observed hit (bounded by the registry, ~hosts not ~probes); sharing would thread lifetimes through every consumer
                             cert: cert.clone(),
                         });
                     }
                 }
             }
         }
+        // Keep each shard's run address-sorted so the merge never sorts.
+        // Offsets ascend within a /24, but prefix *networks* are not
+        // guaranteed address-ordered across the table slice.
+        part.observations.sort_by_key(|o| o.addr);
         part
     }
 
@@ -243,10 +253,14 @@ pub struct TlsScanShard {
 
 /// Results of an SNI scan: for each target domain, the addresses that
 /// presented a valid certificate for it.
+///
+/// Domains are carried as [`DomainId`]s interned in the caller's
+/// [`DomainTable`]; the scan never owns a domain string, so the per-domain
+/// key cost is four bytes regardless of name length or shard count.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SniScan {
-    /// domain -> responding addresses (sorted).
-    pub footprint: BTreeMap<String, Vec<Ipv4Addr>>,
+    /// Interned domain id -> responding addresses (sorted).
+    pub footprint: BTreeMap<DomainId, Vec<Ipv4Addr>>,
     /// How many (address, domain) handshakes were attempted.
     pub attempted: usize,
     /// Fault accounting (`observed + degraded + lost == attempted`).
@@ -262,7 +276,7 @@ impl SniScan {
     pub fn run(
         registry: &TlsHostRegistry,
         candidates: &[Ipv4Addr],
-        domains: &[String],
+        domains: &DomainTable,
         cfg: &ScanConfig,
         seeds: &SeedDomain,
     ) -> SniScan {
@@ -272,8 +286,8 @@ impl SniScan {
     }
 
     /// How many shards the scan splits into (a property of the domain
-    /// list, never of the machine running it).
-    pub fn shard_count(domains: &[String]) -> usize {
+    /// table, never of the machine running it).
+    pub fn shard_count(domains: &DomainTable) -> usize {
         domains.len().clamp(1, DEFAULT_SHARDS)
     }
 
@@ -281,7 +295,7 @@ impl SniScan {
     pub fn run_with<R>(
         registry: &TlsHostRegistry,
         candidates: &[Ipv4Addr],
-        domains: &[String],
+        domains: &DomainTable,
         cfg: &ScanConfig,
         seeds: &SeedDomain,
         run_shards: R,
@@ -296,14 +310,16 @@ impl SniScan {
     }
 
     /// Run the scan with a caller-supplied shard runner under fault
-    /// injection. Shards cover disjoint domain slices, each with its own
-    /// [`SeedDomain::shard`] RNG stream; the footprint merge is a union
-    /// of disjoint keys. Fates are keyed by `(address, domain)`.
+    /// injection. Shards cover disjoint domain-id slices, each with its
+    /// own [`SeedDomain::shard`] RNG stream; the footprint merge is a
+    /// union of disjoint keys. Fates are keyed by `(address,
+    /// stable_hash(domain name))` — the *name*, not the id, so faulted
+    /// scans are byte-identical across interning-table layouts.
     #[allow(clippy::too_many_arguments)]
     pub fn run_with_faults<R>(
         registry: &TlsHostRegistry,
         candidates: &[Ipv4Addr],
-        domains: &[String],
+        domains: &DomainTable,
         cfg: &ScanConfig,
         seeds: &SeedDomain,
         faults: &FaultInjector,
@@ -321,7 +337,7 @@ impl SniScan {
                 registry, candidates, domains, cfg, seeds, faults, shard, n_shards,
             )
         });
-        let mut footprint: BTreeMap<String, Vec<Ipv4Addr>> = BTreeMap::new();
+        let mut footprint: BTreeMap<DomainId, Vec<Ipv4Addr>> = BTreeMap::new();
         let mut attempted = 0;
         let mut fault_stats = FaultStats::default();
         for part in parts {
@@ -339,12 +355,12 @@ impl SniScan {
         }
     }
 
-    /// Scan one shard's slice of the domain list against all candidates.
+    /// Scan one shard's slice of the domain table against all candidates.
     #[allow(clippy::too_many_arguments)]
     fn scan_shard(
         registry: &TlsHostRegistry,
         candidates: &[Ipv4Addr],
-        domains: &[String],
+        domains: &DomainTable,
         cfg: &ScanConfig,
         seeds: &SeedDomain,
         faults: &FaultInjector,
@@ -359,7 +375,9 @@ impl SniScan {
             stats: FaultStats::default(),
         };
         let faults_on = !faults.is_off();
-        for domain in &domains[lo..hi] {
+        for raw in lo..hi {
+            let id = DomainId(raw as u32);
+            let domain = domains.name(id);
             let domain_key = stable_hash(domain);
             let mut hits = Vec::new();
             for &addr in candidates {
@@ -398,21 +416,30 @@ impl SniScan {
                     );
                 }
             }
-            part.footprint.insert(domain.clone(), hits);
+            part.footprint.insert(id, hits);
         }
         part
     }
 
-    /// Addresses serving a domain.
-    pub fn addresses_of(&self, domain: &str) -> &[Ipv4Addr] {
-        self.footprint.get(domain).map(Vec::as_slice).unwrap_or(&[])
+    /// Addresses serving an interned domain.
+    pub fn addresses_of_id(&self, id: DomainId) -> &[Ipv4Addr] {
+        self.footprint.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Addresses serving a domain, resolved by name through the same
+    /// table the scan ran against. Unknown names have empty footprints.
+    pub fn addresses_of(&self, domains: &DomainTable, domain: &str) -> &[Ipv4Addr] {
+        domains
+            .id(domain)
+            .map(|id| self.addresses_of_id(id))
+            .unwrap_or(&[])
     }
 }
 
-/// One shard's partial scan output (disjoint domain slice).
+/// One shard's partial scan output (disjoint domain-id slice).
 #[derive(Debug, Clone)]
 pub struct SniScanShard {
-    footprint: BTreeMap<String, Vec<Ipv4Addr>>,
+    footprint: BTreeMap<DomainId, Vec<Ipv4Addr>>,
     attempted: usize,
     stats: FaultStats,
 }
@@ -503,12 +530,8 @@ mod tests {
             &SeedDomain::new(4),
         );
         let candidates: Vec<Ipv4Addr> = scan.observations.iter().map(|o| o.addr).collect();
-        let domains: Vec<String> = f
-            .catalog
-            .services
-            .iter()
-            .map(|s| s.domain.clone())
-            .collect();
+        let domains =
+            itm_types::DomainTable::from_names(f.catalog.services.iter().map(|s| &s.domain));
         let sni = SniScan::run(
             &f.registry,
             &candidates,
@@ -520,13 +543,13 @@ mod tests {
         for s in &f.catalog.services {
             if matches!(s.owner, ServiceOwner::CloudTenant { .. }) {
                 assert!(
-                    !sni.addresses_of(&s.domain).is_empty(),
+                    !sni.addresses_of(&domains, &s.domain).is_empty(),
                     "{} footprint empty",
                     s.domain
                 );
             }
         }
         assert!(sni.attempted >= candidates.len());
-        assert!(sni.addresses_of("unknown.example").is_empty());
+        assert!(sni.addresses_of(&domains, "unknown.example").is_empty());
     }
 }

@@ -88,6 +88,17 @@ id_newtype!(
     PopId, u32, "pop"
 );
 
+id_newtype!(
+    /// Dense index of an interned domain name in a [`crate::intern::DomainTable`].
+    ///
+    /// Scan campaigns sweep millions of probes per domain; carrying the
+    /// owned `String` through every shard and merge multiplies the name by
+    /// the shard count. Interning once up front turns every downstream key
+    /// into four bytes, and the table resolves ids back to names only at
+    /// the (rare) presentation edges.
+    DomainId, u32, "dom"
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,153 @@
+//! Domain-name interning: own each string once, key everything by u32.
+//!
+//! The paper's scale argument (§3, Table 1) is that an Internet-wide map is
+//! only tractable if per-cell state is a few bytes. String-keyed maps break
+//! that budget twice over: every `BTreeMap<String, _>` node carries a 24-byte
+//! `String` header plus a heap block, and every shard/merge boundary clones
+//! the key again. A [`DomainTable`] is the workspace's answer — domains are
+//! interned exactly once (in catalogue order, so ids are reproducible across
+//! runs and thread counts), and campaign code passes [`DomainId`]s.
+//!
+//! Determinism note: ids are assigned by **insertion order**, not by sorted
+//! name, so the table is order-sensitive by design — build it from a
+//! deterministic source (the service catalogue) and the ids are stable.
+//! Fault injection must keep keying probe fates by [`stable_hash`] of the
+//! *name* (via [`DomainTable::name`]), never the id, so that faulted builds
+//! stay byte-identical to the pre-interning implementation.
+//!
+//! [`stable_hash`]: crate::rng::stable_hash
+
+use crate::ids::DomainId;
+use serde::{Deserialize, Serialize};
+
+/// An insertion-ordered interner mapping domain names to dense [`DomainId`]s.
+///
+/// Lookup by name is a binary search over a sorted permutation (no
+/// string-keyed map anywhere, so the table itself passes the M002 lint it
+/// exists to satisfy); lookup by id is a direct index.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainTable {
+    /// Interned names, indexed by `DomainId`.
+    names: Vec<String>,
+    /// Permutation of `0..names.len()` ordering `names` lexicographically;
+    /// the binary-search index for [`DomainTable::id`].
+    sorted: Vec<u32>,
+}
+
+impl DomainTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a table from names in iteration order.
+    ///
+    /// Duplicates collapse onto the first occurrence, so ids always stay
+    /// dense and `len()` counts distinct names.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut t = Self::new();
+        for n in names {
+            t.intern(n.as_ref());
+        }
+        t
+    }
+
+    /// Intern `name`, returning the existing id if it is already present.
+    pub fn intern(&mut self, name: &str) -> DomainId {
+        match self.search(name) {
+            Ok(pos) => DomainId(self.sorted[pos]),
+            Err(pos) => {
+                let id = self.names.len() as u32;
+                self.names.push(name.to_string());
+                self.sorted.insert(pos, id);
+                DomainId(id)
+            }
+        }
+    }
+
+    /// Look up an already-interned name.
+    pub fn id(&self, name: &str) -> Option<DomainId> {
+        self.search(name).ok().map(|pos| DomainId(self.sorted[pos]))
+    }
+
+    /// The name behind `id`, or `""` if the id is out of range.
+    ///
+    /// The empty-string fallback keeps presentation paths panic-free; an
+    /// out-of-range id can only come from mixing tables, which the
+    /// campaign code never does (ids flow from the same table they query).
+    pub fn name(&self, id: DomainId) -> &str {
+        self.names.get(id.index()).map(String::as_str).unwrap_or("")
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in insertion (id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (DomainId(i as u32), n.as_str()))
+    }
+
+    /// Binary search `sorted` for `name`: `Ok(pos)` into `sorted` on a hit,
+    /// `Err(pos)` the insertion point otherwise.
+    fn search(&self, name: &str) -> std::result::Result<usize, usize> {
+        self.sorted
+            .binary_search_by(|&id| self.names[id as usize].as_str().cmp(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_insertion_order() {
+        let mut t = DomainTable::new();
+        assert_eq!(t.intern("zeta.example"), DomainId(0));
+        assert_eq!(t.intern("alpha.example"), DomainId(1));
+        assert_eq!(t.intern("mid.example"), DomainId(2));
+        // Re-interning returns the original id.
+        assert_eq!(t.intern("zeta.example"), DomainId(0));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn lookup_round_trips_both_directions() {
+        let t = DomainTable::from_names(["b.example", "a.example", "c.example"]);
+        for (id, name) in t.iter() {
+            assert_eq!(t.id(name), Some(id));
+            assert_eq!(t.name(id), name);
+        }
+        assert_eq!(t.id("missing.example"), None);
+        assert_eq!(t.name(DomainId(99)), "");
+    }
+
+    #[test]
+    fn duplicates_collapse_and_stay_dense() {
+        let t = DomainTable::from_names(["a", "b", "a", "c", "b"]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.id("c"), Some(DomainId(2)));
+    }
+
+    #[test]
+    fn table_is_order_sensitive_but_reproducible() {
+        let t1 = DomainTable::from_names(["x", "y"]);
+        let t2 = DomainTable::from_names(["x", "y"]);
+        let t3 = DomainTable::from_names(["y", "x"]);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+}

@@ -15,20 +15,24 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod cells;
 pub mod error;
 pub mod fault;
 pub mod geo;
 pub mod ids;
+pub mod intern;
 pub mod net;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use cells::{merge_sorted_runs, merge_sorted_runs_by, Cell, CellMap};
 pub use error::{ItmError, Result};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, ProbeFate};
 pub use geo::{Country, GeoPoint};
-pub use ids::{Asn, FacilityId, IxpId, PopId, PrefixId, RouterId, ServiceId};
+pub use ids::{Asn, DomainId, FacilityId, IxpId, PopId, PrefixId, RouterId, ServiceId};
+pub use intern::DomainTable;
 pub use net::{Ipv4Addr, Ipv4Net};
 pub use rng::SeedDomain;
 pub use time::{DiurnalCurve, SimDuration, SimTime};

@@ -64,11 +64,11 @@ fn measured_mapping_agrees_with_dns_ground_truth() {
     let auth = s.authoritative();
     let resolver = s.open_resolver().expect("open resolver");
     let mut checked = 0;
-    for (&(svc, p), &addr) in map.user_mapping.mapping.iter().take(200) {
-        let rec = s.topo.prefixes.get(p);
-        let pop_city = resolver.pops()[resolver.pop_of(p).index()].city;
-        let direct = auth.resolve(svc, pop_city, Some(rec.net));
-        assert_eq!(direct.addr, addr, "{} × {}", rec.net, svc);
+    for c in map.user_mapping.mapping.iter().take(200) {
+        let rec = s.topo.prefixes.get(c.prefix);
+        let pop_city = resolver.pops()[resolver.pop_of(c.prefix).index()].city;
+        let direct = auth.resolve(c.service, pop_city, Some(rec.net));
+        assert_eq!(direct.addr, c.addr, "{} × {}", rec.net, c.service);
         checked += 1;
     }
     assert!(checked > 50);
@@ -80,13 +80,17 @@ fn tls_scan_and_dns_mapping_see_the_same_servers() {
     // layer, and hypergiant front-ends must present covering certs.
     let (s, map) = shared();
     let mut checked = 0;
-    for (&(svc, _), &addr) in map.user_mapping.mapping.iter().take(100) {
-        let domain = &s.catalog.get(svc).domain;
+    for c in map.user_mapping.mapping.iter().take(100) {
+        let domain = &s.catalog.get(c.service).domain;
         let cert = s
             .tls
-            .handshake(addr, Some(domain))
+            .handshake(c.addr, Some(domain))
             .expect("mapped server must speak TLS");
-        assert!(cert.covers(domain), "{addr} cert does not cover {domain}");
+        assert!(
+            cert.covers(domain),
+            "{} cert does not cover {domain}",
+            c.addr
+        );
         checked += 1;
     }
     assert!(checked > 20);
