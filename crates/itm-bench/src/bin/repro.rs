@@ -14,6 +14,11 @@
 //! cargo run --release -p itm-bench --bin repro -- --exp map --audit out=q.json
 //! cargo run --release -p itm-bench --bin repro -- --bench-record
 //! cargo run --release -p itm-bench --bin repro -- --bench-record --size small,default
+//! cargo run --release -p itm-bench --bin repro -- --exp map --snapshot
+//! cargo run --release -p itm-bench --bin repro -- --query point pfx0 svc0
+//! cargo run --release -p itm-bench --bin repro -- --query reverse 10.0.0.1
+//! cargo run --release -p itm-bench --bin repro -- --query route 0 1
+//! cargo run --release -p itm-bench --bin repro -- --bench-query --size small
 //! ```
 //!
 //! Results land in `results/<id>.csv` plus a combined
@@ -35,6 +40,16 @@
 //! `BENCH_map_build.json` trajectory (`--bench-out` overrides the path,
 //! `--bench-baseline FILE` exits 1 if peak tracked bytes regress more
 //! than 10% against the matching rows of a baseline trajectory).
+//!
+//! `--snapshot [FILE]` serializes the assembled map into the versioned,
+//! checksummed binary snapshot (wire format: DESIGN.md §14; default
+//! `<out>/map.snap`): byte-identical at any `--threads`, and rejected on
+//! open if any single byte is corrupted. `--query` answers point, reverse,
+//! and route lookups zero-copy off such a snapshot — no substrate build,
+//! the provenance (technique claim list) of every point answer included —
+//! and `--bench-query` builds the map once and appends a sustained
+//! point-lookup throughput row to the schema-versioned `BENCH_query.json`
+//! trajectory.
 //!
 //! `--audit [out=FILE]` scores every measurement technique against the
 //! substrate's ground truth and writes a schema-versioned
@@ -134,6 +149,20 @@ struct Args {
     /// `--bench-baseline FILE`: exit 1 if peak tracked bytes regress >10%
     /// against the matching-size rows of this baseline trajectory.
     bench_baseline: Option<String>,
+    /// `--bench-out` was given explicitly (`--bench-query` appends to
+    /// `BENCH_query.json` by default instead of the map-build trajectory).
+    bench_out_explicit: bool,
+    /// `--snapshot` was given; `Some(path)` if it carried an explicit
+    /// file, `None` for the default `<out>/map.snap`. In build mode this
+    /// is where the snapshot is written; with `--query` it is where the
+    /// snapshot is read from.
+    snapshot: Option<Option<String>>,
+    /// `--query KIND ARGS…`: answer one query off an existing snapshot
+    /// and exit without building anything.
+    query: Option<Vec<String>>,
+    /// `--bench-query`: build the map once, snapshot it, and benchmark
+    /// sustained point-lookup throughput into the query trajectory.
+    bench_query: bool,
 }
 
 fn usage() -> String {
@@ -142,10 +171,18 @@ fn usage() -> String {
          [--threads N] [--ablations] [--metrics] [--trace [FILE]] \
          [--audit [out=FILE]] [--explain PREFIX SERVICE] \
          [--faults off|light|heavy|FILE] [--out DIR] \
-         [--bench-record] [--bench-out FILE] [--bench-baseline FILE] \
-         [--help|-h]\n\
+         [--snapshot [FILE]] \
+         [--query point PREFIX SERVICE | reverse ADDR | route ASN [ASN]] \
+         [--bench-record] [--bench-query] [--bench-out FILE] \
+         [--bench-baseline FILE] [--help|-h]\n\
          with --bench-record, --size takes a comma list (default \
          small,default,large) and --threads defaults to 1;\n\
+         --snapshot writes the queryable map snapshot (default \
+         <out>/map.snap) and needs a map-building experiment; \
+         --query answers one lookup off an existing snapshot (path from \
+         --snapshot, default <out>/map.snap) without building anything; \
+         --bench-query benchmarks point-lookup throughput into \
+         BENCH_query.json (override with --bench-out);\n\
          --audit writes <out>/map_quality.json (override with out=FILE) and \
          needs a map-building experiment: map table1 fig1a fig1b fig2 \
          coverage ecs;\n\
@@ -180,6 +217,10 @@ fn parse_args() -> Args {
         bench_record: false,
         bench_out: "BENCH_map_build.json".into(),
         bench_baseline: None,
+        bench_out_explicit: false,
+        snapshot: None,
+        query: None,
+        bench_query: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -204,7 +245,18 @@ fn parse_args() -> Args {
                 i += 2;
             }
             "--size" => {
-                args.size = value(i).unwrap_or_else(|| "default".into());
+                // A missing value must not silently mean "default": the
+                // size labels bench rows and artifacts, so it follows the
+                // same exit-2 contract as --bench-out and friends.
+                let Some(v) = value(i) else {
+                    eprintln!(
+                        "--size expects small|default|large (a comma list \
+                         with --bench-record)\n{}",
+                        usage()
+                    );
+                    std::process::exit(2);
+                };
+                args.size = v;
                 args.size_explicit = true;
                 i += 2;
             }
@@ -228,12 +280,46 @@ fn parse_args() -> Args {
                 args.bench_record = true;
                 i += 1;
             }
+            "--bench-query" => {
+                args.bench_query = true;
+                i += 1;
+            }
+            "--snapshot" => match value(i) {
+                Some(path) => {
+                    args.snapshot = Some(Some(path));
+                    i += 2;
+                }
+                None => {
+                    args.snapshot = Some(None);
+                    i += 1;
+                }
+            },
+            "--query" => {
+                // Greedy: the kind plus every following non-flag operand.
+                let mut spec = Vec::new();
+                let mut j = i + 1;
+                while j < argv.len() && !argv[j].starts_with("--") {
+                    spec.push(argv[j].clone());
+                    j += 1;
+                }
+                if spec.is_empty() {
+                    eprintln!(
+                        "--query expects: point PREFIX SERVICE | reverse ADDR | \
+                         route ASN [ASN]\n{}",
+                        usage()
+                    );
+                    std::process::exit(2);
+                }
+                args.query = Some(spec);
+                i = j;
+            }
             "--bench-out" => {
                 let Some(path) = value(i) else {
                     eprintln!("--bench-out expects a file path\n{}", usage());
                     std::process::exit(2);
                 };
                 args.bench_out = path;
+                args.bench_out_explicit = true;
                 i += 2;
             }
             "--bench-baseline" => {
@@ -311,6 +397,46 @@ fn parse_args() -> Args {
             usage()
         );
         std::process::exit(2);
+    }
+    // Unknown sizes are usage errors everywhere — checked here, before
+    // any filesystem work, so `--size lrage` can never label artifacts
+    // from a silently-substituted default build. Bench-record validates
+    // its comma list entry-by-entry in `bench_sizes` instead.
+    if !args.bench_record && !matches!(args.size.as_str(), "small" | "default" | "large") {
+        eprintln!(
+            "unknown --size {:?} (small|default|large)\n{}",
+            args.size,
+            usage()
+        );
+        std::process::exit(2);
+    }
+    // The three diverging modes are mutually exclusive.
+    if (args.bench_record && args.bench_query)
+        || (args.query.is_some() && (args.bench_record || args.bench_query))
+    {
+        eprintln!(
+            "--bench-record, --bench-query, and --query are mutually \
+             exclusive\n{}",
+            usage()
+        );
+        std::process::exit(2);
+    }
+    // Validate the --query spec shape up front: kind + argument count.
+    if let Some(spec) = &args.query {
+        let ok = match spec.first().map(|s| s.as_str()) {
+            Some("point") => spec.len() == 3,
+            Some("reverse") => spec.len() == 2,
+            Some("route") => spec.len() == 2 || spec.len() == 3,
+            _ => false,
+        };
+        if !ok {
+            eprintln!(
+                "--query expects: point PREFIX SERVICE | reverse ADDR | \
+                 route ASN [ASN]\n{}",
+                usage()
+            );
+            std::process::exit(2);
+        }
     }
     args
 }
@@ -539,6 +665,259 @@ fn check_bench_regression(baseline_path: &str, new_rows: &[serde_json::Value]) {
     }
 }
 
+/// The snapshot path: explicit `--snapshot FILE` or `<out>/map.snap`.
+fn snapshot_path(args: &Args) -> String {
+    match &args.snapshot {
+        Some(Some(path)) => path.clone(),
+        _ => format!("{}/map.snap", args.out_dir),
+    }
+}
+
+/// Resolve a `--query` PREFIX argument (pfxN, bare index, or a /24 like
+/// 10.0.0.0/24) against the snapshot's prefix table.
+fn snap_prefix(snap: &itm_serve::Snapshot, raw: &str) -> Option<PrefixId> {
+    let text = raw.strip_prefix("pfx").unwrap_or(raw);
+    if let Ok(n) = text.parse::<u32>() {
+        return ((n as usize) < snap.n_prefixes()).then_some(PrefixId(n));
+    }
+    let net: itm_types::Ipv4Net = raw.parse().ok()?;
+    snap.find_prefix(net)
+}
+
+/// Resolve a `--query` SERVICE argument (svcN, bare index, or a domain
+/// name) against the snapshot's domain table.
+fn snap_service(snap: &itm_serve::Snapshot, raw: &str) -> Option<ServiceId> {
+    let text = raw.strip_prefix("svc").unwrap_or(raw);
+    if let Ok(n) = text.parse::<u32>() {
+        return ((n as usize) < snap.n_services()).then_some(ServiceId(n));
+    }
+    snap.service_named(raw)
+}
+
+/// Resolve a `--query` ASN argument (asN or a bare index).
+fn snap_asn(snap: &itm_serve::Snapshot, raw: &str) -> Option<itm_types::Asn> {
+    let text = raw.strip_prefix("as").unwrap_or(raw);
+    let n: u32 = text.parse().ok()?;
+    ((n as usize) < snap.n_ases()).then_some(itm_types::Asn(n))
+}
+
+/// The `--query` mode: open the snapshot and answer one lookup, exiting
+/// 0 on a hit, 1 when the query is well-formed but the map asserts
+/// nothing, and 2 on unresolvable arguments or an unopenable (missing,
+/// corrupted, foreign-version) snapshot. Never builds a substrate — the
+/// whole point of the serving layer is that queries cost microseconds.
+fn run_query(args: &Args, spec: &[String]) -> ! {
+    let path = snapshot_path(args);
+    let snap = match itm_serve::Snapshot::open(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open snapshot {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let found = match spec[0].as_str() {
+        "point" => {
+            let Some(prefix) = snap_prefix(&snap, &spec[1]) else {
+                eprintln!("cannot resolve prefix {:?}\n{}", spec[1], usage());
+                std::process::exit(2);
+            };
+            let Some(service) = snap_service(&snap, &spec[2]) else {
+                eprintln!("cannot resolve service {:?}\n{}", spec[2], usage());
+                std::process::exit(2);
+            };
+            let net = snap
+                .prefix_net(prefix)
+                .map(|n| n.to_string())
+                .unwrap_or_default();
+            let client_as = snap.prefix_owner(prefix).map(|a| a.raw()).unwrap_or(0);
+            let domain = snap.domain_of(service).unwrap_or("").to_string();
+            match snap.point(service, prefix) {
+                Some(ans) => {
+                    let front = match ans.front_as {
+                        Some(a) => format!("AS{}", a.raw()),
+                        None => "unknown AS".into(),
+                    };
+                    println!(
+                        "pfx{} ({net}, client AS{client_as}) × svc{} ({domain}) → {} ({front})",
+                        prefix.raw(),
+                        service.raw(),
+                        ans.addr
+                    );
+                    println!("  techniques: {}", ans.techniques().join(", "));
+                    true
+                }
+                None => {
+                    eprintln!(
+                        "no cell asserted for pfx{} ({net}) × svc{} ({domain})",
+                        prefix.raw(),
+                        service.raw()
+                    );
+                    false
+                }
+            }
+        }
+        "reverse" => {
+            let Ok(addr) = spec[1].parse::<itm_types::Ipv4Addr>() else {
+                eprintln!("cannot parse address {:?}\n{}", spec[1], usage());
+                std::process::exit(2);
+            };
+            let cells = snap.reverse(addr);
+            for (service, prefix) in &cells {
+                println!(
+                    "svc{} ({}) × pfx{} ({})",
+                    service.raw(),
+                    snap.domain_of(*service).unwrap_or(""),
+                    prefix.raw(),
+                    snap.prefix_net(*prefix)
+                        .map(|n| n.to_string())
+                        .unwrap_or_default()
+                );
+            }
+            match snap.front_as_of(addr) {
+                Some(a) => eprintln!(
+                    "{addr} (front AS{}): serves {} cell(s)",
+                    a.raw(),
+                    cells.len()
+                ),
+                None => eprintln!("{addr}: serves {} cell(s)", cells.len()),
+            }
+            !cells.is_empty()
+        }
+        // Shape was validated at parse time, so this arm is "route".
+        _ => {
+            let Some(a) = snap_asn(&snap, &spec[1]) else {
+                eprintln!("cannot resolve ASN {:?}\n{}", spec[1], usage());
+                std::process::exit(2);
+            };
+            match spec.get(2) {
+                Some(raw_b) => {
+                    let Some(b) = snap_asn(&snap, raw_b) else {
+                        eprintln!("cannot resolve ASN {raw_b:?}\n{}", usage());
+                        std::process::exit(2);
+                    };
+                    match snap.edge(a, b) {
+                        Some(code) => {
+                            println!(
+                                "AS{} → AS{}: {}",
+                                a.raw(),
+                                b.raw(),
+                                itm_types::snap::rel::name(code).unwrap_or("?")
+                            );
+                            true
+                        }
+                        None => {
+                            eprintln!("no edge AS{} → AS{}", a.raw(), b.raw());
+                            false
+                        }
+                    }
+                }
+                None => {
+                    let nbrs: Vec<_> = snap.neighbors(a).collect();
+                    for (nbr, code) in &nbrs {
+                        println!(
+                            "AS{} {}",
+                            nbr.raw(),
+                            itm_types::snap::rel::name(*code).unwrap_or("?")
+                        );
+                    }
+                    eprintln!("AS{}: {} neighbor(s)", a.raw(), nbrs.len());
+                    !nbrs.is_empty()
+                }
+            }
+        }
+    };
+    std::process::exit(if found { 0 } else { 1 });
+}
+
+/// The `--bench-query` mode: build the map once at `--size` (default
+/// `default`), serialize it, open the snapshot, and time a deterministic
+/// mix of ~2M point lookups (half sampled from live cells, half uniform
+/// over the id space). One schema-versioned row lands in the
+/// `BENCH_query.json` trajectory (`--bench-out` overrides the path).
+///
+/// The query list is pre-generated from the run seed so the timed loop
+/// measures lookups only, and the same seed replays the same mix.
+fn bench_query(args: &Args) -> ! {
+    use rand::Rng;
+    let bench_out = if args.bench_out_explicit {
+        args.bench_out.clone()
+    } else {
+        "BENCH_query.json".to_string()
+    };
+    require_writable_file(&bench_out);
+    let cfg = config_for(&args.size);
+    let t0 = Instant::now();
+    eprintln!(
+        "bench-query: building substrate (size={}, seed={})…",
+        args.size, args.seed
+    );
+    let s = Substrate::build(cfg, args.seed).expect("valid config");
+    eprintln!(
+        "  substrate up [{:.1?}]; building map ({} threads)…",
+        t0.elapsed(),
+        args.threads
+    );
+    let exec = ParallelExecutor::new(args.threads);
+    let map = TrafficMap::build_with(&s, &MapConfig::default(), &exec).expect("map build");
+    eprintln!("  map built [{:.1?}]; serializing snapshot…", t0.elapsed());
+    let bytes = itm_core::snapshot_bytes(&s, &map);
+    let snapshot_bytes_len = bytes.len() as u64;
+    let snap = itm_serve::Snapshot::from_bytes(bytes).expect("fresh snapshot validates");
+    let n_cells = snap.n_cells();
+    let n_services = snap.n_services() as u32;
+    let n_prefixes = snap.n_prefixes() as u32;
+
+    const N_QUERIES: usize = 2_000_000;
+    let mut rng = itm_types::SeedDomain::new(args.seed).rng("bench.query");
+    let mut queries: Vec<(u32, u32)> = Vec::with_capacity(N_QUERIES);
+    for k in 0..N_QUERIES {
+        if k % 2 == 0 && n_cells > 0 {
+            // A live cell: guaranteed hit.
+            let (service, prefix, _) = snap
+                .cell(rng.gen_range(0..n_cells))
+                .expect("index in range");
+            queries.push((service.raw(), prefix.raw()));
+        } else {
+            // Uniform over the id space: overwhelmingly misses.
+            queries.push((rng.gen_range(0..n_services), rng.gen_range(0..n_prefixes)));
+        }
+    }
+
+    eprintln!("  timing {N_QUERIES} point lookups…");
+    let t1 = Instant::now();
+    let mut hits = 0u64;
+    for &(service, prefix) in &queries {
+        if let Some(ans) = snap.point(ServiceId(service), PrefixId(prefix)) {
+            hits += 1;
+            std::hint::black_box(ans.addr.0);
+        }
+    }
+    let elapsed = t1.elapsed();
+    let qps = (N_QUERIES as f64 / elapsed.as_secs_f64()) as u64;
+    eprintln!(
+        "  {qps} queries/sec ({N_QUERIES} lookups, {hits} hits, {} ms) \
+         over a {snapshot_bytes_len} byte snapshot of {n_cells} cells",
+        elapsed.as_millis()
+    );
+    append_bench_rows(
+        &bench_out,
+        &[serde_json::json!({
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "size": args.size.as_str(),
+            "seed": args.seed,
+            "threads": args.threads as u64,
+            "queries": N_QUERIES as u64,
+            "elapsed_ms": elapsed.as_millis() as u64,
+            "qps": qps,
+            "hits": hits,
+            "cells": n_cells as u64,
+            "snapshot_bytes": snapshot_bytes_len,
+        })],
+    );
+    eprintln!("bench-query: appended 1 row to {bench_out}");
+    std::process::exit(0);
+}
+
 /// Resolve a `--faults` argument: a named profile (`off`, `light`,
 /// `heavy`) or a path to a JSON plan file. Unknown profiles, unreadable
 /// files, malformed JSON, and out-of-range rates are all usage errors
@@ -648,14 +1027,25 @@ fn parse_audit_out(spec: &str) -> Option<String> {
     out
 }
 
+/// Resolve a size name to a substrate config. Unknown names are usage
+/// errors (exit 2): a typo'd `--size` must never silently run — and
+/// mislabel — a default-size build. `parse_args` rejects bad sizes before
+/// any filesystem work; this arm is the backstop for new call sites.
 fn config_for(size: &str) -> SubstrateConfig {
     match size {
         "small" => SubstrateConfig::small(),
+        "default" => SubstrateConfig::default(),
         "large" => SubstrateConfig {
             topology: TopologyConfig::large(),
             ..Default::default()
         },
-        _ => SubstrateConfig::default(),
+        other => {
+            eprintln!(
+                "unknown --size {other:?} (small|default|large)\n{}",
+                usage()
+            );
+            std::process::exit(2);
+        }
     }
 }
 
@@ -841,7 +1231,35 @@ fn main() {
     if args.bench_record {
         bench_record(&args);
     }
+    if args.bench_query {
+        bench_query(&args);
+    }
+    // Query mode is read-only: it neither builds a substrate nor touches
+    // the output dir, it just opens the snapshot and answers.
+    if let Some(spec) = &args.query {
+        run_query(&args, spec);
+    }
     ensure_out_dir(&args.out_dir);
+
+    // Resolve the snapshot destination and preflight it with the other
+    // output paths; like --audit, a snapshot needs the assembled map, so
+    // `--exp` (when given) must name a map-building experiment.
+    let snapshot_file: Option<String> = args.snapshot.as_ref().map(|_| snapshot_path(&args));
+    if snapshot_file.is_some() {
+        if let Some(exp) = args.exp.as_deref() {
+            if !needs_map(exp) {
+                eprintln!(
+                    "--snapshot needs a map-building experiment (map table1 \
+                     fig1a fig1b fig2 coverage ecs), got {exp:?}\n{}",
+                    usage()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &snapshot_file {
+        require_writable_file(path);
+    }
 
     // Resolve the trace destination now and preflight it alongside the
     // output dir: both failure modes exit 2 before the substrate build.
@@ -953,6 +1371,20 @@ fn main() {
     } else {
         None
     };
+
+    // The map snapshot: a pure function of (substrate, map), so the file
+    // is byte-identical at any thread count and any machine for one seed.
+    if let (Some(path), Some(map)) = (&snapshot_file, &map) {
+        let t = Instant::now();
+        eprintln!("writing snapshot…");
+        match itm_core::write_snapshot(&s, map, path) {
+            Ok(n) => eprintln!("  wrote {path} ({n} bytes) [{:.1?}]", t.elapsed()),
+            Err(e) => {
+                eprintln!("cannot write snapshot {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     // The quality audit: score every technique against ground truth and
     // write the schema-versioned report. Pure function of (substrate,

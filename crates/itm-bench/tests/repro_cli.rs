@@ -395,6 +395,229 @@ fn bench_record_bad_invocations_exit_2() {
 }
 
 #[test]
+fn unknown_size_exits_2_with_usage() {
+    let out = repro(&["--size", "lrage"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown --size \"lrage\""), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+    // The rejection fires before any expensive work: a typo'd size must
+    // never silently run (and mislabel) a default-size build.
+    assert!(!err.contains("building substrate"), "{err}");
+}
+
+#[test]
+fn unknown_size_is_checked_before_filesystem_work() {
+    // With the old silent-default behavior this invocation would have
+    // failed on the unwritable out dir; the size check must win.
+    let out = repro(&["--size", "lrage", "--out", &unwritable("size-order")]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown --size"), "{err}");
+    assert!(!err.contains("cannot create output dir"), "{err}");
+}
+
+#[test]
+fn size_missing_value_exits_2() {
+    // At the end of the argument list…
+    let out = repro(&["--exp", "map", "--size"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--size expects"), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+
+    // …and when the next token is another flag (which sibling flags like
+    // --bench-out already rejected; --size silently meant "default").
+    let out = repro(&["--size", "--metrics"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--size expects"), "{err}");
+    assert!(!err.contains("building substrate"), "{err}");
+}
+
+#[test]
+fn bench_record_rejects_unknown_comma_list_entry() {
+    let out = repro(&["--bench-record", "--size", "small,lrage"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown size \"lrage\""), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+    assert!(!err.contains("building substrate"), "{err}");
+}
+
+#[test]
+fn valid_sizes_are_unaffected_by_the_size_check() {
+    // `small` still runs end to end (pathlen is substrate-only and fast).
+    let out = repro(&[
+        "--exp",
+        "pathlen",
+        "--size",
+        "small",
+        "--out",
+        scratch().join("size-ok-out").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn snapshot_with_non_map_experiment_exits_2() {
+    let out = repro(&["--exp", "pathlen", "--snapshot"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("map-building experiment"), "{err}");
+    assert!(!err.contains("building substrate"), "{err}");
+}
+
+#[test]
+fn unwritable_snapshot_file_exits_2_before_build() {
+    let out = repro(&[
+        "--exp",
+        "map",
+        "--out",
+        scratch().join("snap-ok-out").to_str().unwrap(),
+        "--snapshot",
+        &unwritable("map.snap"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("is not writable"), "{err}");
+    assert!(!err.contains("building substrate"), "{err}");
+}
+
+#[test]
+fn malformed_query_specs_exit_2() {
+    // Unknown kind, wrong arity, and bare --query are all usage errors
+    // caught before the snapshot is even opened.
+    for spec in [
+        vec!["--query"],
+        vec!["--query", "bogus", "x"],
+        vec!["--query", "point", "pfx0"],
+        vec!["--query", "reverse"],
+        vec!["--query", "route", "0", "1", "2"],
+    ] {
+        let out = repro(&spec);
+        assert_eq!(out.status.code(), Some(2), "{spec:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--query expects"), "{err}");
+    }
+}
+
+#[test]
+fn query_against_missing_snapshot_exits_2() {
+    let out = repro(&[
+        "--query",
+        "route",
+        "0",
+        "--snapshot",
+        scratch().join("no-such.snap").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot open snapshot"), "{err}");
+}
+
+#[test]
+fn diverging_modes_are_mutually_exclusive() {
+    for spec in [
+        vec!["--bench-record", "--bench-query"],
+        vec!["--bench-query", "--query", "route", "0"],
+        vec!["--bench-record", "--query", "route", "0"],
+    ] {
+        let out = repro(&spec);
+        assert_eq!(out.status.code(), Some(2), "{spec:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+}
+
+#[test]
+fn snapshot_writes_queries_answer_and_corruption_is_rejected() {
+    let dir = scratch().join("snapshot-e2e-out");
+    let out = repro(&[
+        "--exp",
+        "map",
+        "--size",
+        "small",
+        "--seed",
+        "17",
+        "--out",
+        dir.to_str().unwrap(),
+        "--snapshot",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let snap_path = dir.join("map.snap");
+    let snap = std::fs::read(&snap_path).unwrap();
+    assert!(!snap.is_empty());
+
+    // Route queries answer off the snapshot with no substrate build.
+    let out = repro(&[
+        "--query",
+        "route",
+        "0",
+        "--snapshot",
+        snap_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("building substrate"), "{err}");
+    assert!(err.contains("neighbor(s)"), "{err}");
+
+    // A resolvable but unmapped point query is exit 1, not an error.
+    let out = repro(&[
+        "--query",
+        "point",
+        "pfx0",
+        "svc0",
+        "--snapshot",
+        snap_path.to_str().unwrap(),
+    ]);
+    assert!(matches!(out.status.code(), Some(0) | Some(1)), "{out:?}");
+
+    // One flipped byte anywhere makes the snapshot unopenable.
+    let mut bad = snap.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xFF;
+    let bad_path = dir.join("corrupt.snap");
+    std::fs::write(&bad_path, &bad).unwrap();
+    let out = repro(&[
+        "--query",
+        "route",
+        "0",
+        "--snapshot",
+        bad_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checksum"), "{err}");
+}
+
+#[test]
+fn bench_query_records_a_schema_versioned_row() {
+    let file = scratch().join("bench-query.json");
+    let path = file.to_str().unwrap();
+    let out = repro(&["--bench-query", "--size", "small", "--bench-out", path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("queries/sec"), "{err}");
+
+    let text = std::fs::read_to_string(&file).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(v.get("schema_version").and_then(|s| s.as_u64()), Some(1));
+    let rows = v.get("rows").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(rows.len(), 1, "{text}");
+    let row = &rows[0];
+    assert_eq!(row.get("size").and_then(|s| s.as_str()), Some("small"));
+    assert!(row.get("qps").and_then(|q| q.as_u64()).unwrap_or(0) > 0);
+    assert!(row.get("hits").and_then(|h| h.as_u64()).unwrap_or(0) > 0);
+    assert!(
+        row.get("snapshot_bytes")
+            .and_then(|b| b.as_u64())
+            .unwrap_or(0)
+            > 0
+    );
+}
+
+#[test]
 fn bench_baseline_gates_peak_memory_regressions() {
     let dir = scratch();
 

@@ -38,6 +38,7 @@ pub mod map;
 pub mod outage;
 pub mod predict;
 pub mod recommend;
+pub mod snapshot;
 pub mod summary;
 pub mod weighted;
 
@@ -48,5 +49,6 @@ pub use map::{MapConfig, TrafficMap};
 pub use outage::{OutageImpact, OutageScenario};
 pub use predict::{PredictionExperiment, PredictionReport};
 pub use recommend::{PeeringRecommender, RecommendationEval};
+pub use snapshot::{snapshot_bytes, write_snapshot};
 pub use summary::MapSummary;
 pub use weighted::{AnycastAnalysis, PathLengthAnalysis};

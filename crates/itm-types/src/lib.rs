@@ -23,6 +23,7 @@ pub mod ids;
 pub mod intern;
 pub mod net;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod units;

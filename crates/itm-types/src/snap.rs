@@ -1,0 +1,548 @@
+//! The map snapshot wire format: sectioned, checksummed, mmap-friendly.
+//!
+//! A snapshot is the serving-layer artifact of the paper's end goal — "a
+//! continuously updated map of the Internet" that others can *query*, not
+//! a one-shot batch output. The format is a single binary file laid out so
+//! a reader can answer point/reverse/route lookups with offset arithmetic
+//! and binary search directly over the file bytes, without deserializing
+//! anything into owned structures:
+//!
+//! * every integer is **little-endian** and fixed-width;
+//! * every section starts on an **8-byte boundary** (zero-padded), so the
+//!   file can be memory-mapped and each section viewed as a typed column;
+//! * columns are **sorted** (cells by `(service, prefix)`, front-ends by
+//!   address, adjacency by neighbor ASN), so lookups are binary searches;
+//! * a **whole-file checksum** (FNV-1a 64 with the checksum field zeroed)
+//!   makes any single corrupted byte a hard open-time error.
+//!
+//! Layout (see DESIGN.md §14 for the full specification):
+//!
+//! ```text
+//! offset  0  magic    [u8; 8]  = "ITMSNAP\0"
+//! offset  8  version  u32      = 1
+//! offset 12  n_sections u32
+//! offset 16  checksum u64      (FNV-1a 64 over the file, bytes 16..24 zeroed)
+//! offset 24  file_len u64
+//! offset 32  directory: n_sections × 32-byte entries
+//!            { id u32, reserved u32 = 0, offset u64, len u64, count u64 }
+//! then       section payloads, each 8-byte aligned, zero-padded between
+//! ```
+//!
+//! `len` is the payload byte length *excluding* padding; `count` is the
+//! element count (`len / elem_size` for fixed-width columns). Versioning
+//! rule: any layout or semantic change bumps [`VERSION`]; readers reject
+//! files whose version they do not understand, never guess.
+//!
+//! This module owns only the *encoding*: constants, the writer that
+//! assembles header + directory + payloads, the directory parser, and the
+//! checksum. What goes *into* the sections is the snapshot writer's
+//! business (`itm-core`); how they are queried is the reader's
+//! (`itm-serve`). Keeping the encoding here lets the serving crate depend
+//! on nothing but `itm-types`.
+
+use std::fmt;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"ITMSNAP\0";
+
+/// Current snapshot schema version. Bump on any layout or semantic change.
+pub const VERSION: u32 = 1;
+
+/// Byte size of one directory entry.
+pub const DIR_ENTRY_SIZE: usize = 32;
+
+/// Byte size of the fixed header preceding the directory.
+pub const HEADER_SIZE: usize = 32;
+
+/// Section ids. Ids are stable across versions; new sections take new ids.
+pub mod section {
+    /// `u64 × 7`: seed, n_ases, n_prefixes, n_services, n_cells,
+    /// n_route_entries, n_fronts.
+    pub const META: u32 = 1;
+    /// `u32[n_services + 1]`: byte offsets into [`DOM_BYTES`] delimiting
+    /// each service's domain name (entry `s` to `s + 1`).
+    pub const DOM_OFF: u32 = 2;
+    /// UTF-8 concatenation of all domain names, in service-id order.
+    pub const DOM_BYTES: u32 = 3;
+    /// `u32[n_services]`: permutation of service ids ordering domains
+    /// lexicographically (the binary-search index for name lookup).
+    pub const DOM_SORTED: u32 = 4;
+    /// `u32[n_prefixes]`: base address of each /24, in prefix-id order.
+    pub const PFX_BASE: u32 = 5;
+    /// `u32[n_prefixes]`: owner ASN of each prefix, in prefix-id order.
+    pub const PFX_OWNER: u32 = 6;
+    /// `u32[n_prefixes]`: permutation of prefix ids ordering bases
+    /// ascending (the binary-search index for net → id lookup).
+    pub const PFX_SORTED: u32 = 7;
+    /// `u64[n_services + 1]`: cell-index offsets delimiting each
+    /// service's run in the cell columns (entry `s` to `s + 1`).
+    pub const CELL_SVC_OFF: u32 = 8;
+    /// `u32[n_cells]`: the prefix id of each mapping cell, grouped by
+    /// service (via [`CELL_SVC_OFF`]) and ascending within a service.
+    pub const CELL_PREFIX: u32 = 9;
+    /// `u32[n_cells]`: the serving front-end address of each cell.
+    pub const CELL_ADDR: u32 = 10;
+    /// `u8[n_cells]`: the per-cell technique claim bitmap (see
+    /// [`claim`]), aligned with the cell columns.
+    pub const CELL_BITS: u32 = 11;
+    /// `u32[n_cells]`: permutation of global cell indices ordered by
+    /// `(serving address, cell index)` — the reverse-lookup index.
+    pub const CELL_REV: u32 = 12;
+    /// `u32[n_fronts]`: every distinct serving address the map knows
+    /// (mapping cells ∪ SNI/ECS footprints), strictly ascending.
+    pub const FRONT_ADDR: u32 = 13;
+    /// `u32[n_fronts]`: host ASN per front address; `u32::MAX` when the
+    /// address resolves to no routed prefix.
+    pub const FRONT_OWNER: u32 = 14;
+    /// `u64[n_ases + 1]`: adjacency offsets delimiting each AS's run in
+    /// the route columns (entry `a` to `a + 1`).
+    pub const ROUTE_OFF: u32 = 15;
+    /// `u32[n_route_entries]`: neighbor ASN per directed adjacency entry,
+    /// ascending within each AS's run.
+    pub const ROUTE_NBR: u32 = 16;
+    /// `u8[n_route_entries]`: relationship code per adjacency entry (see
+    /// [`rel`]), aligned with [`ROUTE_NBR`].
+    pub const ROUTE_KIND: u32 = 17;
+}
+
+/// Number of `u64` fields in the [`section::META`] payload.
+pub const META_FIELDS: usize = 7;
+
+/// On-disk relationship codes for route adjacency entries.
+///
+/// These encode `NeighborKind` without making the format depend on the
+/// topology crate; the writer maps the enum to codes, readers map back.
+pub mod rel {
+    /// The neighbor is our customer (it pays us).
+    pub const CUSTOMER: u8 = 0;
+    /// The neighbor is our provider (we pay it).
+    pub const PROVIDER: u8 = 1;
+    /// Settlement-free peer.
+    pub const PEER: u8 = 2;
+
+    /// Human-readable name of a relationship code.
+    pub fn name(code: u8) -> Option<&'static str> {
+        match code {
+            CUSTOMER => Some("customer"),
+            PROVIDER => Some("provider"),
+            PEER => Some("peer"),
+            _ => None,
+        }
+    }
+}
+
+/// On-disk per-cell claim bits: which techniques back a mapping cell.
+///
+/// These duplicate `itm_core::audit::bits` *by value* — they are the wire
+/// format, frozen under [`VERSION`], while the audit constants are free to
+/// evolve with the audit. A round-trip test pins the two in sync.
+pub mod claim {
+    /// Cache probing found users in the cell's prefix.
+    pub const CACHE_PROBE: u8 = 1 << 0;
+    /// The root crawl saw queries from the cell's AS.
+    pub const ROOT_CRAWL: u8 = 1 << 1;
+    /// The ECS campaign measured the cell directly.
+    pub const ECS: u8 = 1 << 2;
+    /// A catchment assigns the cell's AS to a serving site.
+    pub const ANYCAST: u8 = 1 << 3;
+    /// An SNI-confirmed front-end exists for the cell's service.
+    pub const TLS_NEAREST: u8 = 1 << 4;
+    /// The catalogue prior always speaks.
+    pub const CATALOG_PRIOR: u8 = 1 << 5;
+
+    /// Technique names for the bits set in `bits`, in bit order.
+    pub fn names(bits: u8) -> Vec<&'static str> {
+        const TABLE: [(u8, &str); 6] = [
+            (CACHE_PROBE, "cache_probe"),
+            (ROOT_CRAWL, "root_crawl"),
+            (ECS, "ecs"),
+            (ANYCAST, "anycast"),
+            (TLS_NEAREST, "tls_nearest"),
+            (CATALOG_PRIOR, "catalog_prior"),
+        ];
+        TABLE
+            .iter()
+            .filter(|(b, _)| bits & b != 0)
+            .map(|&(_, n)| n)
+            .collect()
+    }
+}
+
+/// Whole-file checksum: FNV-1a 64 over `bytes` with the checksum field
+/// (bytes 16..24) treated as zero, so the stored value can live inside
+/// the region it covers.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (i, b) in bytes.iter().enumerate() {
+        let v = if (16..24).contains(&i) { 0 } else { *b };
+        h ^= v as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One parsed directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// Section id (see [`section`]).
+    pub id: u32,
+    /// Byte offset of the payload from the start of the file.
+    pub offset: u64,
+    /// Payload byte length, excluding alignment padding.
+    pub len: u64,
+    /// Element count (`len / elem_size` for fixed-width columns).
+    pub count: u64,
+}
+
+/// Errors from parsing or validating a snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The file is shorter than the fixed header.
+    TooShort {
+        /// Actual byte length.
+        len: usize,
+    },
+    /// The magic bytes do not match [`MAGIC`].
+    BadMagic,
+    /// The schema version is not one this reader understands.
+    BadVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The header's `file_len` disagrees with the actual byte count.
+    LengthMismatch {
+        /// Length recorded in the header.
+        header: u64,
+        /// Actual byte length.
+        actual: usize,
+    },
+    /// The stored checksum does not match the recomputed one.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum recomputed over the file bytes.
+        computed: u64,
+    },
+    /// A directory entry is malformed (out of bounds, misaligned,
+    /// duplicated, or its length is inconsistent with its count).
+    BadSection {
+        /// The offending section id.
+        id: u32,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A required section is absent from the directory.
+    MissingSection {
+        /// The absent section id.
+        id: u32,
+    },
+    /// Section contents failed semantic validation (non-monotone offset
+    /// array, invalid UTF-8 in the domain table, …).
+    Malformed {
+        /// What failed to validate.
+        what: &'static str,
+    },
+    /// An I/O error while reading the snapshot file (carried as text so
+    /// this type stays plain data).
+    Io {
+        /// The rendered I/O error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::TooShort { len } => {
+                write!(f, "snapshot too short: {len} bytes < {HEADER_SIZE} header")
+            }
+            SnapError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (reader speaks {VERSION})"
+                )
+            }
+            SnapError::LengthMismatch { header, actual } => {
+                write!(
+                    f,
+                    "snapshot length mismatch: header says {header}, file is {actual}"
+                )
+            }
+            SnapError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x} \
+                 (file corrupted or truncated)"
+            ),
+            SnapError::BadSection { id, reason } => {
+                write!(f, "snapshot section {id} is malformed: {reason}")
+            }
+            SnapError::MissingSection { id } => {
+                write!(f, "snapshot is missing required section {id}")
+            }
+            SnapError::Malformed { what } => write!(f, "snapshot failed validation: {what}"),
+            SnapError::Io { detail } => write!(f, "snapshot I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Read a little-endian `u32` at `off`, if in bounds.
+#[inline]
+pub fn read_u32(bytes: &[u8], off: usize) -> Option<u32> {
+    let s = bytes.get(off..off.checked_add(4)?)?;
+    Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+/// Read a little-endian `u64` at `off`, if in bounds.
+#[inline]
+pub fn read_u64(bytes: &[u8], off: usize) -> Option<u64> {
+    let s = bytes.get(off..off.checked_add(8)?)?;
+    Some(u64::from_le_bytes([
+        s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+    ]))
+}
+
+/// Assembles a snapshot: collect typed sections, then [`SnapWriter::finish`]
+/// lays out header + directory + 8-byte-aligned payloads and stamps the
+/// checksum. Writing sections in a fixed order makes the output a pure
+/// function of the section contents — byte-identical across runs, thread
+/// counts, and machines.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    sections: Vec<(u32, u64, Vec<u8>)>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a raw byte section (`count` = byte length).
+    pub fn section_u8(&mut self, id: u32, data: &[u8]) {
+        self.sections.push((id, data.len() as u64, data.to_vec()));
+    }
+
+    /// Add a `u32` column section (`count` = element count).
+    pub fn section_u32(&mut self, id: u32, data: &[u32]) {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.sections.push((id, data.len() as u64, bytes));
+    }
+
+    /// Add a `u64` column section (`count` = element count).
+    pub fn section_u64(&mut self, id: u32, data: &[u64]) {
+        let mut bytes = Vec::with_capacity(data.len() * 8);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.sections.push((id, data.len() as u64, bytes));
+    }
+
+    /// Lay out the file and stamp `file_len` and the checksum.
+    pub fn finish(self) -> Vec<u8> {
+        let n = self.sections.len();
+        let dir_end = HEADER_SIZE + n * DIR_ENTRY_SIZE;
+        // Payload offsets, 8-byte aligned.
+        let mut offsets = Vec::with_capacity(n);
+        let mut cursor = (dir_end + 7) & !7;
+        for (_, _, bytes) in &self.sections {
+            offsets.push(cursor);
+            cursor = (cursor + bytes.len() + 7) & !7;
+        }
+        let file_len = cursor;
+
+        let mut out = vec![0u8; file_len];
+        out[..8].copy_from_slice(&MAGIC);
+        out[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        out[12..16].copy_from_slice(&(n as u32).to_le_bytes());
+        // bytes 16..24 (checksum) stay zero until the end.
+        out[24..32].copy_from_slice(&(file_len as u64).to_le_bytes());
+        for (k, (id, count, bytes)) in self.sections.iter().enumerate() {
+            let e = HEADER_SIZE + k * DIR_ENTRY_SIZE;
+            out[e..e + 4].copy_from_slice(&id.to_le_bytes());
+            // e+4..e+8: reserved, zero.
+            out[e + 8..e + 16].copy_from_slice(&(offsets[k] as u64).to_le_bytes());
+            out[e + 16..e + 24].copy_from_slice(&(bytes.len() as u64).to_le_bytes());
+            out[e + 24..e + 32].copy_from_slice(&count.to_le_bytes());
+            out[offsets[k]..offsets[k] + bytes.len()].copy_from_slice(bytes);
+        }
+        let sum = checksum(&out);
+        out[16..24].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+}
+
+/// Parse and validate the header and directory of a snapshot.
+///
+/// Checks, in order: length, magic, version, `file_len`, checksum, then
+/// each directory entry (in bounds, 8-byte aligned, no duplicate ids).
+/// A checksum mismatch is a hard error — a corrupted snapshot must never
+/// answer queries.
+pub fn parse_dir(bytes: &[u8]) -> Result<Vec<SectionEntry>, SnapError> {
+    if bytes.len() < HEADER_SIZE {
+        return Err(SnapError::TooShort { len: bytes.len() });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let version = read_u32(bytes, 8).unwrap_or(0);
+    if version != VERSION {
+        return Err(SnapError::BadVersion { found: version });
+    }
+    let file_len = read_u64(bytes, 24).unwrap_or(0);
+    if file_len != bytes.len() as u64 {
+        return Err(SnapError::LengthMismatch {
+            header: file_len,
+            actual: bytes.len(),
+        });
+    }
+    let stored = read_u64(bytes, 16).unwrap_or(0);
+    let computed = checksum(bytes);
+    if stored != computed {
+        return Err(SnapError::ChecksumMismatch { stored, computed });
+    }
+    let n = read_u32(bytes, 12).unwrap_or(0) as usize;
+    let dir_end = HEADER_SIZE.saturating_add(n.saturating_mul(DIR_ENTRY_SIZE));
+    if dir_end > bytes.len() {
+        return Err(SnapError::Malformed {
+            what: "directory extends past end of file",
+        });
+    }
+    let mut entries = Vec::with_capacity(n);
+    let mut seen: Vec<u32> = Vec::with_capacity(n);
+    for k in 0..n {
+        let e = HEADER_SIZE + k * DIR_ENTRY_SIZE;
+        let id = read_u32(bytes, e).unwrap_or(0);
+        let offset = read_u64(bytes, e + 8).unwrap_or(0);
+        let len = read_u64(bytes, e + 16).unwrap_or(0);
+        let count = read_u64(bytes, e + 24).unwrap_or(0);
+        if seen.contains(&id) {
+            return Err(SnapError::BadSection {
+                id,
+                reason: "duplicate section id",
+            });
+        }
+        seen.push(id);
+        if !offset.is_multiple_of(8) {
+            return Err(SnapError::BadSection {
+                id,
+                reason: "payload offset not 8-byte aligned",
+            });
+        }
+        let end = offset.saturating_add(len);
+        if offset < dir_end as u64 || end > bytes.len() as u64 {
+            return Err(SnapError::BadSection {
+                id,
+                reason: "payload out of bounds",
+            });
+        }
+        entries.push(SectionEntry {
+            id,
+            offset,
+            len,
+            count,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.section_u64(section::META, &[7, 1, 2, 3, 4, 5, 6]);
+        w.section_u32(section::PFX_BASE, &[10, 20, 30]);
+        w.section_u8(section::CELL_BITS, &[1, 2, 3, 4, 5]);
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip_header_and_directory() {
+        let bytes = tiny();
+        assert_eq!(bytes.len() % 8, 0);
+        let dir = parse_dir(&bytes).unwrap();
+        assert_eq!(dir.len(), 3);
+        assert_eq!(dir[0].id, section::META);
+        assert_eq!(dir[0].count, META_FIELDS as u64);
+        assert_eq!(dir[0].len, (META_FIELDS * 8) as u64);
+        assert_eq!(dir[1].count, 3);
+        assert_eq!(dir[2].count, 5);
+        // Payloads decode back.
+        assert_eq!(read_u64(&bytes, dir[0].offset as usize), Some(7));
+        assert_eq!(read_u32(&bytes, dir[1].offset as usize + 4), Some(20));
+        assert_eq!(bytes[dir[2].offset as usize + 4], 5);
+        // Every payload is 8-byte aligned.
+        for e in &dir {
+            assert_eq!(e.offset % 8, 0);
+        }
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        assert_eq!(tiny(), tiny());
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_rejected() {
+        let good = tiny();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x5A;
+            assert!(
+                parse_dir(&bad).is_err(),
+                "corruption at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let good = tiny();
+        for cut in [0, 8, HEADER_SIZE - 1, HEADER_SIZE, good.len() - 1] {
+            assert!(parse_dir(&good[..cut]).is_err(), "truncation to {cut}");
+        }
+    }
+
+    #[test]
+    fn foreign_version_is_rejected_even_with_valid_checksum() {
+        let mut bytes = tiny();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let sum = checksum(&bytes);
+        bytes[16..24].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(parse_dir(&bytes), Err(SnapError::BadVersion { found: 99 }));
+    }
+
+    #[test]
+    fn checksum_ignores_its_own_field() {
+        let mut a = tiny();
+        let sum = checksum(&a);
+        a[16..24].copy_from_slice(&[0xFF; 8]);
+        assert_eq!(checksum(&a), sum);
+    }
+
+    #[test]
+    fn claim_names_and_rel_names() {
+        assert_eq!(claim::names(0), Vec::<&str>::new());
+        assert_eq!(
+            claim::names(claim::ECS | claim::CATALOG_PRIOR),
+            vec!["ecs", "catalog_prior"]
+        );
+        assert_eq!(rel::name(rel::PEER), Some("peer"));
+        assert_eq!(rel::name(9), None);
+    }
+
+    #[test]
+    fn empty_file_and_bad_magic() {
+        assert!(matches!(parse_dir(&[]), Err(SnapError::TooShort { .. })));
+        let mut bytes = tiny();
+        bytes[0] = b'X';
+        assert!(parse_dir(&bytes).is_err());
+    }
+}
