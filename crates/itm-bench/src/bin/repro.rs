@@ -19,6 +19,10 @@
 //! cargo run --release -p itm-bench --bin repro -- --query reverse 10.0.0.1
 //! cargo run --release -p itm-bench --bin repro -- --query route 0 1
 //! cargo run --release -p itm-bench --bin repro -- --bench-query --size small
+//! cargo run --release -p itm-bench --bin repro -- --epochs 5
+//! cargo run --release -p itm-bench --bin repro -- --epochs 5 --epoch-plan heavy
+//! cargo run --release -p itm-bench --bin repro -- --epochs 3 --epoch-verify
+//! cargo run --release -p itm-bench --bin repro -- --diff a.snap b.snap
 //! ```
 //!
 //! Results land in `results/<id>.csv` plus a combined
@@ -64,6 +68,27 @@
 //! `resources` section (peak RSS, allocator-tracked bytes, per-phase
 //! attribution). Profiling never changes map bytes — with it off, output
 //! is byte-identical to builds that predate the profiler.
+//!
+//! `--epochs N` runs the continuous-map loop (DESIGN.md §15): one full
+//! build (epoch 0), then N epochs of deterministic substrate churn under
+//! `--epoch-plan` (`off` | `light` | `heavy` | a JSON plan file; default
+//! `light`), each followed by an *incremental* rebuild that recomputes
+//! only the campaigns the churn invalidated. Per-epoch rows land in
+//! `results/epoch_metrics.json`; with `--snapshot` every epoch's map is
+//! serialized to `<path>.epochK` (and the final epoch to `<path>` itself).
+//! `--epoch-verify` additionally runs a from-scratch build each epoch,
+//! asserts the incremental map is byte-identical (exit 1 on divergence),
+//! and appends one incremental-vs-full speedup row per epoch to the
+//! schema-versioned `BENCH_epoch.json` trajectory (`--bench-out`
+//! overrides the path).
+//!
+//! `--diff A B` compares two map snapshots of the same universe and
+//! writes every edge added, removed, moved, or re-evidenced — with the
+//! technique provenance behind each delta — to the deterministic
+//! `results/map_diff.json`, printing a kind-by-kind tally. Snapshots
+//! that are missing, corrupted, version-mismatched, or describe
+//! different universes exit 2; an empty delta (e.g. a snapshot diffed
+//! against itself) exits 0.
 
 use itm_bench::{ablations, experiments, ExperimentResult};
 use itm_core::{MapConfig, MapSummary, ParallelExecutor, TrafficMap};
@@ -163,6 +188,20 @@ struct Args {
     /// `--bench-query`: build the map once, snapshot it, and benchmark
     /// sustained point-lookup throughput into the query trajectory.
     bench_query: bool,
+    /// `--epochs N`: run the continuous-map loop for N epochs of churn
+    /// after the initial full build.
+    epochs: Option<u32>,
+    /// Churn plan the epoch loop runs under (default: light).
+    epoch_plan: itm_types::EpochPlan,
+    /// Raw `--epoch-plan` argument, kept for labelling metrics rows.
+    epoch_plan_raw: String,
+    /// `--epoch-plan` was given explicitly (only legal with `--epochs`).
+    epoch_plan_explicit: bool,
+    /// `--epoch-verify`: full-rebuild every epoch, assert byte-identity,
+    /// and record incremental-vs-full speedup rows.
+    epoch_verify: bool,
+    /// `--diff A B`: diff two snapshots and exit without building.
+    diff: Option<(String, String)>,
 }
 
 fn usage() -> String {
@@ -173,6 +212,8 @@ fn usage() -> String {
          [--faults off|light|heavy|FILE] [--out DIR] \
          [--snapshot [FILE]] \
          [--query point PREFIX SERVICE | reverse ADDR | route ASN [ASN]] \
+         [--epochs N] [--epoch-plan off|light|heavy|FILE] [--epoch-verify] \
+         [--diff SNAP_A SNAP_B] \
          [--bench-record] [--bench-query] [--bench-out FILE] \
          [--bench-baseline FILE] [--help|-h]\n\
          with --bench-record, --size takes a comma list (default \
@@ -183,6 +224,17 @@ fn usage() -> String {
          --snapshot, default <out>/map.snap) without building anything; \
          --bench-query benchmarks point-lookup throughput into \
          BENCH_query.json (override with --bench-out);\n\
+         --epochs runs the continuous-map loop: one full build, then N \
+         epochs of deterministic churn (--epoch-plan, default light) each \
+         followed by an incremental rebuild; rows land in \
+         <out>/epoch_metrics.json, --epoch-verify asserts byte-identity \
+         against a from-scratch build every epoch and records speedup \
+         rows to BENCH_epoch.json (override with --bench-out); \
+         an --epoch-plan FILE is a JSON object with any of: \
+         resolver_churn, link_flaps, vm_churn, rehome_services, \
+         diurnal_shift_hours;\n\
+         --diff writes every cell and route delta between two snapshots \
+         (with technique provenance) to <out>/map_diff.json;\n\
          --audit writes <out>/map_quality.json (override with out=FILE) and \
          needs a map-building experiment: map table1 fig1a fig1b fig2 \
          coverage ecs;\n\
@@ -221,6 +273,12 @@ fn parse_args() -> Args {
         snapshot: None,
         query: None,
         bench_query: false,
+        epochs: None,
+        epoch_plan: itm_types::EpochPlan::light(),
+        epoch_plan_raw: "light".into(),
+        epoch_plan_explicit: false,
+        epoch_verify: false,
+        diff: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -279,6 +337,39 @@ fn parse_args() -> Args {
             "--bench-record" => {
                 args.bench_record = true;
                 i += 1;
+            }
+            "--epochs" => {
+                let raw = value(i).unwrap_or_default();
+                args.epochs = match raw.parse::<u32>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!(
+                            "--epochs expects a positive integer, got {raw:?}\n{}",
+                            usage()
+                        );
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--epoch-plan" => {
+                let raw = value(i).unwrap_or_default();
+                args.epoch_plan = parse_epoch_plan(&raw);
+                args.epoch_plan_raw = raw;
+                args.epoch_plan_explicit = true;
+                i += 2;
+            }
+            "--epoch-verify" => {
+                args.epoch_verify = true;
+                i += 1;
+            }
+            "--diff" => {
+                let (Some(a), Some(b)) = (value(i), value(i + 1)) else {
+                    eprintln!("--diff expects two snapshot paths\n{}", usage());
+                    std::process::exit(2);
+                };
+                args.diff = Some((a, b));
+                i += 3;
             }
             "--bench-query" => {
                 args.bench_query = true;
@@ -437,6 +528,48 @@ fn parse_args() -> Args {
             );
             std::process::exit(2);
         }
+    }
+    // The diff mode is read-mostly and never builds anything; combining
+    // it with a build mode would silently ignore one of the two.
+    if args.diff.is_some()
+        && (args.epochs.is_some()
+            || args.query.is_some()
+            || args.bench_record
+            || args.bench_query
+            || args.exp.is_some()
+            || args.explain.is_some()
+            || args.audit.is_some()
+            || args.snapshot.is_some()
+            || args.ablations)
+    {
+        eprintln!("--diff does not combine with other modes\n{}", usage());
+        std::process::exit(2);
+    }
+    // The epoch loop drives its own builds; experiment selection, query
+    // modes, and the bench recorders do not compose with it.
+    if args.epochs.is_some()
+        && (args.query.is_some()
+            || args.bench_record
+            || args.bench_query
+            || args.exp.is_some()
+            || args.explain.is_some()
+            || args.audit.is_some()
+            || args.ablations)
+    {
+        eprintln!(
+            "--epochs does not combine with --exp, --explain, --query, \
+             --audit, --ablations, or the bench recorders\n{}",
+            usage()
+        );
+        std::process::exit(2);
+    }
+    // Epoch sub-flags without the mode itself are silent no-ops — reject.
+    if args.epochs.is_none() && (args.epoch_plan_explicit || args.epoch_verify) {
+        eprintln!(
+            "--epoch-plan and --epoch-verify need --epochs N\n{}",
+            usage()
+        );
+        std::process::exit(2);
     }
     args
 }
@@ -918,6 +1051,269 @@ fn bench_query(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// JSON null for `None`, the displayed value otherwise.
+fn opt_json<T: std::fmt::Display>(v: Option<T>) -> serde_json::Value {
+    match v {
+        Some(x) => serde_json::Value::from(x.to_string()),
+        None => serde_json::Value::Null,
+    }
+}
+
+/// The `--diff` mode: open two snapshots, compute every cell and route
+/// delta between them, write the deterministic `<out>/map_diff.json`,
+/// and print a kind-by-kind tally. Unopenable snapshots (missing,
+/// corrupted, foreign-version) and snapshots of different universes exit
+/// 2; any computed diff — including an empty one — exits 0.
+fn run_diff(args: &Args, path_a: &str, path_b: &str) -> ! {
+    let open = |path: &str| match itm_serve::Snapshot::open(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--diff: cannot open snapshot {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let a = open(path_a);
+    let b = open(path_b);
+    let diff = match itm_serve::MapDiff::compute(&a, &b) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("--diff: {path_a} vs {path_b}: {e}");
+            std::process::exit(2);
+        }
+    };
+    ensure_out_dir(&args.out_dir);
+    let cells: Vec<serde_json::Value> = diff
+        .cells
+        .iter()
+        .map(|d| {
+            serde_json::json!({
+                "kind": d.kind(),
+                "service": d.service.raw(),
+                "domain": a.domain_of(d.service).unwrap_or(""),
+                "prefix": d.prefix.raw(),
+                "net": opt_json(a.prefix_net(d.prefix)),
+                "old_addr": opt_json(d.old_addr),
+                "new_addr": opt_json(d.new_addr),
+                "old_techniques": d.old_techniques(),
+                "new_techniques": d.new_techniques(),
+            })
+        })
+        .collect();
+    let routes: Vec<serde_json::Value> = diff
+        .routes
+        .iter()
+        .map(|d| {
+            serde_json::json!({
+                "kind": d.kind(),
+                "from": d.from.raw(),
+                "to": d.to.raw(),
+                "old_rel": opt_json(d.old_kind.and_then(itm_types::snap::rel::name)),
+                "new_rel": opt_json(d.new_kind.and_then(itm_types::snap::rel::name)),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "seed": a.seed(),
+        "a": path_a,
+        "b": path_b,
+        "cells": cells,
+        "routes": routes,
+    });
+    let out = format!("{}/map_diff.json", args.out_dir);
+    let text = serde_json::to_string_pretty(&doc).expect("serializable");
+    std::fs::write(&out, text).expect("write diff report");
+    for kind in ["added", "removed", "moved", "re-evidenced"] {
+        println!("cells {kind}: {}", diff.n_cells_of_kind(kind));
+    }
+    println!("route deltas: {}", diff.routes.len());
+    if diff.is_empty() {
+        eprintln!("snapshots are identical; wrote empty delta to {out}");
+    } else {
+        eprintln!(
+            "wrote {} cell and {} route delta(s) to {out}",
+            diff.cells.len(),
+            diff.routes.len()
+        );
+    }
+    std::process::exit(0);
+}
+
+/// The `--epochs` mode: one full build, then N epochs of deterministic
+/// churn, each followed by an incremental rebuild of exactly the dirty
+/// campaigns. Per-epoch rows land in `<out>/epoch_metrics.json`; with
+/// `--snapshot` every epoch's map is serialized (the final epoch also to
+/// the base path, so `--query` and `--diff` pick it up unadorned). With
+/// `--epoch-verify`, every epoch also runs a from-scratch build and the
+/// run dies (exit 1) unless the incremental map is byte-identical —
+/// recording incremental-vs-full speedup rows to the `BENCH_epoch.json`
+/// trajectory.
+fn run_epochs(args: &Args, epochs: u32) -> ! {
+    use itm_core::{apply_epoch, build_incremental, map_fingerprint};
+    ensure_out_dir(&args.out_dir);
+    let metrics_path = format!("{}/epoch_metrics.json", args.out_dir);
+    require_writable_file(&metrics_path);
+    let bench_out = if args.bench_out_explicit {
+        args.bench_out.clone()
+    } else {
+        "BENCH_epoch.json".to_string()
+    };
+    if args.epoch_verify {
+        require_writable_file(&bench_out);
+    }
+    let snap_base: Option<String> = args.snapshot.as_ref().map(|_| snapshot_path(args));
+    if let Some(base) = &snap_base {
+        require_writable_file(base);
+    }
+
+    let cfg = config_for(&args.size);
+    let t0 = Instant::now();
+    eprintln!(
+        "building substrate (size={}, seed={})…",
+        args.size, args.seed
+    );
+    let mut s = Substrate::build(cfg, args.seed).expect("valid config");
+    eprintln!("  substrate up [{:.1?}]", t0.elapsed());
+    let exec = ParallelExecutor::new(args.threads);
+    let map_cfg = MapConfig {
+        faults: args.faults.clone(),
+        ..Default::default()
+    };
+
+    let write_snap = |s: &Substrate, map: &TrafficMap, epoch: u32| {
+        let Some(base) = &snap_base else { return };
+        let path = format!("{base}.epoch{epoch}");
+        match itm_core::write_snapshot(s, map, &path) {
+            Ok(n) => eprintln!("  wrote {path} ({n} bytes)"),
+            Err(e) => {
+                eprintln!("cannot write snapshot {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    eprintln!(
+        "epoch 0: full build ({} threads, plan {})…",
+        args.threads, args.epoch_plan_raw
+    );
+    let t = Instant::now();
+    let mut map = TrafficMap::build_with(&s, &map_cfg, &exec).expect("map build");
+    let full0_ms = t.elapsed().as_millis() as u64;
+    eprintln!(
+        "  built [{} ms]: {} cells",
+        full0_ms,
+        map.user_mapping.mapping.len()
+    );
+    write_snap(&s, &map, 0);
+
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    let mut bench_rows: Vec<serde_json::Value> = Vec::new();
+    rows.push(serde_json::json!({
+        "epoch": 0u64,
+        "actions": 0u64,
+        "dirty": Vec::<&str>::new(),
+        "build_ms": full0_ms,
+        "mapping_cells": map.user_mapping.mapping.len() as u64,
+        "fingerprint": format!("{:016x}", map_fingerprint(&s, &map)),
+    }));
+
+    for epoch in 1..=epochs {
+        let (actions, dirty) = apply_epoch(&mut s, &args.epoch_plan, epoch);
+        let t = Instant::now();
+        map = build_incremental(&s, &map_cfg, &exec, map, &dirty).expect("incremental build");
+        let inc_ms = t.elapsed().as_millis() as u64;
+        eprintln!(
+            "epoch {epoch}: {} mutation(s), dirty [{}], incremental rebuild {} ms",
+            actions.len(),
+            dirty.names().join(" "),
+            inc_ms
+        );
+        rows.push(serde_json::json!({
+            "epoch": u64::from(epoch),
+            "actions": actions.len() as u64,
+            "dirty": dirty.names(),
+            "build_ms": inc_ms,
+            "mapping_cells": map.user_mapping.mapping.len() as u64,
+            "fingerprint": format!("{:016x}", map_fingerprint(&s, &map)),
+        }));
+        if args.epoch_verify {
+            let t = Instant::now();
+            let full = TrafficMap::build_with(&s, &map_cfg, &exec).expect("map build");
+            let full_ms = t.elapsed().as_millis() as u64;
+            let identical = itm_core::snapshot_bytes(&s, &map)
+                == itm_core::snapshot_bytes(&s, &full)
+                && map_fingerprint(&s, &map) == map_fingerprint(&s, &full);
+            if !identical {
+                eprintln!(
+                    "epoch {epoch}: INCREMENTAL MAP DIVERGED from the \
+                     from-scratch rebuild (plan {}, seed {})",
+                    args.epoch_plan_raw, args.seed
+                );
+                std::process::exit(1);
+            }
+            let speedup_x1000 = full_ms.saturating_mul(1000) / inc_ms.max(1);
+            eprintln!(
+                "  verified byte-identical; full rebuild {} ms (speedup x{}.{:03})",
+                full_ms,
+                speedup_x1000 / 1000,
+                speedup_x1000 % 1000
+            );
+            bench_rows.push(serde_json::json!({
+                "schema_version": BENCH_SCHEMA_VERSION,
+                "size": args.size.as_str(),
+                "seed": args.seed,
+                "threads": args.threads as u64,
+                "plan": args.epoch_plan_raw.as_str(),
+                "epoch": u64::from(epoch),
+                "incremental_ms": inc_ms,
+                "full_ms": full_ms,
+                "speedup_x1000": speedup_x1000,
+                "dirty": dirty.names(),
+                "byte_identical": true,
+            }));
+        }
+        write_snap(&s, &map, epoch);
+    }
+
+    // The final epoch's snapshot also lands at the base path, so query
+    // and diff tooling finds the freshest map without a suffix.
+    if let (Some(base), true) = (&snap_base, epochs > 0) {
+        match itm_core::write_snapshot(&s, &map, base) {
+            Ok(n) => eprintln!("  wrote {base} ({n} bytes)"),
+            Err(e) => {
+                eprintln!("cannot write snapshot {base}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let doc = serde_json::json!({
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "size": args.size.as_str(),
+        "seed": args.seed,
+        "threads": args.threads as u64,
+        "plan": args.epoch_plan_raw.as_str(),
+        "epochs": u64::from(epochs),
+        "rows": rows,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serializable");
+    std::fs::write(&metrics_path, text).expect("write epoch metrics");
+    eprintln!("wrote {metrics_path}");
+    if args.epoch_verify {
+        append_bench_rows(&bench_out, &bench_rows);
+        eprintln!(
+            "epochs: appended {} row(s) to {bench_out}",
+            bench_rows.len()
+        );
+    }
+    eprintln!(
+        "ran {epochs} epoch(s) under plan {} [total {:.1?}]",
+        args.epoch_plan_raw,
+        t0.elapsed()
+    );
+    std::process::exit(0);
+}
+
 /// Resolve a `--faults` argument: a named profile (`off`, `light`,
 /// `heavy`) or a path to a JSON plan file. Unknown profiles, unreadable
 /// files, malformed JSON, and out-of-range rates are all usage errors
@@ -991,6 +1387,84 @@ fn fault_plan_from_json(text: &str) -> Result<FaultPlan, serde_json::Error> {
         max_retries: count("max_retries")?.min(u64::from(u32::MAX)) as u32,
         backoff_base_secs: count("backoff_base_secs")?,
         backoff_cap_secs: count("backoff_cap_secs")?,
+    })
+}
+
+/// Resolve an `--epoch-plan` argument: a named profile (`off`, `light`,
+/// `heavy`) or a path to a JSON plan file. Unknown profiles, unreadable
+/// files, malformed JSON, and out-of-range rates are all usage errors
+/// (exit 2) caught before the expensive substrate build — the same
+/// contract as `--faults`.
+fn parse_epoch_plan(raw: &str) -> itm_types::EpochPlan {
+    if raw.is_empty() {
+        eprintln!("--epoch-plan expects off|light|heavy|FILE\n{}", usage());
+        std::process::exit(2);
+    }
+    if let Some(plan) = itm_types::EpochPlan::profile(raw) {
+        return plan;
+    }
+    let text = match std::fs::read_to_string(raw) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "--epoch-plan: {raw:?} is neither a profile (off|light|heavy) \
+                 nor a readable plan file: {e}\n{}",
+                usage()
+            );
+            std::process::exit(2);
+        }
+    };
+    let plan = match epoch_plan_from_json(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!(
+                "--epoch-plan: cannot parse plan file {raw}: {e}\n{}",
+                usage()
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = plan.validate() {
+        eprintln!("--epoch-plan: invalid plan in {raw}: {e}\n{}", usage());
+        std::process::exit(2);
+    }
+    plan
+}
+
+/// Parse a JSON epoch plan: an object whose fields all default to the
+/// off plan's zeros, so `{}` is a valid (static) plan and a partial file
+/// like `{"link_flaps": 4, "rehome_services": 2}` works as expected.
+fn epoch_plan_from_json(text: &str) -> Result<itm_types::EpochPlan, serde_json::Error> {
+    use serde_json::{Error, Value};
+    let v: Value = serde_json::from_str(text)?;
+    if !matches!(v, Value::Object(_)) {
+        return Err(Error::new("epoch plan: expected a JSON object"));
+    }
+    let num = |name: &str| -> Result<f64, Error> {
+        match v.get(name) {
+            None => Ok(0.0),
+            Some(x) => x
+                .as_f64()
+                .ok_or_else(|| Error::new(format!("epoch plan: {name} must be a number"))),
+        }
+    };
+    let count = |name: &str| -> Result<u32, Error> {
+        match v.get(name) {
+            None => Ok(0),
+            Some(x) => x
+                .as_u64()
+                .ok_or_else(|| {
+                    Error::new(format!("epoch plan: {name} must be a non-negative integer"))
+                })
+                .map(|n| n.min(u64::from(u32::MAX)) as u32),
+        }
+    };
+    Ok(itm_types::EpochPlan {
+        resolver_churn: num("resolver_churn")?,
+        link_flaps: count("link_flaps")?,
+        vm_churn: num("vm_churn")?,
+        rehome_services: count("rehome_services")?,
+        diurnal_shift_hours: num("diurnal_shift_hours")?,
     })
 }
 
@@ -1238,6 +1712,14 @@ fn main() {
     // the output dir, it just opens the snapshot and answers.
     if let Some(spec) = &args.query {
         run_query(&args, spec);
+    }
+    // Diff mode opens two existing snapshots; it never builds anything.
+    if let Some((a, b)) = &args.diff {
+        run_diff(&args, a, b);
+    }
+    // The continuous-map loop drives its own full + incremental builds.
+    if let Some(n) = args.epochs {
+        run_epochs(&args, n);
     }
     ensure_out_dir(&args.out_dir);
 

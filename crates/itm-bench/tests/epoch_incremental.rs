@@ -1,0 +1,106 @@
+//! Differential enforcement of the continuous-map loop (DESIGN.md §15).
+//!
+//! The epoch engine's whole contract is one sentence: an incremental
+//! rebuild of exactly the dirty campaigns is *byte-identical* to a
+//! from-scratch build of the mutated substrate. These tests enforce that
+//! sentence literally, for every epoch of a multi-epoch trajectory,
+//! under both churn profiles, at one worker thread and at eight.
+//!
+//! The from-scratch reference is built by *replaying* the trajectory on a
+//! fresh substrate — `apply_epoch` is a pure function of
+//! `(seeds, plan, epoch)`, so applying epochs `1..=k` to a newborn
+//! substrate reproduces the same world as having lived through them. That
+//! replay is exactly what the CI `epoch` job does out-of-process with
+//! `cmp`; this harness is the in-process, always-on version.
+
+use itm_core::{
+    apply_epoch, build_incremental, map_fingerprint, snapshot_bytes, MapConfig, ParallelExecutor,
+    TrafficMap,
+};
+use itm_measure::{Substrate, SubstrateConfig};
+use itm_types::EpochPlan;
+
+const SEED: u64 = 42;
+const EPOCHS: u32 = 3;
+
+/// Run `EPOCHS` epochs under `plan`, asserting at every epoch that the
+/// incremental map matches a from-scratch build of the replayed world,
+/// both as snapshot bytes and as the full (wider-than-snapshot) map
+/// fingerprint. Returns the final epoch's snapshot bytes so callers can
+/// compare trajectories across thread counts.
+fn differential(plan: &EpochPlan, threads: usize) -> Vec<u8> {
+    let exec = ParallelExecutor::new(threads);
+    let cfg = MapConfig::default();
+    let mut s = Substrate::build(SubstrateConfig::small(), SEED).expect("substrate builds");
+    let mut map = TrafficMap::build_with(&s, &cfg, &exec).expect("initial full build");
+    let mut last = snapshot_bytes(&s, &map);
+    for epoch in 1..=EPOCHS {
+        let (actions, dirty) = apply_epoch(&mut s, plan, epoch);
+        assert!(
+            !actions.is_empty(),
+            "profile plans must mutate something each epoch"
+        );
+        map = build_incremental(&s, &cfg, &exec, map, &dirty).expect("incremental build");
+
+        // The reference world: replay the whole trajectory from scratch.
+        let mut fresh = Substrate::build(SubstrateConfig::small(), SEED).expect("substrate builds");
+        for e in 1..=epoch {
+            apply_epoch(&mut fresh, plan, e);
+        }
+        let full = TrafficMap::build_with(&fresh, &cfg, &exec).expect("reference full build");
+
+        last = snapshot_bytes(&s, &map);
+        assert_eq!(
+            last,
+            snapshot_bytes(&fresh, &full),
+            "epoch {epoch} ({threads} threads): incremental snapshot diverged"
+        );
+        assert_eq!(
+            map_fingerprint(&s, &map),
+            map_fingerprint(&fresh, &full),
+            "epoch {epoch} ({threads} threads): non-snapshot map state diverged"
+        );
+    }
+    last
+}
+
+#[test]
+fn light_plan_incremental_matches_full_rebuild_single_thread() {
+    differential(&EpochPlan::light(), 1);
+}
+
+#[test]
+fn heavy_plan_incremental_matches_full_rebuild_single_thread() {
+    differential(&EpochPlan::heavy(), 1);
+}
+
+#[test]
+fn trajectories_are_thread_count_invariant() {
+    // Eight-thread runs must not only match their own full rebuilds (the
+    // assertions inside `differential`) but also land on the same final
+    // bytes as the single-thread trajectory.
+    assert_eq!(
+        differential(&EpochPlan::light(), 1),
+        differential(&EpochPlan::light(), 8),
+        "light trajectory differs across thread counts"
+    );
+    assert_eq!(
+        differential(&EpochPlan::heavy(), 1),
+        differential(&EpochPlan::heavy(), 8),
+        "heavy trajectory differs across thread counts"
+    );
+}
+
+#[test]
+fn off_plan_trajectory_is_static() {
+    let exec = ParallelExecutor::new(2);
+    let cfg = MapConfig::default();
+    let mut s = Substrate::build(SubstrateConfig::small(), SEED).expect("substrate builds");
+    let map = TrafficMap::build_with(&s, &cfg, &exec).expect("full build");
+    let before = snapshot_bytes(&s, &map);
+    let (actions, dirty) = apply_epoch(&mut s, &EpochPlan::off(), 1);
+    assert!(actions.is_empty());
+    assert!(dirty.is_clean());
+    let map = build_incremental(&s, &cfg, &exec, map, &dirty).expect("clean rebuild");
+    assert_eq!(before, snapshot_bytes(&s, &map), "off plan changed the map");
+}

@@ -618,6 +618,292 @@ fn bench_query_records_a_schema_versioned_row() {
 }
 
 #[test]
+fn epoch_bad_invocations_exit_2_before_any_build() {
+    // Zero epochs, garbage counts, and a missing value are usage errors.
+    for bad in ["0", "three", "-1", ""] {
+        let out = if bad.is_empty() {
+            repro(&["--epochs"])
+        } else {
+            repro(&["--epochs", bad])
+        };
+        assert_eq!(out.status.code(), Some(2), "--epochs {bad:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--epochs expects a positive integer"), "{err}");
+        assert!(err.contains("usage: repro"), "{err}");
+        assert!(!err.contains("building substrate"), "{err}");
+    }
+
+    // Epoch sub-flags without the mode itself are silent no-ops — reject.
+    for spec in [vec!["--epoch-plan", "light"], vec!["--epoch-verify"]] {
+        let out = repro(&spec);
+        assert_eq!(out.status.code(), Some(2), "{spec:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("need --epochs"), "{err}");
+    }
+
+    // The loop drives its own builds: experiment selection, query modes,
+    // and the bench recorders do not compose with it.
+    for spec in [
+        vec!["--epochs", "2", "--exp", "map"],
+        vec!["--epochs", "2", "--bench-record"],
+        vec!["--epochs", "2", "--query", "route", "0"],
+    ] {
+        let out = repro(&spec);
+        assert_eq!(out.status.code(), Some(2), "{spec:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("does not combine"), "{err}");
+        assert!(!err.contains("building substrate"), "{err}");
+    }
+}
+
+#[test]
+fn epoch_plan_errors_exit_2_with_usage() {
+    let dir = scratch();
+
+    // Unknown profile name (falls through to the file read).
+    let out = repro(&["--epochs", "2", "--epoch-plan", "bogus"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("neither a profile"), "{err}");
+    assert!(err.contains("usage: repro"), "{err}");
+    assert!(!err.contains("building substrate"), "{err}");
+
+    // Unparseable plan file.
+    let garbled = dir.join("garbled-epoch-plan.json");
+    std::fs::write(&garbled, b"{ not json").unwrap();
+    let out = repro(&["--epochs", "2", "--epoch-plan", garbled.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse plan file"), "{err}");
+
+    // Parseable but out of range: rates above 1 fail validation.
+    let invalid = dir.join("invalid-epoch-plan.json");
+    std::fs::write(&invalid, br#"{"resolver_churn": 2.0}"#).unwrap();
+    let out = repro(&["--epochs", "2", "--epoch-plan", invalid.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid plan"), "{err}");
+}
+
+#[test]
+fn epoch_loop_runs_end_to_end_and_verifies_byte_identity() {
+    let dir = scratch().join("epoch-e2e-out");
+    let bench = scratch().join("epoch-e2e-bench.json");
+    let out = repro(&[
+        "--epochs",
+        "2",
+        "--size",
+        "small",
+        "--seed",
+        "29",
+        "--epoch-plan",
+        "light",
+        "--epoch-verify",
+        "--snapshot",
+        "--out",
+        dir.to_str().unwrap(),
+        "--bench-out",
+        bench.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("verified byte-identical"), "{err}");
+
+    // Per-epoch metrics rows: epoch 0 is the full build, later epochs
+    // carry their dirty campaign lists and changed fingerprints.
+    let text = std::fs::read_to_string(dir.join("epoch_metrics.json")).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(v.get("schema_version").and_then(|s| s.as_u64()), Some(1));
+    assert_eq!(v.get("plan").and_then(|p| p.as_str()), Some("light"));
+    let rows = v.get("rows").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(rows.len(), 3, "{text}");
+    assert_eq!(rows[0].get("epoch").and_then(|e| e.as_u64()), Some(0));
+    assert_eq!(
+        rows[0]
+            .get("dirty")
+            .and_then(|d| d.as_array())
+            .map(Vec::len),
+        Some(0)
+    );
+    for row in &rows[1..] {
+        assert!(
+            !row.get("dirty")
+                .and_then(|d| d.as_array())
+                .unwrap()
+                .is_empty(),
+            "churn epoch with empty dirty set: {row}"
+        );
+    }
+    let fp = |i: usize| rows[i].get("fingerprint").and_then(|f| f.as_str()).unwrap();
+    assert_ne!(fp(0), fp(1), "churn did not change the map");
+
+    // The speedup trajectory: one verified row per churn epoch.
+    let text = std::fs::read_to_string(&bench).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let rows = v.get("rows").and_then(|r| r.as_array()).unwrap();
+    assert_eq!(rows.len(), 2, "{text}");
+    for row in rows {
+        assert_eq!(
+            row.get("byte_identical").and_then(|b| b.as_bool()),
+            Some(true)
+        );
+        assert!(
+            row.get("speedup_x1000").and_then(|s| s.as_u64()).unwrap() > 0,
+            "{row}"
+        );
+    }
+
+    // Every epoch's snapshot exists, the final one also at the base path,
+    // and the diff between first and last epoch is non-empty while the
+    // self-diff is empty (both exit 0).
+    let e0 = dir.join("map.snap.epoch0");
+    let e2 = dir.join("map.snap.epoch2");
+    assert_eq!(
+        std::fs::read(&e2).unwrap(),
+        std::fs::read(dir.join("map.snap")).unwrap(),
+        "base snapshot is not the final epoch"
+    );
+    let out = repro(&[
+        "--diff",
+        e0.to_str().unwrap(),
+        e0.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("snapshots are identical"), "{err}");
+    let text = std::fs::read_to_string(dir.join("map_diff.json")).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(
+        v.get("cells").and_then(|c| c.as_array()).map(Vec::len),
+        Some(0),
+        "{text}"
+    );
+
+    let out = repro(&[
+        "--diff",
+        e0.to_str().unwrap(),
+        e2.to_str().unwrap(),
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(dir.join("map_diff.json")).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let cells = v.get("cells").and_then(|c| c.as_array()).unwrap();
+    assert!(!cells.is_empty(), "two churned epochs diff empty: {text}");
+    for cell in cells {
+        let kind = cell.get("kind").and_then(|k| k.as_str()).unwrap();
+        assert!(
+            ["added", "removed", "moved", "re-evidenced"].contains(&kind),
+            "{cell}"
+        );
+        // Provenance rides along with every delta.
+        assert!(cell
+            .get("new_techniques")
+            .and_then(|t| t.as_array())
+            .is_some());
+    }
+}
+
+#[test]
+fn diff_bad_snapshots_exit_2() {
+    let dir = scratch();
+
+    // Missing operands are usage errors.
+    let out = repro(&["--diff", "only-one.snap"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--diff expects two snapshot paths"), "{err}");
+
+    // Diff mode never composes with build modes.
+    let out = repro(&["--diff", "a.snap", "b.snap", "--exp", "map"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // Missing file.
+    let missing = dir.join("no-such-a.snap");
+    let out = repro(&[
+        "--diff",
+        missing.to_str().unwrap(),
+        missing.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot open snapshot"), "{err}");
+
+    // Build one real snapshot to corrupt and to version-bump.
+    let snap_dir = dir.join("diff-snap-out");
+    let out = repro(&[
+        "--exp",
+        "map",
+        "--size",
+        "small",
+        "--seed",
+        "31",
+        "--out",
+        snap_dir.to_str().unwrap(),
+        "--snapshot",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let good_path = snap_dir.join("map.snap");
+    let good = std::fs::read(&good_path).unwrap();
+
+    // One flipped payload byte fails the checksum.
+    let mut corrupt = good.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    let corrupt_path = dir.join("diff-corrupt.snap");
+    std::fs::write(&corrupt_path, &corrupt).unwrap();
+    let out = repro(&[
+        "--diff",
+        good_path.to_str().unwrap(),
+        corrupt_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checksum"), "{err}");
+
+    // A foreign format version is rejected as such (the version field
+    // sits at byte 8, checked before the checksum).
+    let mut foreign = good.clone();
+    foreign[8] = foreign[8].wrapping_add(1);
+    let foreign_path = dir.join("diff-foreign.snap");
+    std::fs::write(&foreign_path, &foreign).unwrap();
+    let out = repro(&[
+        "--diff",
+        good_path.to_str().unwrap(),
+        foreign_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("version"), "{err}");
+
+    // Snapshots of different universes (another seed) are incompatible.
+    let other_dir = dir.join("diff-other-out");
+    let out = repro(&[
+        "--exp",
+        "map",
+        "--size",
+        "small",
+        "--seed",
+        "32",
+        "--out",
+        other_dir.to_str().unwrap(),
+        "--snapshot",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = repro(&[
+        "--diff",
+        good_path.to_str().unwrap(),
+        other_dir.join("map.snap").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not comparable"), "{err}");
+}
+
+#[test]
 fn bench_baseline_gates_peak_memory_regressions() {
     let dir = scratch();
 

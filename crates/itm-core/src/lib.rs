@@ -19,6 +19,9 @@
 //! * [`recommend`] — the §3.3.3 peering recommender: score co-located
 //!   non-adjacent AS pairs by peering-profile similarity, evaluate against
 //!   held-out ground truth (E10).
+//! * [`epoch`] — the continuous-map loop: deterministic substrate churn
+//!   between builds plus incremental rebuilds that recompute only the
+//!   campaigns the churn invalidated (`repro --epochs` backend).
 //! * [`audit`] — the map-quality observatory: score every measurement
 //!   technique's view against substrate ground truth (per-technique
 //!   precision/recall/coverage, per-cell disagreement, pairwise
@@ -33,6 +36,7 @@
 
 pub mod audit;
 pub mod coverage;
+pub mod epoch;
 pub mod exec;
 pub mod map;
 pub mod outage;
@@ -44,6 +48,7 @@ pub mod weighted;
 
 pub use audit::{audit, CellVerdict, MapClaims};
 pub use coverage::{CoverageReport, Table1Row};
+pub use epoch::{apply_epoch, build_incremental, epoch_bounds, map_fingerprint};
 pub use exec::ParallelExecutor;
 pub use map::{MapConfig, TrafficMap};
 pub use outage::{OutageImpact, OutageScenario};

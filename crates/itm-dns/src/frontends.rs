@@ -183,6 +183,39 @@ impl FrontendDirectory {
         &sf.endpoints[sf.nearest_onnet_by_city[client_city as usize] as usize]
     }
 
+    /// Re-home a service: rotate every city's nearest-endpoint choice
+    /// `shift` positions through the service's on-net endpoint list — the
+    /// epoch engine's model of an operator remapping cities onto
+    /// different front-ends (capacity moves, maintenance drains). The
+    /// endpoint *set* is unchanged, so TLS certificates, off-net
+    /// preference, and anycast VIPs are unaffected; only the
+    /// nearest-on-net selection table moves. A no-op for services with a
+    /// single on-net endpoint (`shift` wraps onto the same index).
+    pub fn rehome_service(&mut self, s: ServiceId, shift: u32) {
+        let sf = &mut self.per_service[s.index()];
+        let onnet: Vec<u32> = {
+            let on: Vec<u32> = sf
+                .endpoints
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.offnet_host.is_none())
+                .map(|(i, _)| i as u32)
+                .collect();
+            if on.is_empty() {
+                (0..sf.endpoints.len() as u32).collect()
+            } else {
+                on
+            }
+        };
+        for slot in &mut sf.nearest_onnet_by_city {
+            // Rotate within the on-net list; entries already pointing
+            // outside it (impossible by construction) are left alone.
+            if let Some(pos) = onnet.iter().position(|&i| i == *slot) {
+                *slot = onnet[(pos + shift as usize) % onnet.len()];
+            }
+        }
+    }
+
     /// Nearest on-net endpoint to a city (used when the resolver hides the
     /// client: non-ECS answers are computed from the resolver PoP's city).
     #[inline]

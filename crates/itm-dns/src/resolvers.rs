@@ -193,6 +193,32 @@ impl ResolverAssignment {
         }
     }
 
+    /// Re-draw the open-resolver adoption share for every user prefix
+    /// owned by one of `ases` — the epoch engine's resolver-churn hook
+    /// (operators switch default resolvers, national campaigns shift
+    /// public-DNS uptake). Draws are keyed by prefix id under the caller's
+    /// epoch-scoped domain, so the same epoch re-drawn twice lands on the
+    /// same shares and prefixes outside `ases` are untouched. Non-user
+    /// prefixes never acquire a share.
+    pub fn churn_adoption(
+        &mut self,
+        topo: &Topology,
+        ases: &BTreeSet<Asn>,
+        jitter: f64,
+        epoch_seeds: &SeedDomain,
+    ) {
+        for r in topo.prefixes.iter() {
+            if r.kind != PrefixKind::UserAccess || !ases.contains(&r.owner) {
+                continue;
+            }
+            let country = topo.as_info(r.owner).home_country;
+            let base = topo.world.country(country).open_resolver_adoption;
+            let mut prng = epoch_seeds.rng_indexed("adoption", r.id.raw() as u64);
+            let logit = (base / (1.0 - base)).ln() + jitter * (prng.gen::<f64>() * 2.0 - 1.0);
+            self.open_share[r.id.index()] = 1.0 / (1.0 + (-logit).exp());
+        }
+    }
+
     /// Source addresses of ISP resolvers that churn away under the given
     /// fault plan — hosts rebooted, renumbered, or decommissioned
     /// mid-campaign. Root-log crawling loses every log line such a

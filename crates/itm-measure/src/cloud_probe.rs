@@ -78,6 +78,12 @@ impl CloudProbeResult {
         );
         // Vantage selection draws from one RNG stream — stays sequential.
         let mut vantage = VantagePoints::typical(&s.topo, seeds);
+        // Epoch VM churn: ASes whose VMs are administratively down this
+        // epoch never launch (distinct from fault churn, which models
+        // mid-campaign reclaims of launched VMs and counts as lost).
+        if !s.vm_down.is_empty() {
+            vantage.cloud_vms.retain(|vm| !s.vm_down.contains(vm));
+        }
         let vms_launched = vantage.cloud_vms.len();
         vantage.apply_churn(faults);
         let fault_stats = FaultStats {

@@ -194,6 +194,7 @@ pub fn evolve(s: &Substrate, days: u64, cfg: &EvolutionConfig) -> Substrate {
         routers,
         tls,
         seeds: s.seeds.clone(),
+        vm_down: s.vm_down.clone(),
     }
 }
 

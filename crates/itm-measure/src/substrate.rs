@@ -18,8 +18,9 @@ use itm_traffic::apnic::ApnicConfig;
 use itm_traffic::{
     ApnicEstimates, ServiceCatalog, ServiceCatalogConfig, TrafficConfig, TrafficModel, UserModel,
 };
-use itm_types::{Result, SeedDomain};
+use itm_types::{Asn, Result, SeedDomain};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Configuration for the whole substrate.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -83,6 +84,10 @@ pub struct Substrate {
     pub tls: TlsHostRegistry,
     /// The seed domain everything was derived from.
     pub seeds: SeedDomain,
+    /// Cloud vantage ASes currently unavailable (epoch VM churn). Empty
+    /// on a freshly built substrate; the cloud-probe campaign skips VMs
+    /// in down ASes.
+    pub vm_down: BTreeSet<Asn>,
 }
 
 impl Substrate {
@@ -143,6 +148,7 @@ impl Substrate {
             routers,
             tls,
             seeds,
+            vm_down: BTreeSet::new(),
         })
     }
 

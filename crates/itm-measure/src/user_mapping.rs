@@ -22,7 +22,7 @@ use itm_types::{
     PrefixId, ServiceId,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The measured user→host mapping.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,6 +40,13 @@ pub struct UserMapping {
     /// Per-resolution fate accounting: `observed + degraded + lost`
     /// equals the resolutions issued.
     pub fault_stats: FaultStats,
+    /// The same accounting, split by service. Fates are keyed by
+    /// `(prefix, domain)`, so a service's row is independent of which
+    /// other services were measured alongside it — the property that
+    /// lets the epoch engine re-measure a dirty subset and splice its
+    /// rows over the retained ones without touching the aggregate's
+    /// meaning (`fault_stats` is always the fold of this map).
+    pub stats_by_service: BTreeMap<ServiceId, FaultStats>,
 }
 
 impl UserMapping {
@@ -83,6 +90,64 @@ impl UserMapping {
     where
         R: FnOnce(usize, &(dyn Fn(usize) -> UserMappingShard + Sync)) -> Vec<UserMappingShard>,
     {
+        Self::measure_filtered(s, resolver, faults, None, run_shards)
+    }
+
+    /// Re-measure only the services in `subset` — the epoch engine's
+    /// incremental path. Shard layout, per-shard sweep order, and every
+    /// per-cell resolution are identical to what a full campaign would
+    /// produce for those services (resolutions are pure functions of
+    /// `(substrate, prefix, domain)`), so splicing the subset's segments
+    /// over the retained map reproduces a from-scratch build byte for
+    /// byte. The result is *partial*: its footprint and stats cover only
+    /// `subset`, and `unmeasurable` is empty (the caller retains the
+    /// previous epoch's, which is a static property of the catalogue).
+    pub fn measure_subset_with_faults<R>(
+        s: &Substrate,
+        resolver: &OpenResolver<'_>,
+        subset: &BTreeSet<ServiceId>,
+        faults: &FaultInjector,
+        run_shards: R,
+    ) -> UserMapping
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> UserMappingShard + Sync)) -> Vec<UserMappingShard>,
+    {
+        Self::measure_filtered(s, resolver, faults, Some(subset), run_shards)
+    }
+
+    /// Splice a subset re-measurement over this (previous-epoch) mapping:
+    /// dirty services take `fresh`'s cells, footprints, and stats rows;
+    /// everything else is retained by move. The aggregate `fault_stats`
+    /// is re-folded from the spliced rows, so the accounting invariant
+    /// survives (u64 sums are order-independent, matching a full build).
+    pub fn splice(mut self, fresh: UserMapping, dirty: &BTreeSet<ServiceId>) -> UserMapping {
+        self.mapping = self.mapping.splice_services(fresh.mapping, dirty);
+        for svc in dirty {
+            self.footprint.remove(svc);
+            self.stats_by_service.remove(svc);
+        }
+        self.footprint.extend(fresh.footprint);
+        self.stats_by_service.extend(fresh.stats_by_service);
+        let mut fault_stats = FaultStats::default();
+        for st in self.stats_by_service.values() {
+            fault_stats.merge(st);
+        }
+        self.fault_stats = fault_stats;
+        self
+    }
+
+    /// The shared campaign body: `subset = None` measures every
+    /// measurable service, `Some(set)` restricts the sweep to it.
+    fn measure_filtered<R>(
+        s: &Substrate,
+        resolver: &OpenResolver<'_>,
+        faults: &FaultInjector,
+        subset: Option<&BTreeSet<ServiceId>>,
+        run_shards: R,
+    ) -> UserMapping
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) -> UserMappingShard + Sync)) -> Vec<UserMappingShard>,
+    {
         let _span = itm_obs::span("user_mapping.measure");
         let _campaign = itm_obs::trace::campaign(
             itm_obs::trace::Technique::EcsMapping,
@@ -92,20 +157,24 @@ impl UserMapping {
 
         let n_shards = Self::shard_count(s);
         let parts = run_shards(n_shards, &|shard| {
-            Self::measure_shard(s, resolver, faults, shard, n_shards)
+            Self::measure_shard(s, resolver, faults, subset, shard, n_shards)
         });
 
         let mut issued: u64 = 0;
         let mut shard_maps = Vec::with_capacity(parts.len());
         let mut seen: BTreeMap<ServiceId, Vec<Vec<Ipv4Addr>>> = BTreeMap::new();
         let mut fault_stats = FaultStats::default();
+        let mut stats_by_service: BTreeMap<ServiceId, FaultStats> = BTreeMap::new();
         for part in parts {
             shard_maps.push(part.mapping);
             for (svc, addrs) in part.seen {
                 seen.entry(svc).or_default().push(addrs);
             }
             issued += part.issued;
-            fault_stats.merge(&part.stats);
+            for (svc, st) in part.stats {
+                fault_stats.merge(&st);
+                stats_by_service.entry(svc).or_default().merge(&st);
+            }
         }
         // Zero-copy gather: shards are prefix-sliced and in shard order,
         // so the merged grid is a rearrangement of the shards' segments —
@@ -115,11 +184,16 @@ impl UserMapping {
         let mut unmeasurable = Vec::new();
         let mut footprint: BTreeMap<ServiceId, Vec<Ipv4Addr>> = BTreeMap::new();
         for svc in &s.catalog.services {
+            if let Some(set) = subset {
+                if !set.contains(&svc.id) {
+                    continue;
+                }
+            }
             if svc.ecs_support && svc.mode == DeliveryMode::DnsRedirection {
                 let mut addrs = merge_sorted_runs(seen.remove(&svc.id).unwrap_or_default());
                 addrs.dedup();
                 footprint.insert(svc.id, addrs);
-            } else {
+            } else if subset.is_none() {
                 unmeasurable.push(svc.id);
             }
         }
@@ -131,15 +205,17 @@ impl UserMapping {
             unmeasurable,
             footprint,
             fault_stats,
+            stats_by_service,
         }
     }
 
     /// Resolve one shard's slice of the prefix table against every
-    /// measurable service.
+    /// measurable service (optionally restricted to `subset`).
     fn measure_shard(
         s: &Substrate,
         resolver: &OpenResolver<'_>,
         faults: &FaultInjector,
+        subset: Option<&BTreeSet<ServiceId>>,
         shard: usize,
         n_shards: usize,
     ) -> UserMappingShard {
@@ -148,12 +224,16 @@ impl UserMapping {
             mapping: CellMap::new(),
             seen: BTreeMap::new(),
             issued: 0,
-            stats: FaultStats::default(),
+            stats: BTreeMap::new(),
         };
         for svc in &s.catalog.services {
             if !(svc.ecs_support && svc.mode == DeliveryMode::DnsRedirection) {
                 continue;
             }
+            if subset.is_some_and(|set| !set.contains(&svc.id)) {
+                continue;
+            }
+            let svc_stats = part.stats.entry(svc.id).or_default();
             for rec in s.topo.prefixes.iter().skip(lo).take(hi - lo) {
                 if rec.kind != PrefixKind::UserAccess {
                     continue;
@@ -161,7 +241,7 @@ impl UserMapping {
                 part.issued += 1;
                 let (ans, fate) =
                     resolver.resolve_for_client_with_faults(rec.id, &svc.domain, faults);
-                part.stats.record(fate);
+                svc_stats.record(fate);
                 if let Some(ans) = ans {
                     // Services ascend in catalogue order and the prefix
                     // slice ascends, so pushes arrive pre-sorted.
@@ -228,7 +308,8 @@ pub struct UserMappingShard {
     mapping: CellMap,
     seen: BTreeMap<ServiceId, Vec<Ipv4Addr>>,
     issued: u64,
-    stats: FaultStats,
+    /// Per-service fate accounting for this shard's slice.
+    stats: BTreeMap<ServiceId, FaultStats>,
 }
 
 /// Geolocation of serving addresses from the client side \[13\].

@@ -28,6 +28,11 @@ impl GraphView {
     }
 
     /// The complete ground-truth view of a topology.
+    ///
+    /// Links the epoch engine has flapped down are excluded: the ground
+    /// truth of a flapped epoch *is* the smaller graph. On a freshly
+    /// generated topology the down-set is empty and this is the identity
+    /// adjacency copy it always was.
     pub fn full(topo: &Topology) -> GraphView {
         let adjacency = topo
             .ases
@@ -35,6 +40,14 @@ impl GraphView {
             .map(|a| {
                 topo.neighbors(a.asn)
                     .iter()
+                    .filter(|n| {
+                        let key = if a.asn <= n.asn {
+                            (a.asn, n.asn)
+                        } else {
+                            (n.asn, a.asn)
+                        };
+                        !topo.is_link_down(key)
+                    })
                     .map(|n| (n.asn, n.kind))
                     .collect()
             })

@@ -11,7 +11,10 @@
 //! * **reverse**: which ⟨service, prefix⟩ cells a front-end address serves
 //!   ([`Snapshot::reverse`]);
 //! * **route**: an AS's adjacency and the relationship on a specific edge
-//!   ([`Snapshot::neighbors`], [`Snapshot::edge`]).
+//!   ([`Snapshot::neighbors`], [`Snapshot::edge`]);
+//! * **diff**: the structural delta between two snapshots of the same
+//!   universe — cells added/removed/moved, route edges changed, each with
+//!   technique provenance ([`MapDiff`], the `repro --diff` backend).
 //!
 //! Every query is offset arithmetic plus binary search over the loaded
 //! bytes: nothing is deserialized into owned structures, so open cost is
@@ -29,6 +32,10 @@
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+
+mod diff;
+
+pub use diff::{decode_cells, decode_routes, CellDelta, DiffError, MapDiff, RouteDelta};
 
 use itm_types::snap::{self, claim, section, SectionEntry, SnapError};
 use itm_types::{Asn, Ipv4Addr, Ipv4Net, PrefixId, ServiceId};

@@ -9,6 +9,7 @@ use crate::offnet::OffnetTable;
 use crate::prefix::{PrefixKind, PrefixTable};
 use itm_types::geo::World;
 use itm_types::{Asn, GeoPoint};
+use std::collections::BTreeSet;
 
 /// A neighbor relationship seen from one AS's perspective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +61,11 @@ pub struct Topology {
     pub cones: CustomerCones,
     /// adjacency[asn] — neighbors with perspective-relative relationship.
     adjacency: Vec<Vec<Neighbor>>,
+    /// Links currently flapped down (canonical endpoint pairs). Empty on
+    /// every generated topology; the epoch engine toggles entries between
+    /// map builds. Downed links stay in [`Topology::links`] (they still
+    /// exist contractually) but are excluded from routing views.
+    links_down: BTreeSet<(Asn, Asn)>,
 }
 
 impl Topology {
@@ -126,7 +132,32 @@ impl Topology {
             offnets,
             cones,
             adjacency,
+            links_down: BTreeSet::new(),
         }
+    }
+
+    /// Whether the link with canonical key `(a, b)` is currently flapped
+    /// down. Always false on a freshly generated topology.
+    #[inline]
+    pub fn is_link_down(&self, key: (Asn, Asn)) -> bool {
+        !self.links_down.is_empty() && self.links_down.contains(&key)
+    }
+
+    /// Toggle a link's flap state; returns true when the link is now down.
+    /// `key` must be in canonical (low ASN first) order, as produced by
+    /// [`Link::key`].
+    pub fn toggle_link_down(&mut self, key: (Asn, Asn)) -> bool {
+        if self.links_down.remove(&key) {
+            false
+        } else {
+            self.links_down.insert(key);
+            true
+        }
+    }
+
+    /// The currently downed links (canonical endpoint pairs).
+    pub fn links_down(&self) -> &BTreeSet<(Asn, Asn)> {
+        &self.links_down
     }
 
     /// Number of ASes.

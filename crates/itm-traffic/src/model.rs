@@ -113,6 +113,17 @@ impl TrafficModel {
         }
     }
 
+    /// Shift the diurnal activity peak by `hours` (mod 24) — the epoch
+    /// engine's phase-drift hook (seasonal daylight shifts, population
+    /// behaviour changes). Daily-mean demand is phase-free, so cached
+    /// totals stay valid; only the cached curve mean is recomputed (the
+    /// mean is phase-invariant for the analytic curve, but recomputing
+    /// keeps the cache definitionally correct if the curve shape changes).
+    pub fn shift_diurnal_phase(&mut self, hours: f64) {
+        self.cfg.diurnal.peak_hour = (self.cfg.diurnal.peak_hour + hours).rem_euclid(24.0);
+        self.diurnal_mean = self.cfg.diurnal.daily_mean();
+    }
+
     /// Daily-mean demand between a prefix and a service.
     pub fn demand(
         &self,

@@ -206,6 +206,72 @@ impl CellMap {
             .take_while(move |c| c.service == service)
     }
 
+    /// Splice a freshly re-measured subset into a retained map.
+    ///
+    /// `self` is the previous epoch's full map, `fresh` a map measured
+    /// over only the services in `dirty`. The result carries `fresh`'s
+    /// segments for dirty services and `self`'s for everything else — a
+    /// segment-handle move in the [`CellMap::merge_shards`] style, so the
+    /// incremental epoch path never copies the retained grid. A dirty
+    /// service absent from `fresh` simply vanishes (its cells were
+    /// invalidated and the re-measurement produced none).
+    ///
+    /// The spliced map's *segmentation* generally differs from a
+    /// from-scratch build's (retained segments keep their old shard
+    /// boundaries), but the logical cell sequence — what
+    /// [`CellMap::iter`] yields and what snapshots serialize — is
+    /// identical, which is the equivalence the epoch engine asserts.
+    pub fn splice_services(
+        self,
+        fresh: CellMap,
+        dirty: &std::collections::BTreeSet<ServiceId>,
+    ) -> CellMap {
+        let mut out = CellMap::new();
+        let mut old = self.firsts.into_iter().zip(self.segs).peekable();
+        let mut new = fresh.firsts.into_iter().zip(fresh.segs).peekable();
+        loop {
+            // Retained segments of dirty services are replaced wholesale.
+            while matches!(old.peek(), Some(&((s, _), _)) if dirty.contains(&s)) {
+                old.next();
+            }
+            let next_old = old.peek().map(|&((s, _), _)| s);
+            let next_new = new.peek().map(|&((s, _), _)| s);
+            let svc = match (next_old, next_new) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            let src = if dirty.contains(&svc) {
+                &mut new
+            } else {
+                &mut old
+            };
+            while matches!(src.peek(), Some(&((s, _), _)) if s == svc) {
+                let Some((first, seg)) = src.next() else {
+                    break;
+                };
+                debug_assert!(
+                    out.last_key().is_none_or(|l| l < first),
+                    "splice_services inputs out of order at {first:?}"
+                );
+                out.total += seg.len();
+                out.firsts.push(first);
+                out.segs.push(seg);
+            }
+            // A fresh segment for a clean service would violate the
+            // contract; drop it rather than corrupt the ordering.
+            while matches!(new.peek(), Some(&((s, _), _)) if s == svc) {
+                debug_assert!(
+                    false,
+                    "splice_services: fresh cells for clean service {svc:?}"
+                );
+                new.next();
+            }
+        }
+        out
+    }
+
     /// Consume the map, flattening into the raw sorted cell vector.
     pub fn into_cells(self) -> Vec<Cell> {
         let mut out = Vec::with_capacity(self.total);
@@ -377,6 +443,60 @@ mod tests {
             Some(Ipv4Addr(4))
         );
         assert_eq!(m.cells_of(ServiceId(9)).count(), 0);
+    }
+
+    #[test]
+    fn splice_replaces_dirty_services_and_retains_clean() {
+        use std::collections::BTreeSet;
+        // Previous-epoch map: services 0, 1, 3 across two shards.
+        let mut p0 = CellMap::new();
+        p0.push(cell(0, 0, 1));
+        p0.push(cell(1, 2, 2));
+        let mut p1 = CellMap::new();
+        p1.push(cell(1, 11, 3));
+        p1.push(cell(3, 10, 4));
+        let prev = CellMap::merge_shards(vec![p0, p1]);
+
+        // Fresh subset build: service 1 re-measured (one cell moved).
+        let mut fresh = CellMap::new();
+        fresh.push(cell(1, 2, 20));
+        fresh.push(cell(1, 12, 30));
+        let dirty: BTreeSet<ServiceId> = [ServiceId(1)].into();
+
+        let spliced = prev.splice_services(fresh, &dirty);
+        assert_eq!(spliced.len(), 4);
+        assert_eq!(spliced.get(ServiceId(0), PrefixId(0)), Some(Ipv4Addr(1)));
+        assert_eq!(spliced.get(ServiceId(1), PrefixId(2)), Some(Ipv4Addr(20)));
+        assert_eq!(spliced.get(ServiceId(1), PrefixId(11)), None);
+        assert_eq!(spliced.get(ServiceId(1), PrefixId(12)), Some(Ipv4Addr(30)));
+        assert_eq!(spliced.get(ServiceId(3), PrefixId(10)), Some(Ipv4Addr(4)));
+        let keys: Vec<_> = spliced.iter().map(Cell::key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "splice must stay globally sorted");
+    }
+
+    #[test]
+    fn splice_handles_vanishing_and_new_services() {
+        use std::collections::BTreeSet;
+        let mut prev = CellMap::new();
+        prev.push(cell(0, 0, 1));
+        prev.push(cell(2, 0, 2));
+        // Service 2 re-measured to nothing; service 4 newly measured.
+        let mut fresh = CellMap::new();
+        fresh.push(cell(4, 5, 9));
+        let dirty: BTreeSet<ServiceId> = [ServiceId(2), ServiceId(4)].into();
+        let spliced = prev.splice_services(fresh, &dirty);
+        assert_eq!(spliced.len(), 2);
+        assert_eq!(spliced.get(ServiceId(2), PrefixId(0)), None);
+        assert_eq!(spliced.get(ServiceId(4), PrefixId(5)), Some(Ipv4Addr(9)));
+        // Empty dirty set: splice is the identity on the retained map.
+        let mut prev2 = CellMap::new();
+        prev2.push(cell(0, 0, 1));
+        let id = prev2
+            .clone()
+            .splice_services(CellMap::new(), &BTreeSet::new());
+        assert_eq!(id, prev2);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cells;
+pub mod epoch;
 pub mod error;
 pub mod fault;
 pub mod geo;
@@ -29,6 +30,7 @@ pub mod time;
 pub mod units;
 
 pub use cells::{merge_sorted_runs, merge_sorted_runs_by, Cell, CellMap};
+pub use epoch::{Campaign, DirtySet, EpochAction, EpochBounds, EpochPlan};
 pub use error::{ItmError, Result};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats, ProbeFate};
 pub use geo::{Country, GeoPoint};

@@ -3,10 +3,45 @@
 use itm_types::rng::{lognormal, pareto, weighted_choice, zipf_index};
 use itm_types::stats::{gini, kendall_tau, pearson, spearman, top_k_for_share, Ecdf};
 use itm_types::{
-    FaultInjector, FaultPlan, FaultStats, Ipv4Addr, Ipv4Net, SeedDomain, SimDuration, SimTime,
+    DirtySet, EpochAction, EpochBounds, EpochPlan, FaultInjector, FaultPlan, FaultStats, Ipv4Addr,
+    Ipv4Net, SeedDomain, ServiceId, SimDuration, SimTime,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
+
+/// A valid epoch plan with every field inside its documented range.
+fn arb_epoch_plan() -> impl Strategy<Value = EpochPlan> {
+    (
+        0.0f64..=1.0,
+        0u32..50,
+        0.0f64..=1.0,
+        0u32..20,
+        -24.0f64..24.0,
+    )
+        .prop_map(
+            |(resolver_churn, link_flaps, vm_churn, rehome_services, diurnal_shift_hours)| {
+                EpochPlan {
+                    resolver_churn,
+                    link_flaps,
+                    vm_churn,
+                    rehome_services,
+                    diurnal_shift_hours,
+                }
+            },
+        )
+}
+
+/// Arbitrary (but non-degenerate) eligibility-list sizes.
+fn arb_epoch_bounds() -> impl Strategy<Value = EpochBounds> {
+    (1u32..200, 1u32..200, 1u32..40, 1u32..40).prop_map(
+        |(n_resolver_sites, n_flappable_links, n_cloud_vms, n_ecs_services)| EpochBounds {
+            n_resolver_sites,
+            n_flappable_links,
+            n_cloud_vms,
+            n_ecs_services,
+        },
+    )
+}
 
 proptest! {
     // ---------- prefix arithmetic ----------
@@ -336,6 +371,105 @@ proptest! {
         prop_assert!(k50 <= k90);
         prop_assert!(k90 <= values.len());
         prop_assert!(k50 >= 1);
+    }
+
+    // ---------- epoch plans ----------
+
+    #[test]
+    fn epoch_actions_are_pure(
+        master in any::<u64>(),
+        epoch in 0u32..1000,
+        plan in arb_epoch_plan(),
+        bounds in arb_epoch_bounds(),
+    ) {
+        // Every in-range plan validates, and the mutation sequence is a
+        // pure function of (plan, seeds, epoch, bounds): two independent
+        // generations from the same inputs are identical, element for
+        // element — the property the incremental engine's replayed
+        // from-scratch rebuilds lean on.
+        plan.validate().unwrap();
+        let a = plan.actions(&SeedDomain::new(master), epoch, &bounds);
+        let b = plan.actions(&SeedDomain::new(master), epoch, &bounds);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn epoch_streams_are_uncorrelated(
+        master in any::<u64>(),
+        epoch in 0u32..500,
+        gap in 1u32..500,
+    ) {
+        // Distinct epochs draw from distinct indexed streams under the
+        // "epoch" seed domain, and distinct master seeds re-key the whole
+        // domain: either change must produce a different mutation
+        // sequence. The plan is pinned to one with plenty of entropy (64
+        // per-entity coin flips plus draws) so a collision would mean the
+        // streams genuinely alias, not that the plan was too quiet.
+        let plan = EpochPlan {
+            resolver_churn: 0.5,
+            link_flaps: 8,
+            vm_churn: 0.5,
+            rehome_services: 4,
+            diurnal_shift_hours: 0.0,
+        };
+        let bounds = EpochBounds {
+            n_resolver_sites: 64,
+            n_flappable_links: 64,
+            n_cloud_vms: 32,
+            n_ecs_services: 16,
+        };
+        let d = SeedDomain::new(master);
+        let here = plan.actions(&d, epoch, &bounds);
+        prop_assert_ne!(&here, &plan.actions(&d, epoch + gap, &bounds));
+        prop_assert_ne!(
+            &here,
+            &plan.actions(&SeedDomain::new(master.wrapping_add(u64::from(gap))), epoch, &bounds)
+        );
+    }
+
+    #[test]
+    fn epoch_action_indices_respect_bounds(
+        master in any::<u64>(),
+        epoch in 0u32..200,
+        plan in arb_epoch_plan(),
+        bounds in arb_epoch_bounds(),
+    ) {
+        for a in plan.actions(&SeedDomain::new(master), epoch, &bounds) {
+            match a {
+                EpochAction::ResolverChurn { site } => prop_assert!(site < bounds.n_resolver_sites),
+                EpochAction::LinkFlap { link } => prop_assert!(link < bounds.n_flappable_links),
+                EpochAction::VmChurn { vm } => prop_assert!(vm < bounds.n_cloud_vms),
+                EpochAction::Rehome { service, .. } => prop_assert!(service < bounds.n_ecs_services),
+                EpochAction::DiurnalShift { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_dirty_union_covers_every_action(
+        master in any::<u64>(),
+        epoch in 0u32..200,
+        plan in arb_epoch_plan(),
+        bounds in arb_epoch_bounds(),
+    ) {
+        // The epoch's dirty set must be a superset of every individual
+        // mutation's invalidations — anything less and the incremental
+        // rebuild would retain a campaign whose inputs changed. Rehome
+        // actions must additionally surface their resolved service ids.
+        let actions = plan.actions(&SeedDomain::new(master), epoch, &bounds);
+        let dirty = DirtySet::from_actions(&actions, |i| ServiceId(i + 100));
+        for a in &actions {
+            for c in a.dirties() {
+                prop_assert!(dirty.is_dirty(*c), "{a:?} dirties {c:?} but the union lost it");
+            }
+            if let EpochAction::Rehome { service, .. } = a {
+                prop_assert!(dirty.services.contains(&ServiceId(service + 100)));
+            }
+        }
+        // And the closure is idempotent: normalizing again changes nothing.
+        let mut again = dirty.clone();
+        again.normalize();
+        prop_assert_eq!(again, dirty);
     }
 
     // ---------- time ----------
